@@ -1,0 +1,345 @@
+// Benchmarks reproducing the evaluation of "Scalable Querying of Nested
+// Data" (Section 6). One benchmark per paper figure; each prints the same
+// series the paper plots (strategy × configuration, with F = FAIL entries
+// for runs that crash under the simulated per-worker memory cap) plus the
+// shuffle totals behind the paper's shuffle-ratio claims.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// TRANCE_SCALE=small|medium grows the generated datasets.
+package trance_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/trance-go/trance/internal/biomed"
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/runner"
+	"github.com/trance-go/trance/internal/tpch"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// scaled returns n multiplied by the TRANCE_SCALE factor.
+func scaled(n int) int {
+	switch os.Getenv("TRANCE_SCALE") {
+	case "medium":
+		return n * 8
+	case "small":
+		return n * 2
+	default:
+		return n
+	}
+}
+
+func tpchConfig(skew int) tpch.Config {
+	return tpch.Config{
+		Customers:         scaled(150),
+		OrdersPerCustomer: 6,
+		LinesPerOrder:     4,
+		Parts:             scaled(100),
+		SkewFactor:        skew,
+		Seed:              1,
+	}
+}
+
+// benchConfig sizes the simulated cluster so that the paper's failure
+// boundaries reproduce: the cap is a fraction of the dataset footprint, so
+// strategies that concentrate or duplicate data blow past it while evenly
+// distributed strategies stay under.
+func benchConfig(inputBytes int64) runner.Config {
+	cfg := runner.DefaultConfig()
+	cfg.Parallelism = 8
+	cfg.MaxPartitionBytes = inputBytes / 3
+	cfg.BroadcastLimit = 64 << 10
+	return cfg
+}
+
+func inputBytes(inputs map[string]value.Bag) int64 {
+	var total int64
+	for _, b := range inputs {
+		total += value.Size(b)
+	}
+	return total
+}
+
+type cell struct {
+	res *runner.Result
+}
+
+func (c cell) String() string {
+	if c.res.Failed() {
+		return "      F"
+	}
+	return fmt.Sprintf("%7.0f", float64(c.res.Elapsed.Microseconds())/1000)
+}
+
+func (c cell) shuffle() string {
+	if c.res.Failed() {
+		return "      F"
+	}
+	return fmt.Sprintf("%7.1f", float64(c.res.Metrics.ShuffleBytes)/1024)
+}
+
+// fig7 runs one width variant of the Figure 7 grid: three query classes ×
+// nesting levels 0–4 × four strategies.
+func fig7(b *testing.B, wide bool) {
+	tables := tpch.Generate(tpchConfig(0))
+	strategies := []runner.Strategy{runner.ShredUnshred, runner.Shred, runner.Standard, runner.SparkSQLStyle}
+
+	for n := 0; n < b.N; n++ {
+		fmt.Printf("\n%-18s %-7s", "variant", "level")
+		for _, s := range strategies {
+			fmt.Printf(" %14s", s)
+		}
+		fmt.Println("   (ms runtime | KiB shuffled; F = FAIL)")
+		for _, class := range []tpch.QueryClass{tpch.FlatToNested, tpch.NestedToNested, tpch.NestedToFlat} {
+			for level := 0; level <= tpch.MaxLevel; level++ {
+				q := tpch.Query(class, level, wide)
+				env := tpch.Env(class, level, wide)
+				inputs := map[string]value.Bag{}
+				if class == tpch.FlatToNested {
+					inputs = tables.Inputs()
+				} else {
+					inputs["NDB"] = tpch.BuildNested(tables, level, true)
+					inputs["Part"] = tables.Part
+				}
+				cfg := benchConfig(inputBytes(inputs))
+				fmt.Printf("%-18s %-7d", class, level)
+				for _, strat := range strategies {
+					// Unshredding a flat output is free: Shred ==
+					// Shred+Unshred for nested-to-flat (paper: "the
+					// unshredding cost for flat outputs is zero").
+					eff := strat
+					if class == tpch.NestedToFlat && strat == runner.ShredUnshred {
+						eff = runner.Shred
+					}
+					res := runner.Run(runner.Job{Query: q, Env: env, Inputs: inputs}, eff, cfg)
+					c := cell{res: res}
+					fmt.Printf(" %7s|%-7s", c, c.shuffle())
+				}
+				fmt.Println()
+			}
+		}
+	}
+}
+
+// BenchmarkFig7aNarrow reproduces Figure 7a: the narrow-schema TPC-H grid.
+func BenchmarkFig7aNarrow(b *testing.B) { fig7(b, false) }
+
+// BenchmarkFig7bWide reproduces Figure 7b: the wide-schema TPC-H grid.
+func BenchmarkFig7bWide(b *testing.B) { fig7(b, true) }
+
+// BenchmarkFig8Skew reproduces Figure 8: the narrow nested-to-nested query
+// with two levels of nesting on increasingly skewed datasets (factors 0–4),
+// for the skew-unaware and skew-aware variants of each strategy.
+func BenchmarkFig8Skew(b *testing.B) {
+	strategies := []runner.Strategy{
+		runner.ShredUnshred, runner.Shred, runner.Standard,
+		runner.ShredUnshredSkew, runner.ShredSkew, runner.StandardSkew,
+		runner.SparkSQLStyle,
+	}
+	q := tpch.Query(tpch.NestedToNested, 2, false)
+	env := tpch.Env(tpch.NestedToNested, 2, false)
+
+	for n := 0; n < b.N; n++ {
+		fmt.Printf("\n%-6s", "skew")
+		for _, s := range strategies {
+			fmt.Printf(" %18s", s)
+		}
+		fmt.Println("   (ms runtime | KiB shuffled; F = FAIL)")
+		for factor := 0; factor <= 4; factor++ {
+			tables := tpch.Generate(tpchConfig(factor))
+			inputs := map[string]value.Bag{
+				"NDB":  tpch.BuildNested(tables, 2, true),
+				"Part": tables.Part,
+			}
+			cfg := benchConfig(inputBytes(inputs))
+			fmt.Printf("%-6d", factor)
+			for _, strat := range strategies {
+				res := runner.Run(runner.Job{Query: q, Env: env, Inputs: inputs}, strat, cfg)
+				c := cell{res: res}
+				fmt.Printf(" %9s|%-8s", c, c.shuffle())
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// BenchmarkFig9Biomed reproduces Figure 9: the five-step biomedical E2E
+// pipeline on the small and full datasets for SparkSQL/Standard/Shred. The
+// final output is flat, so no unshredding is involved.
+func BenchmarkFig9Biomed(b *testing.B) {
+	strategies := []runner.Strategy{runner.Shred, runner.Standard, runner.SparkSQLStyle}
+	datasets := []struct {
+		name string
+		cfg  biomed.Config
+	}{
+		{"small", scaleBiomed(biomed.SmallConfig())},
+		{"full", scaleBiomed(biomed.FullConfig())},
+	}
+	for n := 0; n < b.N; n++ {
+		for _, ds := range datasets {
+			inputs := biomed.Generate(ds.cfg)
+			cfg := benchConfig(inputBytes(inputs))
+			// Step 2's join blow-up is the paper's failure point: the cap is
+			// tighter relative to the input than in Fig. 7 because the
+			// intermediate (gene sets × network edges) dwarfs the input.
+			cfg.MaxPartitionBytes = inputBytes(inputs) / 2
+			fmt.Printf("\n%s dataset (%d KiB input): per-step ms, F = FAIL at that step\n",
+				ds.name, inputBytes(inputs)/1024)
+			for _, strat := range strategies {
+				res := runner.RunPipeline(biomed.Steps(), biomed.Env(), inputs, strat, cfg)
+				fmt.Printf("%-12s", strat)
+				for i, d := range res.StepElapsed {
+					if res.Failed() && i == res.FailedStep {
+						fmt.Printf("  step%d:      F", i+1)
+						continue
+					}
+					fmt.Printf("  step%d: %6.0f", i+1, float64(d.Microseconds())/1000)
+				}
+				if res.Failed() && res.FailedStep >= len(res.StepElapsed) {
+					fmt.Printf("  step%d:      F", res.FailedStep+1)
+				}
+				fmt.Printf("   shuffleKiB=%.1f\n", float64(res.Metrics.ShuffleBytes)/1024)
+			}
+		}
+	}
+}
+
+func scaleBiomed(c biomed.Config) biomed.Config {
+	c.Samples = scaled(c.Samples)
+	c.Genes = scaled(c.Genes)
+	return c
+}
+
+// BenchmarkAblationDomainElimination quantifies the Section 4 domain
+// elimination rules: the shredded route with and without them.
+func BenchmarkAblationDomainElimination(b *testing.B) {
+	tables := tpch.Generate(tpchConfig(0))
+	q := tpch.Query(tpch.NestedToNested, 2, false)
+	env := tpch.Env(tpch.NestedToNested, 2, false)
+	inputs := map[string]value.Bag{
+		"NDB":  tpch.BuildNested(tables, 2, true),
+		"Part": tables.Part,
+	}
+	for n := 0; n < b.N; n++ {
+		for _, de := range []bool{true, false} {
+			cfg := benchConfig(inputBytes(inputs))
+			cfg.MaxPartitionBytes = 0
+			cfg.DomainElimination = de
+			res := runner.Run(runner.Job{Query: q, Env: env, Inputs: inputs}, runner.Shred, cfg)
+			status := "ok"
+			if res.Failed() {
+				status = "FAIL: " + res.Err.Error()
+			}
+			fmt.Printf("domain-elimination=%-5t  %6.0f ms  shuffleKiB=%-8.1f %s\n",
+				de, float64(res.Elapsed.Microseconds())/1000,
+				float64(res.Metrics.ShuffleBytes)/1024, status)
+		}
+	}
+}
+
+// BenchmarkAblationGuarantees quantifies partitioning-guarantee reuse (the
+// mechanism the SparkSQL-style baseline lacks).
+func BenchmarkAblationGuarantees(b *testing.B) {
+	tables := tpch.Generate(tpchConfig(0))
+	q := tpch.Query(tpch.NestedToFlat, 2, false)
+	env := tpch.Env(tpch.NestedToFlat, 2, false)
+	inputs := map[string]value.Bag{
+		"NDB":  tpch.BuildNested(tables, 2, true),
+		"Part": tables.Part,
+	}
+	for n := 0; n < b.N; n++ {
+		for _, strat := range []runner.Strategy{runner.Standard, runner.SparkSQLStyle} {
+			cfg := benchConfig(inputBytes(inputs))
+			cfg.MaxPartitionBytes = 0
+			res := runner.Run(runner.Job{Query: q, Env: env, Inputs: inputs}, strat, cfg)
+			fmt.Printf("%-12s %6.0f ms  stages=%d skipped=%d shuffleKiB=%.1f\n",
+				strat, float64(res.Elapsed.Microseconds())/1000,
+				res.Metrics.Stages, res.Metrics.SkippedShuffles,
+				float64(res.Metrics.ShuffleBytes)/1024)
+		}
+	}
+}
+
+// BenchmarkShuffleTable prints the shuffle-ratio summary behind the paper's
+// headline claims (Section 6 bullets).
+func BenchmarkShuffleTable(b *testing.B) {
+	tables := tpch.Generate(tpchConfig(0))
+	for n := 0; n < b.N; n++ {
+		for _, row := range []struct {
+			name  string
+			class tpch.QueryClass
+			level int
+		}{
+			{"flat-to-nested L2", tpch.FlatToNested, 2},
+			{"nested-to-nested L2", tpch.NestedToNested, 2},
+			{"nested-to-flat L2", tpch.NestedToFlat, 2},
+		} {
+			q := tpch.Query(row.class, row.level, false)
+			env := tpch.Env(row.class, row.level, false)
+			inputs := map[string]value.Bag{}
+			if row.class == tpch.FlatToNested {
+				inputs = tables.Inputs()
+			} else {
+				inputs["NDB"] = tpch.BuildNested(tables, row.level, true)
+				inputs["Part"] = tables.Part
+			}
+			cfg := benchConfig(inputBytes(inputs))
+			cfg.MaxPartitionBytes = 0
+			std := runner.Run(runner.Job{Query: q, Env: env, Inputs: inputs}, runner.Standard, cfg)
+			shr := runner.Run(runner.Job{Query: q, Env: env, Inputs: inputs}, runner.Shred, cfg)
+			ratio := float64(std.Metrics.ShuffleBytes) / float64(max64(shr.Metrics.ShuffleBytes, 1))
+			fmt.Printf("%-22s standard=%8.1fKiB shred=%8.1fKiB ratio=%.1fx\n",
+				row.name, float64(std.Metrics.ShuffleBytes)/1024,
+				float64(shr.Metrics.ShuffleBytes)/1024, ratio)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkRunningExample measures the paper's Example 1 end to end under
+// every strategy (sanity series; also validates agreement on each run).
+func BenchmarkRunningExample(b *testing.B) {
+	tables := tpch.Generate(tpchConfig(0))
+	inputs := map[string]value.Bag{
+		"NDB":  tpch.BuildNested(tables, 2, true),
+		"Part": tables.Part,
+	}
+	q := tpch.Query(tpch.NestedToNested, 2, false)
+	env := tpch.Env(tpch.NestedToNested, 2, false)
+	cfg := benchConfig(inputBytes(inputs))
+	cfg.MaxPartitionBytes = 0
+	var expect value.Bag
+	for n := 0; n < b.N; n++ {
+		for _, strat := range []runner.Strategy{runner.Standard, runner.ShredUnshred} {
+			res := runner.Run(runner.Job{Query: q, Env: env, Inputs: inputs}, strat, cfg)
+			if res.Failed() {
+				b.Fatalf("%s failed: %v", strat, res.Err)
+			}
+			got := make(value.Bag, 0)
+			for _, r := range res.Output.Collect() {
+				got = append(got, value.Tuple(r))
+			}
+			if expect == nil {
+				if _, err := nrc.Check(q, env); err != nil {
+					b.Fatal(err)
+				}
+			} else if !value.Equal(got, expect) {
+				b.Fatalf("%s disagrees with previous strategy", strat)
+			}
+			expect = got
+		}
+		expect = nil
+	}
+}

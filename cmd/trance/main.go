@@ -1,0 +1,173 @@
+// Command trance is the CLI of the library: it prints the standard plan and
+// the shredded program of built-in benchmark queries and runs them under any
+// strategy.
+//
+// Usage:
+//
+//	trance explain  -class nested-to-nested -level 2
+//	trance run      -class nested-to-flat   -level 2 -strategy shred
+//	trance biomed   -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/trance-go/trance"
+	"github.com/trance-go/trance/internal/biomed"
+	"github.com/trance-go/trance/internal/runner"
+	"github.com/trance-go/trance/internal/tpch"
+	"github.com/trance-go/trance/internal/value"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "explain":
+		cmdExplain(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	case "biomed":
+		cmdBiomed(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  trance explain -class <class> -level <0-4> [-wide]
+  trance run     -class <class> -level <0-4> [-wide] -strategy <name> [-skew 0-4]
+  trance biomed  [-full] [-strategy <name>]
+
+classes:    flat-to-nested | nested-to-nested | nested-to-flat
+strategies: standard | sparksql | shred | shred+unshred | standard-skew | shred-skew`)
+	os.Exit(2)
+}
+
+func parseClass(s string) tpch.QueryClass {
+	switch s {
+	case "flat-to-nested":
+		return tpch.FlatToNested
+	case "nested-to-nested":
+		return tpch.NestedToNested
+	case "nested-to-flat":
+		return tpch.NestedToFlat
+	}
+	log.Fatalf("unknown class %q", s)
+	return 0
+}
+
+func parseStrategy(s string) runner.Strategy {
+	switch s {
+	case "standard":
+		return runner.Standard
+	case "sparksql":
+		return runner.SparkSQLStyle
+	case "shred":
+		return runner.Shred
+	case "shred+unshred":
+		return runner.ShredUnshred
+	case "standard-skew":
+		return runner.StandardSkew
+	case "shred-skew":
+		return runner.ShredSkew
+	case "shred+unshred-skew":
+		return runner.ShredUnshredSkew
+	}
+	log.Fatalf("unknown strategy %q", s)
+	return 0
+}
+
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	class := fs.String("class", "nested-to-nested", "query class")
+	level := fs.Int("level", 2, "nesting level")
+	wide := fs.Bool("wide", false, "wide variant")
+	_ = fs.Parse(args)
+
+	qc := parseClass(*class)
+	q := tpch.Query(qc, *level, *wide)
+	env := tpch.Env(qc, *level, *wide)
+
+	fmt.Println("=== NRC ===")
+	fmt.Println(trance.Print(q))
+	p, err := trance.ExplainStandard(q, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== standard plan ===")
+	fmt.Println(p)
+	sp, err := trance.ExplainShredded(q, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== shredded program ===")
+	fmt.Println(sp)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	class := fs.String("class", "nested-to-nested", "query class")
+	level := fs.Int("level", 2, "nesting level")
+	wide := fs.Bool("wide", false, "wide variant")
+	strategy := fs.String("strategy", "shred", "evaluation strategy")
+	skew := fs.Int("skew", 0, "skew factor")
+	customers := fs.Int("customers", 200, "customers to generate")
+	show := fs.Int("show", 5, "result rows to print")
+	_ = fs.Parse(args)
+
+	qc := parseClass(*class)
+	tables := tpch.Generate(tpch.Config{
+		Customers: *customers, OrdersPerCustomer: 6, LinesPerOrder: 4,
+		Parts: 100, SkewFactor: *skew, Seed: 1,
+	})
+	q := tpch.Query(qc, *level, *wide)
+	env := tpch.Env(qc, *level, *wide)
+	inputs := map[string]value.Bag{}
+	if qc == tpch.FlatToNested {
+		inputs = tables.Inputs()
+	} else {
+		inputs["NDB"] = tpch.BuildNested(tables, *level, true)
+		inputs["Part"] = tables.Part
+	}
+
+	res := runner.Run(runner.Job{Query: q, Env: env, Inputs: inputs},
+		parseStrategy(*strategy), trance.DefaultConfig())
+	if res.Failed() {
+		log.Fatalf("run failed: %v", res.Err)
+	}
+	fmt.Printf("%s: %v, rows=%d, %s\n", res.Strategy, res.Elapsed, res.Output.Count(), res.Metrics)
+	for i, row := range res.Output.CollectSorted() {
+		if i >= *show {
+			break
+		}
+		fmt.Println("  ", value.Format(value.Tuple(row)))
+	}
+}
+
+func cmdBiomed(args []string) {
+	fs := flag.NewFlagSet("biomed", flag.ExitOnError)
+	full := fs.Bool("full", false, "full dataset")
+	strategy := fs.String("strategy", "shred", "evaluation strategy")
+	_ = fs.Parse(args)
+
+	cfg := biomed.SmallConfig()
+	if *full {
+		cfg = biomed.FullConfig()
+	}
+	inputs := biomed.Generate(cfg)
+	res := runner.RunPipeline(biomed.Steps(), biomed.Env(), inputs,
+		parseStrategy(*strategy), trance.DefaultConfig())
+	for i, d := range res.StepElapsed {
+		fmt.Printf("step%d: %v\n", i+1, d)
+	}
+	if res.Failed() {
+		log.Fatalf("pipeline failed at step %d: %v", res.FailedStep+1, res.Err)
+	}
+	fmt.Printf("final rows=%d, %s\n", res.Output.Count(), res.Metrics)
+}

@@ -1,0 +1,86 @@
+// Command quickstart runs the paper's Example 1 (the COP/Part query) end to
+// end: it prints the query, the standard algebraic plan, the shredded flat
+// program, and the results of the standard and shredded+unshredded routes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/trance-go/trance"
+)
+
+func main() {
+	// The nested input COP: customers → orders → purchased parts.
+	opart := trance.Tup("pid", trance.IntT, "qty", trance.RealT)
+	corder := trance.Tup("odate", trance.DateT, "oparts", trance.BagOf(opart))
+	env := trance.Env{
+		"COP":  trance.BagOf(trance.Tup("cname", trance.StringT, "corders", trance.BagOf(corder))),
+		"Part": trance.BagOf(trance.Tup("pid", trance.IntT, "pname", trance.StringT, "price", trance.RealT)),
+	}
+
+	inputs := map[string]trance.Bag{
+		"COP": {
+			trance.Tuple{"alice", trance.Bag{
+				trance.Tuple{trance.MakeDate(2020, 1, 15), trance.Bag{
+					trance.Tuple{int64(1), 2.0}, trance.Tuple{int64(2), 4.0},
+				}},
+			}},
+			trance.Tuple{"bob", trance.Bag{}},
+		},
+		"Part": {
+			trance.Tuple{int64(1), "bolt", 2.0},
+			trance.Tuple{int64(2), "nut", 1.5},
+		},
+	}
+
+	// The running example: per customer and order, total spent per part name.
+	q := trance.ForIn("cop", trance.V("COP"),
+		trance.SingOf(trance.Record(
+			"cname", trance.P(trance.V("cop"), "cname"),
+			"corders", trance.ForIn("co", trance.P(trance.V("cop"), "corders"),
+				trance.SingOf(trance.Record(
+					"odate", trance.P(trance.V("co"), "odate"),
+					"oparts", trance.SumByOf(
+						trance.ForIn("op", trance.P(trance.V("co"), "oparts"),
+							trance.ForIn("p", trance.V("Part"),
+								trance.IfThen(
+									trance.EqOf(trance.P(trance.V("op"), "pid"), trance.P(trance.V("p"), "pid")),
+									trance.SingOf(trance.Record(
+										"pname", trance.P(trance.V("p"), "pname"),
+										"total", trance.MulOf(trance.P(trance.V("op"), "qty"), trance.P(trance.V("p"), "price")),
+									))))),
+						[]string{"pname"}, []string{"total"}),
+				))),
+		)))
+
+	fmt.Println("=== NRC query (paper Example 1) ===")
+	fmt.Println(trance.Print(q))
+
+	plan, err := trance.ExplainStandard(q, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Standard route: algebraic plan (paper Figure 3) ===")
+	fmt.Println(plan)
+
+	prog, err := trance.ExplainShredded(q, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Shredded route: materialized flat program (paper Example 6) ===")
+	fmt.Println(prog)
+
+	cfg := trance.DefaultConfig()
+	for _, strat := range []trance.Strategy{trance.Standard, trance.ShredUnshred} {
+		res := trance.Run(trance.Job{Query: q, Env: env, Inputs: inputs}, strat, cfg)
+		if res.Failed() {
+			log.Fatalf("%s failed: %v", strat, res.Err)
+		}
+		fmt.Printf("=== %s result (%v, %s) ===\n", strat, res.Elapsed, res.Metrics)
+		for _, row := range res.Output.CollectSorted() {
+			fmt.Println("  ", trance.FormatValue(trance.Tuple(row)))
+		}
+		fmt.Println()
+	}
+}

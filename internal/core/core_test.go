@@ -1,0 +1,171 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/trance-go/trance/internal/core"
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
+	"github.com/trance-go/trance/internal/testdata"
+)
+
+func compile(t *testing.T, q nrc.Expr, env nrc.Env) plan.Op {
+	t.Helper()
+	c, err := core.NewCompiler(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := c.Compile(q)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return op
+}
+
+// TestRunningExamplePlanShape checks the compiled plan against paper
+// Figure 3: two outer unnests, one outer join with Part, a sum nest, and two
+// structural bag nests.
+func TestRunningExamplePlanShape(t *testing.T) {
+	op := compile(t, testdata.RunningExample(), testdata.Env())
+	text := plan.Explain(op)
+	counts := map[string]int{}
+	var walk func(plan.Op)
+	walk = func(o plan.Op) {
+		switch x := o.(type) {
+		case *plan.Unnest:
+			if x.Outer {
+				counts["outer-unnest"]++
+			}
+		case *plan.Join:
+			if x.Outer {
+				counts["outer-join"]++
+			}
+		case *plan.Nest:
+			if x.Agg == plan.AggSum {
+				counts["sum-nest"]++
+			} else if x.Mode == plan.Structural {
+				counts["bag-nest"]++
+			}
+		}
+		for _, ch := range o.Children() {
+			walk(ch)
+		}
+	}
+	walk(op)
+	want := map[string]int{"outer-unnest": 2, "outer-join": 1, "sum-nest": 1, "bag-nest": 2}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Fatalf("plan shape: %s = %d, want %d\n%s", k, counts[k], v, text)
+		}
+	}
+}
+
+func TestJoinDetectionUsesEqualities(t *testing.T) {
+	// for l in L union for r in R union if l.k == r.k then {⟨a := l.k⟩}
+	env := nrc.Env{
+		"L": nrc.BagOf(nrc.Tup("k", nrc.IntT)),
+		"R": nrc.BagOf(nrc.Tup("k", nrc.IntT, "v", nrc.IntT)),
+	}
+	q := nrc.ForIn("l", nrc.V("L"),
+		nrc.ForIn("r", nrc.V("R"),
+			nrc.IfThen(nrc.EqOf(nrc.P(nrc.V("l"), "k"), nrc.P(nrc.V("r"), "k")),
+				nrc.SingOf(nrc.Record("a", nrc.P(nrc.V("l"), "k"))))))
+	op := compile(t, q, env)
+	found := false
+	var walk func(plan.Op)
+	walk = func(o plan.Op) {
+		if j, ok := o.(*plan.Join); ok {
+			if len(j.LCols) != 1 || len(j.RCols) != 1 {
+				t.Fatalf("expected single-key equi-join, got %v=%v", j.LCols, j.RCols)
+			}
+			found = true
+		}
+		for _, ch := range o.Children() {
+			walk(ch)
+		}
+	}
+	walk(op)
+	if !found {
+		t.Fatalf("no join in plan:\n%s", plan.Explain(op))
+	}
+}
+
+func TestCompositeKeyJoin(t *testing.T) {
+	env := nrc.Env{
+		"L": nrc.BagOf(nrc.Tup("a", nrc.IntT, "b", nrc.IntT)),
+		"R": nrc.BagOf(nrc.Tup("a", nrc.IntT, "b", nrc.IntT, "v", nrc.IntT)),
+	}
+	q := nrc.ForIn("l", nrc.V("L"),
+		nrc.ForIn("r", nrc.V("R"),
+			nrc.IfThen(nrc.AndOf(
+				nrc.EqOf(nrc.P(nrc.V("l"), "a"), nrc.P(nrc.V("r"), "a")),
+				nrc.EqOf(nrc.P(nrc.V("l"), "b"), nrc.P(nrc.V("r"), "b"))),
+				nrc.SingOf(nrc.Record("v", nrc.P(nrc.V("r"), "v"))))))
+	op := compile(t, q, env)
+	var joins []*plan.Join
+	var walk func(plan.Op)
+	walk = func(o plan.Op) {
+		if j, ok := o.(*plan.Join); ok {
+			joins = append(joins, j)
+		}
+		for _, ch := range o.Children() {
+			walk(ch)
+		}
+	}
+	walk(op)
+	if len(joins) != 1 || len(joins[0].LCols) != 2 {
+		t.Fatalf("conjunctive condition should form one composite-key join:\n%s", plan.Explain(op))
+	}
+}
+
+func TestUnsupportedConstructsReportErrors(t *testing.T) {
+	env := nrc.Env{"R": nrc.BagOf(nrc.Tup("k", nrc.IntT))}
+	c, err := core.NewCompiler(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union below the root is unsupported by the unnesting stage.
+	q := nrc.ForIn("x", nrc.V("R"),
+		nrc.SingOf(nrc.Record(
+			"k", nrc.P(nrc.V("x"), "k"),
+			"b", nrc.UnionOf(
+				nrc.SingOf(nrc.Record("v", nrc.C(1))),
+				nrc.SingOf(nrc.Record("v", nrc.C(2)))),
+		)))
+	if _, err := c.Compile(q); err == nil || !strings.Contains(err.Error(), "union below the root") {
+		t.Fatalf("expected unsupported-union error, got %v", err)
+	}
+}
+
+func TestCompileProgramThreadsSchemas(t *testing.T) {
+	env := nrc.Env{"R": nrc.BagOf(nrc.Tup("k", nrc.IntT))}
+	c, err := core.NewCompiler(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &nrc.Program{Stmts: []nrc.Assignment{
+		{Name: "A", Expr: nrc.ForIn("x", nrc.V("R"), nrc.SingOf(nrc.Record("k2", nrc.AddOf(nrc.P(nrc.V("x"), "k"), nrc.C(1)))))},
+		{Name: "B", Expr: nrc.ForIn("a", nrc.V("A"), nrc.SingOf(nrc.Record("k3", nrc.P(nrc.V("a"), "k2"))))},
+	}}
+	stmts, err := c.CompileProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 || stmts[1].Plan.Columns()[0].Name != "k3" {
+		t.Fatalf("program compilation wrong: %v", stmts)
+	}
+}
+
+func TestScanColumns(t *testing.T) {
+	cols, err := core.ScanColumns(testdata.COPType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[1].Name != "corders" {
+		t.Fatalf("scan columns: %v", cols)
+	}
+	if _, err := core.ScanColumns(nrc.IntT); err == nil {
+		t.Fatal("non-bag must be rejected")
+	}
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
+)
+
+// frame is the result of compiling a bag expression at a nested level: the
+// grown plan, the (possibly remapped) positions of the caller's grouping
+// prefix G and carried bag columns, the element columns of the compiled bag
+// with their NRC field names, and the presence columns used for phantom
+// detection (see plan.Nest).
+type frame struct {
+	op         plan.Op
+	g          []int
+	carry      []int
+	elems      []int
+	elemNames  []string
+	presence   []int
+	scalarElem bool
+}
+
+// fieldInfo records where a head field landed in the plan.
+type fieldInfo struct {
+	name  string
+	col   int
+	isBag bool
+}
+
+// compileHeadRoot finishes a root-level comprehension: it materializes the
+// head fields (entering nested levels for bag-valued fields) and emits the
+// final projection with the NULL-bag cast.
+func (q *qc) compileHeadRoot(head nrc.Expr) (plan.Op, error) {
+	if q.cur == nil {
+		return q.constantHead(head)
+	}
+	fields, err := q.compileHeadFields(head)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]plan.NamedExpr, len(fields))
+	cols := q.cols()
+	for i, f := range fields {
+		var e plan.Expr = &plan.Col{Idx: f.col, Name: f.name, Typ: cols[f.col].Type}
+		if f.isBag {
+			e = &plan.CastNullBag{E: e}
+		}
+		outs[i] = plan.NamedExpr{Name: f.name, Expr: e}
+	}
+	return &plan.Project{In: q.cur, Outs: outs, CastBags: true}, nil
+}
+
+// constantHead compiles a generator-free head (a constant singleton bag).
+func (q *qc) constantHead(head nrc.Expr) (plan.Op, error) {
+	fields, err := normalizeHead(head, q)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]plan.Column, len(fields))
+	row := make(plan.Row, len(fields))
+	for i, f := range fields {
+		pe, err := q.scalar(f.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("constant head: %w", err)
+		}
+		cols[i] = plan.Column{Name: f.Name, Type: pe.Type()}
+		row[i] = pe.Eval(nil)
+	}
+	return &plan.Values{Cols: cols, Rows: []plan.Row{row}}, nil
+}
+
+// compileHeadFields materializes every head field as a column of the current
+// plan. Scalar fields (and pure column references, including bag-typed paths)
+// extend the pipeline; bag-valued fields enter a new nesting level: the plan
+// is extended with a unique ID, the grouping set G becomes every flat column,
+// and each bag field is flattened with outer operators and regrouped with a
+// structural Γ⊎ (paper Section 3, Unnesting).
+func (q *qc) compileHeadFields(head nrc.Expr) ([]fieldInfo, error) {
+	nfs, err := normalizeHead(head, q)
+	if err != nil {
+		return nil, err
+	}
+
+	infos := make([]fieldInfo, len(nfs))
+	var bagIdx []int
+	var ext []plan.NamedExpr
+	extBase := q.width()
+	for i, f := range nfs {
+		_, isBag := f.Expr.Type().(nrc.BagType)
+		if isBag && !isColumnPath(f.Expr, q) {
+			infos[i] = fieldInfo{name: f.Name, col: -1, isBag: true}
+			bagIdx = append(bagIdx, i)
+			continue
+		}
+		pe, err := q.scalar(f.Expr)
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := pe.(*plan.Col); ok {
+			infos[i] = fieldInfo{name: f.Name, col: c.Idx, isBag: isBag}
+			continue
+		}
+		infos[i] = fieldInfo{name: f.Name, col: extBase + len(ext), isBag: isBag}
+		ext = append(ext, plan.NamedExpr{Name: f.Name, Expr: pe})
+	}
+	if len(ext) > 0 {
+		q.cur = &plan.Extend{In: q.cur, Exprs: ext}
+	}
+	if len(bagIdx) == 0 {
+		return infos, nil
+	}
+
+	// Entering nested levels: unique ID, then G := all flat columns and
+	// carries := all bag columns of the current plan.
+	q.cur = &plan.AddIndex{In: q.cur, Name: q.freshName("id")}
+	newG, newCarry := splitFlatBag(q.cols())
+
+	for _, fi := range bagIdx {
+		child := q.clone()
+		child.g = newG
+		child.carry = newCarry
+		child.level = q.level + 1
+		child.presence = nil
+		fr, err := child.compileNested(nfs[fi].Expr)
+		if err != nil {
+			return nil, fmt.Errorf("nested field %s: %w", nfs[fi].Name, err)
+		}
+		q.cur = &plan.Nest{
+			In: fr.op, GroupCols: fr.g, GDepth: len(fr.g),
+			CarryCols: fr.carry, ValueCols: fr.elems, PresenceCols: fr.presence,
+			Agg: plan.AggBag, Mode: plan.Structural,
+			OutName: nfs[fi].Name, ScalarElem: fr.scalarElem,
+		}
+
+		// The nest reordered columns to [G, carries, bag]; remap everything.
+		remap := map[int]int{}
+		for i, old := range newG {
+			remap[old] = i
+		}
+		for j, old := range newCarry {
+			remap[old] = len(newG) + j
+		}
+		bagCol := len(newG) + len(newCarry)
+		q.remapState(remap)
+		for i := range infos {
+			if infos[i].col >= 0 {
+				infos[i].col = remap[infos[i].col]
+			}
+		}
+		infos[fi].col = bagCol
+		newG, newCarry = splitFlatBag(q.cols())
+	}
+	return infos, nil
+}
+
+// compileNested flattens a bag expression into the current pipeline using
+// outer operators. See frame for the contract.
+func (q *qc) compileNested(e nrc.Expr) (frame, error) {
+	switch x := e.(type) {
+	case *nrc.Empty:
+		return q.nullFrame(x.ElemType)
+
+	case *nrc.SumBy:
+		fr, err := q.compileNested(x.E)
+		if err != nil {
+			return frame{}, err
+		}
+		return fr.explicitNest(q, x.Keys, x.Values, plan.AggSum, "")
+
+	case *nrc.GroupBy:
+		fr, err := q.compileNested(x.E)
+		if err != nil {
+			return frame{}, err
+		}
+		return fr.explicitNest(q, x.Keys, nil, plan.AggBag, x.GroupAs)
+
+	case *nrc.Union:
+		return frame{}, fmt.Errorf("core: bag union below the root is not supported by the unnesting stage")
+	case *nrc.Dedup:
+		return frame{}, fmt.Errorf("core: dedup below the root is not supported by the unnesting stage")
+	}
+
+	// Comprehension case.
+	steps, head, err := collect(e)
+	if err != nil {
+		return frame{}, err
+	}
+	savedPresence := q.presence
+	q.presence = nil
+	entry := q.width()
+	if err := q.processSteps(steps); err != nil {
+		return frame{}, err
+	}
+	_ = entry
+	if head == nil {
+		// Tail is itself a bag expression (e.g. a sumBy under the fors).
+		tail := tailOf(e, len(steps))
+		fr, err := q.compileNested(tail)
+		q.presence = savedPresence
+		return fr, err
+	}
+
+	fields, err := q.compileHeadFields(head)
+	if err != nil {
+		return frame{}, err
+	}
+	fr := frame{
+		op: q.cur, g: q.g, carry: q.carry,
+		presence: q.presence,
+	}
+	scalarElem := false
+	if _, isTuple := head.Type().(nrc.TupleType); !isTuple {
+		scalarElem = true
+	}
+	fr.scalarElem = scalarElem
+	for _, f := range fields {
+		fr.elems = append(fr.elems, f.col)
+		fr.elemNames = append(fr.elemNames, f.name)
+	}
+	q.presence = savedPresence
+	return fr, nil
+}
+
+// explicitNest applies a sumBy/groupBy at a nested level: Γ keyed by G plus
+// the aggregation keys, in explicit-nested mode (phantom groups become NULL
+// marker rows so the enclosing structural nest keeps outer tuples alive with
+// empty bags).
+func (fr frame) explicitNest(q *qc, keys, values []string, agg plan.AggKind, outName string) (frame, error) {
+	keyPos, err := fr.elemsByName(keys)
+	if err != nil {
+		return frame{}, err
+	}
+	var valPos []int
+	if agg == plan.AggSum {
+		valPos, err = fr.elemsByName(values)
+		if err != nil {
+			return frame{}, err
+		}
+	} else {
+		for i, c := range fr.elems {
+			if !intsContain(keyPos, c) {
+				valPos = append(valPos, fr.elems[i])
+			}
+		}
+	}
+
+	group := append(append([]int{}, fr.g...), keyPos...)
+	nest := &plan.Nest{
+		In: fr.op, GroupCols: group, GDepth: len(fr.g),
+		CarryCols: fr.carry, ValueCols: valPos, PresenceCols: fr.presence,
+		Agg: agg, Mode: plan.ExplicitNested, OutName: outName,
+	}
+
+	// Output layout: [g, keys] ++ carries ++ aggregates.
+	out := frame{op: nest}
+	for i := range fr.g {
+		out.g = append(out.g, i)
+	}
+	kBase := len(fr.g)
+	cBase := kBase + len(keyPos)
+	aBase := cBase + len(fr.carry)
+	for j := range fr.carry {
+		out.carry = append(out.carry, cBase+j)
+	}
+	for i, k := range keys {
+		out.elems = append(out.elems, kBase+i)
+		out.elemNames = append(out.elemNames, k)
+	}
+	if agg == plan.AggSum {
+		for i, v := range values {
+			out.elems = append(out.elems, aBase+i)
+			out.elemNames = append(out.elemNames, v)
+		}
+		out.presence = []int{aBase}
+	} else {
+		out.elems = append(out.elems, aBase)
+		out.elemNames = append(out.elemNames, outName)
+		out.presence = []int{aBase}
+	}
+	return out, nil
+}
+
+func (fr frame) elemsByName(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		found := -1
+		for j, en := range fr.elemNames {
+			if en == n {
+				found = fr.elems[j]
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("aggregation key/value %q not among element fields %v", n, fr.elemNames)
+		}
+		out[i] = found
+	}
+	return out, nil
+}
+
+// nullFrame compiles the empty bag at a nested level: NULL element columns
+// whose presence is never satisfied, so the structural nest produces empty
+// bags.
+func (q *qc) nullFrame(elemT nrc.Type) (frame, error) {
+	var ext []plan.NamedExpr
+	var names []string
+	scalarElem := false
+	if tt, ok := elemT.(nrc.TupleType); ok {
+		for _, f := range tt.Fields {
+			ext = append(ext, plan.NamedExpr{Name: f.Name, Expr: &plan.ConstE{Val: nil, Typ: f.Type}})
+			names = append(names, f.Name)
+		}
+	} else {
+		ext = append(ext, plan.NamedExpr{Name: "_value", Expr: &plan.ConstE{Val: nil, Typ: elemT}})
+		names = append(names, "_value")
+		scalarElem = true
+	}
+	base := q.width()
+	q.cur = &plan.Extend{In: q.cur, Exprs: ext}
+	fr := frame{op: q.cur, g: q.g, carry: q.carry, scalarElem: scalarElem, elemNames: names}
+	for i := range ext {
+		fr.elems = append(fr.elems, base+i)
+	}
+	fr.presence = []int{base}
+	return fr, nil
+}
+
+// remapState rewrites every column position in the compile state through the
+// given map (applied after a structural nest reorders columns).
+func (q *qc) remapState(remap map[int]int) {
+	mapSlice := func(xs []int) []int {
+		out := make([]int, len(xs))
+		for i, x := range xs {
+			n, ok := remap[x]
+			if !ok {
+				panic(fmt.Sprintf("core: column %d lost during nesting", x))
+			}
+			out[i] = n
+		}
+		return out
+	}
+	q.g = mapSlice(q.g)
+	q.carry = mapSlice(q.carry)
+	q.presence = mapSlice(q.presence)
+	for name, b := range q.env {
+		if b.isTuple {
+			cols := make(map[string]int, len(b.cols))
+			ok := true
+			for f, c := range b.cols {
+				n, has := remap[c]
+				if !has {
+					ok = false
+					break
+				}
+				cols[f] = n
+			}
+			if !ok {
+				delete(q.env, name) // variable's columns did not survive the nest
+				continue
+			}
+			q.env[name] = binding{isTuple: true, cols: cols, typ: b.typ}
+			continue
+		}
+		if n, has := remap[b.col]; has {
+			q.env[name] = binding{col: n, typ: b.typ}
+		} else {
+			delete(q.env, name)
+		}
+	}
+}
+
+// tailOf re-walks e past n steps to the non-singleton tail.
+func tailOf(e nrc.Expr, n int) nrc.Expr {
+	for i := 0; i < n; i++ {
+		switch x := e.(type) {
+		case *nrc.For:
+			e = x.Body
+		case *nrc.If:
+			e = x.Then
+		case *nrc.MatchLabel:
+			e = x.Body
+		}
+	}
+	return e
+}
+
+// normalizeHead turns the head expression into a list of named fields: tuple
+// constructors map directly; tuple-typed variables expand to projections; any
+// other element type becomes the single implicit field "_value".
+func normalizeHead(head nrc.Expr, q *qc) ([]nrc.NamedExpr, error) {
+	switch x := head.(type) {
+	case *nrc.TupleCtor:
+		return x.Fields, nil
+	case *nrc.Var:
+		if tt, ok := x.Type().(nrc.TupleType); ok {
+			out := make([]nrc.NamedExpr, len(tt.Fields))
+			for i, f := range tt.Fields {
+				p := &nrc.Proj{Tuple: x, Field: f.Name}
+				nrc.SetType(p, f.Type)
+				out[i] = nrc.NamedExpr{Name: f.Name, Expr: p}
+			}
+			return out, nil
+		}
+	}
+	if _, isTuple := head.Type().(nrc.TupleType); isTuple {
+		return nil, fmt.Errorf("core: unsupported tuple-valued head %T", head)
+	}
+	return []nrc.NamedExpr{{Name: "_value", Expr: head}}, nil
+}
+
+// isColumnPath reports whether e resolves to an existing column (variable or
+// single projection) under the current bindings.
+func isColumnPath(e nrc.Expr, q *qc) bool {
+	switch x := e.(type) {
+	case *nrc.Var:
+		b, ok := q.env[x.Name]
+		return ok && !b.isTuple
+	case *nrc.Proj:
+		base, ok := x.Tuple.(*nrc.Var)
+		if !ok {
+			return false
+		}
+		b, bound := q.env[base.Name]
+		if !bound || !b.isTuple {
+			return false
+		}
+		_, has := b.cols[x.Field]
+		return has
+	}
+	return false
+}
+
+func splitFlatBag(cols []plan.Column) (flat, bag []int) {
+	for i, c := range cols {
+		if _, isBag := c.Type.(nrc.BagType); isBag {
+			bag = append(bag, i)
+		} else {
+			flat = append(flat, i)
+		}
+	}
+	return
+}

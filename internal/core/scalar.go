@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
+)
+
+// scalar compiles a scalar (or column-carried bag) NRC expression into a plan
+// expression over the current row layout.
+func (q *qc) scalar(e nrc.Expr) (plan.Expr, error) {
+	switch x := e.(type) {
+	case *nrc.Const:
+		return &plan.ConstE{Val: x.Val, Typ: x.Type()}, nil
+
+	case *nrc.Var:
+		b, ok := q.env[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: unbound variable %q in scalar position", x.Name)
+		}
+		if !b.isTuple {
+			return &plan.Col{Idx: b.col, Name: x.Name, Typ: b.typ}, nil
+		}
+		// Tuple-typed variable in scalar position (e.g. captured by a label):
+		// rebuild the tuple from its columns.
+		tt := b.typ.(nrc.TupleType)
+		names := make([]string, len(tt.Fields))
+		exprs := make([]plan.Expr, len(tt.Fields))
+		for i, f := range tt.Fields {
+			names[i] = f.Name
+			exprs[i] = &plan.Col{Idx: b.cols[f.Name], Name: f.Name, Typ: f.Type}
+		}
+		return &plan.MkTuple{Names: names, Exprs: exprs}, nil
+
+	case *nrc.Proj:
+		base, ok := x.Tuple.(*nrc.Var)
+		if !ok {
+			return nil, fmt.Errorf("core: projection base must be a variable, got %T", x.Tuple)
+		}
+		b, bound := q.env[base.Name]
+		if !bound {
+			return nil, fmt.Errorf("core: unbound variable %q", base.Name)
+		}
+		if !b.isTuple {
+			return nil, fmt.Errorf("core: projection .%s on non-tuple variable %q", x.Field, base.Name)
+		}
+		col, has := b.cols[x.Field]
+		if !has {
+			return nil, fmt.Errorf("core: variable %q has no field %q", base.Name, x.Field)
+		}
+		return &plan.Col{Idx: col, Name: base.Name + "." + x.Field, Typ: x.Type()}, nil
+
+	case *nrc.Cmp:
+		l, err := q.scalar(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := q.scalar(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.CmpE{Op: x.Op, L: l, R: r}, nil
+
+	case *nrc.Arith:
+		l, err := q.scalar(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := q.scalar(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.ArithE{Op: x.Op, L: l, R: r, Typ: x.Type()}, nil
+
+	case *nrc.Not:
+		inner, err := q.scalar(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.NotE{E: inner}, nil
+
+	case *nrc.BoolBin:
+		l, err := q.scalar(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := q.scalar(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.BoolE{And: x.And, L: l, R: r}, nil
+
+	case *nrc.NewLabel:
+		args := make([]plan.Expr, len(x.Capture))
+		for i, cap := range x.Capture {
+			a, err := q.scalar(cap.Expr)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = a
+		}
+		return &plan.MkLabel{Site: x.Site, Args: args}, nil
+
+	case *nrc.TupleCtor:
+		names := make([]string, len(x.Fields))
+		exprs := make([]plan.Expr, len(x.Fields))
+		for i, f := range x.Fields {
+			sub, err := q.scalar(f.Expr)
+			if err != nil {
+				return nil, err
+			}
+			names[i] = f.Name
+			exprs[i] = sub
+		}
+		return &plan.MkTuple{Names: names, Exprs: exprs}, nil
+	}
+	return nil, fmt.Errorf("core: expression %T is not scalar-compilable", e)
+}

@@ -1,0 +1,158 @@
+// Package dataflow is the distributed-processing substrate of this
+// repository: an in-process, multi-partition bulk dataflow engine that plays
+// the role Apache Spark plays in the paper.
+//
+// A Dataset is a collection of rows split into partitions. Operators process
+// partitions in parallel (one goroutine per partition). Key-based
+// repartitioning is an explicit shuffle; the engine meters every row that
+// crosses the shuffle boundary (bytes and records), tracks peak partition
+// sizes, and enforces an optional per-partition memory cap that emulates the
+// executor out-of-memory failures reported as "F = FAIL" in the paper's
+// figures. Datasets carry partitioning guarantees so that co-partitioned
+// inputs skip shuffles, exactly as Spark's partitioner-aware planning does
+// (paper Section 3, "Operators effect the partitioning guarantee").
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Row is a flat engine tuple. Columns may hold nested bags: the standard
+// compilation route carries inner collections through the pipeline the same
+// way Spark Datasets do.
+type Row = value.Tuple
+
+// ErrMemoryExceeded reports that some partition outgrew the configured
+// per-partition memory cap — the simulator's equivalent of a Spark executor
+// crashing with memory saturation.
+var ErrMemoryExceeded = errors.New("dataflow: partition memory cap exceeded (worker crash)")
+
+// Context configures and instruments an engine run.
+type Context struct {
+	// Parallelism is the number of partitions used by shuffles. It plays the
+	// role of the paper's "1000 partitions used for shuffling data".
+	Parallelism int
+	// MaxPartitionBytes caps the estimated size of any single materialized
+	// partition; 0 disables the cap. Exceeding it fails the job with
+	// ErrMemoryExceeded.
+	MaxPartitionBytes int64
+	// BroadcastLimit is the maximum estimated size of a dataset the engine
+	// will broadcast instead of shuffling (the paper defers to Spark's 10MB
+	// auto-broadcast threshold).
+	BroadcastLimit int64
+	// SampleSeed seeds the deterministic per-partition sampling used by the
+	// skew detector.
+	SampleSeed int64
+	// DisableGuarantees makes every RepartitionBy shuffle even when the
+	// partitioning guarantee already holds. The SparkSQL-style baseline uses
+	// it to model plans that keep operators with their source relations and
+	// re-exchange data at every key-based step.
+	DisableGuarantees bool
+
+	Metrics Metrics
+}
+
+// NewContext returns a context with the given parallelism and no memory cap.
+func NewContext(parallelism int) *Context {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	return &Context{Parallelism: parallelism, BroadcastLimit: 10 << 20, SampleSeed: 42}
+}
+
+// Metrics accumulates engine counters for one run. All fields are updated
+// atomically; read them after the job completes.
+type Metrics struct {
+	ShuffleBytes    atomic.Int64 // bytes of rows written across a shuffle boundary
+	ShuffleRecords  atomic.Int64 // rows written across a shuffle boundary
+	BroadcastBytes  atomic.Int64 // bytes replicated to every partition by broadcasts
+	PeakPartition   atomic.Int64 // largest materialized partition observed
+	Stages          atomic.Int64 // shuffle stages executed
+	SkippedShuffles atomic.Int64 // shuffles avoided thanks to partitioning guarantees
+}
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() {
+	m.ShuffleBytes.Store(0)
+	m.ShuffleRecords.Store(0)
+	m.BroadcastBytes.Store(0)
+	m.PeakPartition.Store(0)
+	m.Stages.Store(0)
+	m.SkippedShuffles.Store(0)
+}
+
+// Snapshot is a plain-struct copy of Metrics, convenient for reporting.
+type Snapshot struct {
+	ShuffleBytes    int64
+	ShuffleRecords  int64
+	BroadcastBytes  int64
+	PeakPartition   int64
+	Stages          int64
+	SkippedShuffles int64
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		ShuffleBytes:    m.ShuffleBytes.Load(),
+		ShuffleRecords:  m.ShuffleRecords.Load(),
+		BroadcastBytes:  m.BroadcastBytes.Load(),
+		PeakPartition:   m.PeakPartition.Load(),
+		Stages:          m.Stages.Load(),
+		SkippedShuffles: m.SkippedShuffles.Load(),
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("shuffle=%dB/%drec broadcast=%dB peakPart=%dB stages=%d skipped=%d",
+		s.ShuffleBytes, s.ShuffleRecords, s.BroadcastBytes, s.PeakPartition, s.Stages, s.SkippedShuffles)
+}
+
+// runParts invokes fn for every partition index in parallel and returns the
+// first error.
+func runParts(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return fn(0)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// checkPartitions records peak partition sizes and enforces the memory cap.
+func (c *Context) checkPartitions(stage string, parts [][]Row) error {
+	var failed atomic.Bool
+	_ = runParts(len(parts), func(i int) error {
+		sz := value.SizeRows(parts[i])
+		for {
+			cur := c.Metrics.PeakPartition.Load()
+			if sz <= cur || c.Metrics.PeakPartition.CompareAndSwap(cur, sz) {
+				break
+			}
+		}
+		if c.MaxPartitionBytes > 0 && sz > c.MaxPartitionBytes {
+			failed.Store(true)
+		}
+		return nil
+	})
+	if failed.Load() {
+		return fmt.Errorf("stage %s: %w", stage, ErrMemoryExceeded)
+	}
+	return nil
+}

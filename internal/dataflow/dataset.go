@@ -1,0 +1,233 @@
+package dataflow
+
+import (
+	"sort"
+
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Partitioner records a key-based partitioning guarantee: all rows whose
+// composite key over Cols is equal live in the same partition.
+type Partitioner struct {
+	Cols []int
+}
+
+// equal reports whether two guarantees are the same column sequence.
+func (p *Partitioner) equal(o *Partitioner) bool {
+	if p == nil || o == nil {
+		return false
+	}
+	if len(p.Cols) != len(o.Cols) {
+		return false
+	}
+	for i := range p.Cols {
+		if p.Cols[i] != o.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dataset is a partitioned, immutable collection of rows bound to a Context.
+type Dataset struct {
+	ctx         *Context
+	parts       [][]Row
+	partitioner *Partitioner
+}
+
+// FromRows distributes rows round-robin over Parallelism partitions. Inputs
+// that have not been altered by an operator carry no partitioning guarantee
+// (paper Section 3).
+func (c *Context) FromRows(rows []Row) *Dataset {
+	n := c.Parallelism
+	parts := make([][]Row, n)
+	per := (len(rows) + n - 1) / n
+	for i := range parts {
+		lo := i * per
+		hi := lo + per
+		if lo > len(rows) {
+			lo = len(rows)
+		}
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		parts[i] = rows[lo:hi]
+	}
+	return &Dataset{ctx: c, parts: parts}
+}
+
+// FromPartitions wraps pre-partitioned rows; used by tests and by operators.
+func (c *Context) FromPartitions(parts [][]Row) *Dataset {
+	return &Dataset{ctx: c, parts: parts}
+}
+
+// Context returns the engine context the dataset is bound to.
+func (d *Dataset) Context() *Context { return d.ctx }
+
+// NumPartitions returns the partition count.
+func (d *Dataset) NumPartitions() int { return len(d.parts) }
+
+// Partitioner returns the current partitioning guarantee, or nil.
+func (d *Dataset) Partitioner() *Partitioner { return d.partitioner }
+
+// Count returns the total number of rows.
+func (d *Dataset) Count() int64 {
+	var n int64
+	for _, p := range d.parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// SizeBytes estimates the total materialized size.
+func (d *Dataset) SizeBytes() int64 {
+	var s int64
+	for _, p := range d.parts {
+		s += value.SizeRows(p)
+	}
+	return s
+}
+
+// Collect gathers all rows into one slice (driver-side action).
+func (d *Dataset) Collect() []Row {
+	out := make([]Row, 0, d.Count())
+	for _, p := range d.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// CollectSorted gathers all rows in the deterministic value order, for tests
+// and reproducible output.
+func (d *Dataset) CollectSorted() []Row {
+	rows := d.Collect()
+	sort.Slice(rows, func(i, j int) bool {
+		return value.Compare(value.Tuple(rows[i]), value.Tuple(rows[j])) < 0
+	})
+	return rows
+}
+
+// Map applies fn to every row. Narrow (no shuffle); preserves partitioning
+// only if the caller says key columns survive — use MapPreserving for that.
+func (d *Dataset) Map(fn func(Row) Row) *Dataset {
+	out := d.mapPartitions(func(rows []Row) []Row {
+		res := make([]Row, len(rows))
+		for i, r := range rows {
+			res[i] = fn(r)
+		}
+		return res
+	})
+	return out
+}
+
+// MapPreserving is Map for transformations that leave the key columns of the
+// current partitioning guarantee intact at the same positions, so the
+// guarantee survives (e.g. value-side projections of a dictionary).
+func (d *Dataset) MapPreserving(fn func(Row) Row) *Dataset {
+	out := d.Map(fn)
+	out.partitioner = d.partitioner
+	return out
+}
+
+// Filter keeps rows satisfying pred. Preserves the partitioning guarantee.
+func (d *Dataset) Filter(pred func(Row) bool) *Dataset {
+	out := d.mapPartitions(func(rows []Row) []Row {
+		res := make([]Row, 0, len(rows))
+		for _, r := range rows {
+			if pred(r) {
+				res = append(res, r)
+			}
+		}
+		return res
+	})
+	out.partitioner = d.partitioner
+	return out
+}
+
+// FlatMap expands every row to zero or more rows. Drops the guarantee.
+func (d *Dataset) FlatMap(fn func(Row) []Row) *Dataset {
+	return d.mapPartitions(func(rows []Row) []Row {
+		var res []Row
+		for _, r := range rows {
+			res = append(res, fn(r)...)
+		}
+		return res
+	})
+}
+
+// FlatMapPreserving is FlatMap keeping the partitioning guarantee; the caller
+// asserts key columns survive in place (e.g. unnesting a dictionary value bag
+// while keeping the label column).
+func (d *Dataset) FlatMapPreserving(fn func(Row) []Row) *Dataset {
+	out := d.FlatMap(fn)
+	out.partitioner = d.partitioner
+	return out
+}
+
+// mapPartitions applies fn to each partition in parallel.
+func (d *Dataset) mapPartitions(fn func([]Row) []Row) *Dataset {
+	parts := make([][]Row, len(d.parts))
+	_ = runParts(len(d.parts), func(i int) error {
+		parts[i] = fn(d.parts[i])
+		return nil
+	})
+	return &Dataset{ctx: d.ctx, parts: parts}
+}
+
+// Union concatenates two datasets partition-wise (no shuffle, guarantee
+// dropped — Spark's union likewise drops the partitioner).
+func (d *Dataset) Union(o *Dataset) *Dataset {
+	n := len(d.parts)
+	if len(o.parts) > n {
+		n = len(o.parts)
+	}
+	parts := make([][]Row, n)
+	for i := 0; i < n; i++ {
+		var p []Row
+		if i < len(d.parts) {
+			p = append(p, d.parts[i]...)
+		}
+		if i < len(o.parts) {
+			p = append(p, o.parts[i]...)
+		}
+		parts[i] = p
+	}
+	return &Dataset{ctx: d.ctx, parts: parts}
+}
+
+// AddUniqueID appends a new column holding an ID unique across the dataset,
+// without any shuffle: IDs combine the partition index and a per-partition
+// sequence number. This implements the unique-ID insertion performed by the
+// outer-unnest operator of the paper.
+func (d *Dataset) AddUniqueID() *Dataset {
+	parts := make([][]Row, len(d.parts))
+	_ = runParts(len(d.parts), func(i int) error {
+		src := d.parts[i]
+		res := make([]Row, len(src))
+		base := int64(i) << 40
+		for j, r := range src {
+			nr := make(Row, len(r)+1)
+			copy(nr, r)
+			nr[len(r)] = base | int64(j)
+			res[j] = nr
+		}
+		parts[i] = res
+		return nil
+	})
+	out := &Dataset{ctx: d.ctx, parts: parts}
+	out.partitioner = d.partitioner
+	return out
+}
+
+// Empty returns an empty dataset with the context's parallelism.
+func (c *Context) Empty() *Dataset {
+	return &Dataset{ctx: c, parts: make([][]Row, c.Parallelism)}
+}
+
+// CheckMemory enforces the per-partition memory cap on the dataset's current
+// partitions, recording the peak. Operators that materially expand data in
+// place (flattening a nested collection) call it to model worker memory
+// pressure outside shuffle boundaries.
+func (d *Dataset) CheckMemory(stage string) error {
+	return d.ctx.checkPartitions(stage, d.parts)
+}

@@ -1,0 +1,64 @@
+package dataflow
+
+import (
+	"github.com/trance-go/trance/internal/value"
+)
+
+// GroupReduce hash-partitions by the key columns (skipping the shuffle when
+// the guarantee already holds) and applies reduce to every key group. The
+// groups slice passed to reduce contains all rows sharing the composite key;
+// rows keep their original layout. The result carries no guarantee; callers
+// that keep key columns in place can reinstate it with WithPartitioner.
+func (d *Dataset) GroupReduce(stage string, cols []int, reduce func(rows []Row) []Row) (*Dataset, error) {
+	sh, err := d.RepartitionBy(stage, cols)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]Row, len(sh.parts))
+	_ = runParts(len(sh.parts), func(i int) error {
+		groups := make(map[string][]Row)
+		order := make([]string, 0, 64)
+		for _, r := range sh.parts[i] {
+			k := value.KeyCols(r, cols)
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], r)
+		}
+		var out []Row
+		for _, k := range order {
+			out = append(out, reduce(groups[k])...)
+		}
+		parts[i] = out
+		return nil
+	})
+	if err := d.ctx.checkPartitions(stage+"/reduce", parts); err != nil {
+		return nil, err
+	}
+	return &Dataset{ctx: d.ctx, parts: parts}, nil
+}
+
+// WithPartitioner asserts a partitioning guarantee on the dataset. It is the
+// caller's responsibility that the assertion holds (used by executor
+// operators whose output provably keeps key co-location).
+func (d *Dataset) WithPartitioner(cols []int) *Dataset {
+	d.partitioner = &Partitioner{Cols: cols}
+	return d
+}
+
+// Distinct removes duplicate rows (whole-row key). Implements the paper's
+// dedup over flat bags: one shuffle, then per-partition elimination.
+func (d *Dataset) Distinct(stage string) (*Dataset, error) {
+	width := 0
+	for _, p := range d.parts {
+		if len(p) > 0 {
+			width = len(p[0])
+			break
+		}
+	}
+	cols := make([]int, width)
+	for i := range cols {
+		cols[i] = i
+	}
+	return d.GroupReduce(stage, cols, func(rows []Row) []Row { return rows[:1] })
+}

@@ -1,0 +1,157 @@
+package dataflow
+
+import (
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Join performs an equi-join with d as the left input. Both sides are
+// hash-partitioned on their key columns (shuffles are skipped for sides whose
+// partitioning guarantee already matches), then joined per partition with a
+// build-probe hash join. Output rows are left ++ right. With leftOuter set,
+// unmatched left rows survive padded with rightWidth NULL columns — the NULL
+// machinery the Γ operators later cast away.
+//
+// Rows whose key contains a NULL never match (SQL semantics); under
+// leftOuter they are preserved with NULL padding.
+func (d *Dataset) Join(stage string, right *Dataset, lcols, rcols []int, rightWidth int, leftOuter bool) (*Dataset, error) {
+	ls, err := d.RepartitionBy(stage+"/L", lcols)
+	if err != nil {
+		return nil, err
+	}
+	// Right must land on the same partition for equal keys: hash the key
+	// values, not positions. RepartitionBy hashes column values, so equal
+	// keys on both sides collide iff their value encodings match.
+	rs, err := right.RepartitionBy(stage+"/R", rcols)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]Row, len(ls.parts))
+	_ = runParts(len(ls.parts), func(i int) error {
+		var rrows []Row
+		if i < len(rs.parts) {
+			rrows = rs.parts[i]
+		}
+		parts[i] = hashJoinPartition(ls.parts[i], rrows, lcols, rcols, rightWidth, leftOuter)
+		return nil
+	})
+	if err := d.ctx.checkPartitions(stage+"/out", parts); err != nil {
+		return nil, err
+	}
+	out := &Dataset{ctx: d.ctx, parts: parts}
+	out.partitioner = &Partitioner{Cols: lcols}
+	return out, nil
+}
+
+// BroadcastJoin replicates the right side to every partition of the left and
+// joins locally: no shuffle of the left at all. The broadcast volume is
+// metered separately from shuffle (Spark likewise reports it apart). The
+// left's partitioning guarantee is preserved — the property the skew-aware
+// join of paper Figure 6 relies on to leave heavy keys where they are.
+func (d *Dataset) BroadcastJoin(stage string, right *Dataset, lcols, rcols []int, rightWidth int, leftOuter bool) (*Dataset, error) {
+	rrows := right.Collect()
+	d.ctx.Metrics.BroadcastBytes.Add(value.SizeRows(rrows) * int64(d.ctx.Parallelism))
+	parts := make([][]Row, len(d.parts))
+	_ = runParts(len(d.parts), func(i int) error {
+		parts[i] = hashJoinPartition(d.parts[i], rrows, lcols, rcols, rightWidth, leftOuter)
+		return nil
+	})
+	if err := d.ctx.checkPartitions(stage+"/out", parts); err != nil {
+		return nil, err
+	}
+	out := &Dataset{ctx: d.ctx, parts: parts}
+	out.partitioner = d.partitioner
+	return out, nil
+}
+
+func hashJoinPartition(left, right []Row, lcols, rcols []int, rightWidth int, leftOuter bool) []Row {
+	build := make(map[string][]Row, len(right))
+	for _, r := range right {
+		if anyNullCols(r, rcols) {
+			continue
+		}
+		k := value.KeyCols(r, rcols)
+		build[k] = append(build[k], r)
+	}
+	var out []Row
+	for _, l := range left {
+		var matches []Row
+		if !anyNullCols(l, lcols) {
+			matches = build[value.KeyCols(l, lcols)]
+		}
+		if len(matches) == 0 {
+			if leftOuter {
+				out = append(out, padRight(l, rightWidth))
+			}
+			continue
+		}
+		for _, r := range matches {
+			nr := make(Row, len(l)+len(r))
+			copy(nr, l)
+			copy(nr[len(l):], r)
+			out = append(out, nr)
+		}
+	}
+	return out
+}
+
+func anyNullCols(r Row, cols []int) bool {
+	for _, c := range cols {
+		if r[c] == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func padRight(l Row, rightWidth int) Row {
+	nr := make(Row, len(l)+rightWidth)
+	copy(nr, l)
+	return nr
+}
+
+// CoGroup shuffles both sides on their keys and invokes fn once per distinct
+// key with all left and right rows carrying it. It is the engine primitive
+// behind the paper's join+nest → cogroup fusion (Section 3, Optimization):
+// grouping happens during the join, avoiding a separate regrouping shuffle.
+func (d *Dataset) CoGroup(stage string, right *Dataset, lcols, rcols []int, fn func(lrows, rrows []Row) []Row) (*Dataset, error) {
+	ls, err := d.RepartitionBy(stage+"/L", lcols)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := right.RepartitionBy(stage+"/R", rcols)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([][]Row, len(ls.parts))
+	_ = runParts(len(ls.parts), func(i int) error {
+		lgroups := make(map[string][]Row)
+		order := make([]string, 0, 64)
+		for _, r := range ls.parts[i] {
+			k := value.KeyCols(r, lcols)
+			if _, ok := lgroups[k]; !ok {
+				order = append(order, k)
+			}
+			lgroups[k] = append(lgroups[k], r)
+		}
+		rgroups := make(map[string][]Row)
+		if i < len(rs.parts) {
+			for _, r := range rs.parts[i] {
+				if anyNullCols(r, rcols) {
+					continue
+				}
+				rgroups[value.KeyCols(r, rcols)] = append(rgroups[value.KeyCols(r, rcols)], r)
+			}
+		}
+		var out []Row
+		for _, k := range order {
+			out = append(out, fn(lgroups[k], rgroups[k])...)
+		}
+		parts[i] = out
+		return nil
+	})
+	if err := d.ctx.checkPartitions(stage+"/out", parts); err != nil {
+		return nil, err
+	}
+	out := &Dataset{ctx: d.ctx, parts: parts}
+	return out, nil
+}

@@ -1,0 +1,30 @@
+package dataflow
+
+import (
+	"math/rand"
+)
+
+// SamplePartitions draws a deterministic pseudo-random sample of up to n rows
+// from every partition and hands each sample, with its partition index, to
+// visit. The skew detector of Section 5 uses it to estimate per-partition key
+// frequencies without a full pass being charged as a shuffle.
+func (d *Dataset) SamplePartitions(n int, visit func(part int, sample []Row)) {
+	_ = runParts(len(d.parts), func(i int) error {
+		rows := d.parts[i]
+		if len(rows) <= n {
+			visit(i, rows)
+			return nil
+		}
+		rng := rand.New(rand.NewSource(d.ctx.SampleSeed + int64(i)))
+		sample := make([]Row, n)
+		// Reservoir sampling keeps the draw uniform and single-pass.
+		copy(sample, rows[:n])
+		for j := n; j < len(rows); j++ {
+			if k := rng.Intn(j + 1); k < n {
+				sample[k] = rows[j]
+			}
+		}
+		visit(i, sample)
+		return nil
+	})
+}

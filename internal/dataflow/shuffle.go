@@ -1,0 +1,78 @@
+package dataflow
+
+import (
+	"github.com/trance-go/trance/internal/value"
+)
+
+// RepartitionBy hash-partitions the dataset on the given key columns. If the
+// dataset already carries an identical partitioning guarantee the shuffle is
+// skipped entirely — this is how partitioning guarantees cut data movement
+// (paper Section 3). Every row moved through the shuffle is metered.
+func (d *Dataset) RepartitionBy(stage string, cols []int) (*Dataset, error) {
+	want := &Partitioner{Cols: cols}
+	if !d.ctx.DisableGuarantees && d.partitioner.equal(want) && len(d.parts) == d.ctx.Parallelism {
+		d.ctx.Metrics.SkippedShuffles.Add(1)
+		return d, nil
+	}
+	out, err := d.shuffle(stage, func(r Row) uint64 { return value.HashCols(r, cols) })
+	if err != nil {
+		return nil, err
+	}
+	out.partitioner = want
+	return out, nil
+}
+
+// shuffle redistributes rows into Parallelism partitions by the given hash
+// function, metering every row written across the boundary.
+func (d *Dataset) shuffle(stage string, hash func(Row) uint64) (*Dataset, error) {
+	c := d.ctx
+	p := c.Parallelism
+	c.Metrics.Stages.Add(1)
+
+	// Map side: each source partition writes P buckets.
+	buckets := make([][][]Row, len(d.parts))
+	_ = runParts(len(d.parts), func(i int) error {
+		local := make([][]Row, p)
+		var bytes, recs int64
+		for _, r := range d.parts[i] {
+			t := int(hash(r) % uint64(p))
+			local[t] = append(local[t], r)
+			bytes += value.Size(r)
+			recs++
+		}
+		buckets[i] = local
+		c.Metrics.ShuffleBytes.Add(bytes)
+		c.Metrics.ShuffleRecords.Add(recs)
+		return nil
+	})
+
+	// Reduce side: each target partition concatenates its buckets.
+	parts := make([][]Row, p)
+	_ = runParts(p, func(t int) error {
+		var n int
+		for i := range buckets {
+			n += len(buckets[i][t])
+		}
+		rows := make([]Row, 0, n)
+		for i := range buckets {
+			rows = append(rows, buckets[i][t]...)
+		}
+		parts[t] = rows
+		return nil
+	})
+
+	if err := c.checkPartitions(stage, parts); err != nil {
+		return nil, err
+	}
+	return &Dataset{ctx: c, parts: parts}, nil
+}
+
+// Rebalance redistributes rows round-robin (no key), dropping any guarantee.
+// Used to spread data evenly, e.g. after a highly selective filter.
+func (d *Dataset) Rebalance(stage string) (*Dataset, error) {
+	var i int64
+	return d.shuffle(stage, func(Row) uint64 {
+		i++
+		return uint64(i)
+	})
+}

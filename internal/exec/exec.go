@@ -1,0 +1,388 @@
+// Package exec binds algebraic plans to the dataflow engine: every plan
+// operator becomes a bulk operation over distributed Datasets, implementing
+// the code-generation stage of the paper (Section 3) with the NULL-casting Γ
+// semantics and partitioning-guarantee handling. The skew-aware variants of
+// Section 5 live in skew.go.
+package exec
+
+import (
+	"fmt"
+
+	"github.com/trance-go/trance/internal/core"
+	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Executor runs plans against named inputs on a dataflow context.
+type Executor struct {
+	Ctx    *dataflow.Context
+	Inputs map[string]*dataflow.Dataset
+	// SkewAware enables the skew-resilient operator implementations of
+	// paper Section 5 for joins and BagToDict.
+	SkewAware bool
+
+	stage int
+}
+
+// New creates an executor over the given context.
+func New(ctx *dataflow.Context) *Executor {
+	return &Executor{Ctx: ctx, Inputs: map[string]*dataflow.Dataset{}}
+}
+
+// Bind registers a named input dataset.
+func (ex *Executor) Bind(name string, d *dataflow.Dataset) { ex.Inputs[name] = d }
+
+// BindRows registers a named input from raw rows.
+func (ex *Executor) BindRows(name string, rows []dataflow.Row) {
+	ex.Inputs[name] = ex.Ctx.FromRows(rows)
+}
+
+func (ex *Executor) nextStage(kind string) string {
+	ex.stage++
+	return fmt.Sprintf("%s#%d", kind, ex.stage)
+}
+
+// Run evaluates a plan and returns the resulting dataset.
+func (ex *Executor) Run(op plan.Op) (*dataflow.Dataset, error) {
+	if ex.SkewAware {
+		st, err := ex.runSkew(op)
+		if err != nil {
+			return nil, err
+		}
+		return st.merge(), nil
+	}
+	return ex.run(op)
+}
+
+// RunProgram executes compiled assignments in order, binding each result for
+// later statements, and returns every assignment's dataset.
+func (ex *Executor) RunProgram(stmts []core.CompiledStmt) (map[string]*dataflow.Dataset, error) {
+	out := map[string]*dataflow.Dataset{}
+	for _, st := range stmts {
+		d, err := ex.Run(st.Plan)
+		if err != nil {
+			return nil, fmt.Errorf("assignment %s: %w", st.Name, err)
+		}
+		ex.Bind(st.Name, d)
+		out[st.Name] = d
+	}
+	return out, nil
+}
+
+func (ex *Executor) run(op plan.Op) (*dataflow.Dataset, error) {
+	switch x := op.(type) {
+	case *plan.Scan:
+		d, ok := ex.Inputs[x.Input]
+		if !ok {
+			return nil, fmt.Errorf("exec: unbound input %q", x.Input)
+		}
+		return d, nil
+
+	case *plan.Values:
+		rows := make([]dataflow.Row, len(x.Rows))
+		copy(rows, x.Rows)
+		return ex.Ctx.FromRows(rows), nil
+
+	case *plan.Select:
+		in, err := ex.run(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return applySelect(in, x), nil
+
+	case *plan.Extend:
+		in, err := ex.run(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return applyExtend(in, x), nil
+
+	case *plan.Project:
+		in, err := ex.run(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return applyProject(in, x), nil
+
+	case *plan.AddIndex:
+		in, err := ex.run(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return in.AddUniqueID(), nil
+
+	case *plan.Unnest:
+		in, err := ex.run(x.In)
+		if err != nil {
+			return nil, err
+		}
+		out := applyUnnest(in, x)
+		// Flattening materially expands partitions in place: a worker
+		// holding a large inner collection must hold its flattened form
+		// (paper Section 6: flattening skewed inner collections saturates
+		// worker memory).
+		if err := out.CheckMemory(ex.nextStage("unnest")); err != nil {
+			return nil, err
+		}
+		return out, nil
+
+	case *plan.Join:
+		l, err := ex.run(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.run(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return ex.join(l, r, x)
+
+	case *plan.Nest:
+		in, err := ex.run(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return ex.nest(in, x)
+
+	case *plan.DedupOp:
+		in, err := ex.run(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return in.Distinct(ex.nextStage("dedup"))
+
+	case *plan.UnionAll:
+		l, err := ex.run(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ex.run(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return l.Union(r), nil
+
+	case *plan.BagToDict:
+		in, err := ex.run(x.In)
+		if err != nil {
+			return nil, err
+		}
+		return in.RepartitionBy(ex.nextStage("bagToDict"), []int{x.LabelCol})
+	}
+	return nil, fmt.Errorf("exec: unknown operator %T", op)
+}
+
+// join dispatches between shuffle and broadcast joins; like Spark, inputs
+// under the broadcast limit are broadcast automatically.
+func (ex *Executor) join(l, r *dataflow.Dataset, x *plan.Join) (*dataflow.Dataset, error) {
+	rw := len(x.R.Columns())
+	if len(x.LCols) == 0 {
+		// Cross join: broadcast the right side.
+		return l.BroadcastJoin(ex.nextStage("cross"), r, nil, nil, rw, x.Outer)
+	}
+	if ex.Ctx.BroadcastLimit > 0 && r.SizeBytes() <= ex.Ctx.BroadcastLimit {
+		return l.BroadcastJoin(ex.nextStage("bjoin"), r, x.LCols, x.RCols, rw, x.Outer)
+	}
+	return l.Join(ex.nextStage("join"), r, x.LCols, x.RCols, rw, x.Outer)
+}
+
+func applySelect(in *dataflow.Dataset, x *plan.Select) *dataflow.Dataset {
+	if x.NullifyCols == nil {
+		return in.Filter(func(r dataflow.Row) bool {
+			b, _ := x.Pred.Eval(r).(bool)
+			return b
+		})
+	}
+	return in.MapPreserving(func(r dataflow.Row) dataflow.Row {
+		if b, _ := x.Pred.Eval(r).(bool); b {
+			return r
+		}
+		nr := make(dataflow.Row, len(r))
+		copy(nr, r)
+		for _, c := range x.NullifyCols {
+			nr[c] = nil
+		}
+		return nr
+	})
+}
+
+func applyExtend(in *dataflow.Dataset, x *plan.Extend) *dataflow.Dataset {
+	return in.MapPreserving(func(r dataflow.Row) dataflow.Row {
+		nr := make(dataflow.Row, len(r)+len(x.Exprs))
+		copy(nr, r)
+		for i, ne := range x.Exprs {
+			nr[len(r)+i] = ne.Expr.Eval(r)
+		}
+		return nr
+	})
+}
+
+func applyProject(in *dataflow.Dataset, x *plan.Project) *dataflow.Dataset {
+	bagOut := make([]bool, len(x.Outs))
+	for i, ne := range x.Outs {
+		_, bagOut[i] = ne.Expr.Type().(nrc.BagType)
+	}
+	return in.Map(func(r dataflow.Row) dataflow.Row {
+		nr := make(dataflow.Row, len(x.Outs))
+		for i, ne := range x.Outs {
+			v := ne.Expr.Eval(r)
+			if v == nil && x.CastBags && bagOut[i] {
+				v = value.Bag{}
+			}
+			nr[i] = v
+		}
+		return nr
+	})
+}
+
+func applyUnnest(in *dataflow.Dataset, x *plan.Unnest) *dataflow.Dataset {
+	elems := x.ElemFields()
+	width := len(x.In.Columns())
+	scalarElem := len(elems) == 1 && elems[0].Name == "_value"
+	return in.FlatMap(func(r dataflow.Row) []dataflow.Row {
+		bagV := r[x.BagCol]
+		base := make(dataflow.Row, width)
+		copy(base, r)
+		base[x.BagCol] = nil // tombstone the unnested attribute
+		bag, _ := bagV.(value.Bag)
+		if len(bag) == 0 {
+			if !x.Outer {
+				return nil
+			}
+			nr := make(dataflow.Row, width+len(elems))
+			copy(nr, base)
+			return []dataflow.Row{nr}
+		}
+		out := make([]dataflow.Row, len(bag))
+		for i, e := range bag {
+			nr := make(dataflow.Row, width+len(elems))
+			copy(nr, base)
+			if scalarElem {
+				nr[width] = e
+			} else {
+				et := e.(value.Tuple)
+				copy(nr[width:], et)
+			}
+			out[i] = nr
+		}
+		return out
+	})
+}
+
+// nest implements Γ⊎ and Γ+ with the NULL-casting semantics of the paper:
+// rows whose presence columns contain a NULL are phantoms introduced by outer
+// operators; they register their group without contributing. Structural nests
+// keep every group (empty bags); explicit nests below the root emit NULL
+// marker rows for phantom-only groups; at the root those groups are dropped.
+func (ex *Executor) nest(in *dataflow.Dataset, x *plan.Nest) (*dataflow.Dataset, error) {
+	inCols := x.In.Columns()
+	bagValue := make([]bool, len(x.ValueCols))
+	for i, c := range x.ValueCols {
+		_, bagValue[i] = inCols[c].Type.(nrc.BagType)
+	}
+	width := len(x.GroupCols) + len(x.CarryCols)
+	var aggWidth int
+	if x.Agg == plan.AggBag {
+		aggWidth = 1
+	} else {
+		aggWidth = len(x.ValueCols)
+	}
+
+	present := func(r dataflow.Row) bool {
+		for _, c := range x.PresenceCols {
+			if r[c] == nil {
+				return false
+			}
+		}
+		return true
+	}
+
+	out, err := in.GroupReduce(ex.nextStage("nest"), x.GroupCols, func(rows []dataflow.Row) []dataflow.Row {
+		nr := make(dataflow.Row, width+aggWidth)
+		for i, c := range x.GroupCols {
+			nr[i] = rows[0][c]
+		}
+		for j, c := range x.CarryCols {
+			nr[len(x.GroupCols)+j] = rows[0][c]
+		}
+
+		hadReal := false
+		if x.Agg == plan.AggBag {
+			bag := value.Bag{}
+			for _, r := range rows {
+				if !present(r) {
+					continue
+				}
+				hadReal = true
+				if x.ScalarElem {
+					bag = append(bag, r[x.ValueCols[0]])
+					continue
+				}
+				elem := make(value.Tuple, len(x.ValueCols))
+				for i, c := range x.ValueCols {
+					v := r[c]
+					if v == nil && bagValue[i] {
+						v = value.Bag{}
+					}
+					elem[i] = v
+				}
+				bag = append(bag, elem)
+			}
+			switch {
+			case hadReal:
+				nr[width] = bag
+			case x.Mode == plan.Structural:
+				nr[width] = value.Bag{}
+			case x.Mode == plan.ExplicitNested:
+				nr[width] = nil // marker row
+			default: // ExplicitRoot: drop phantom-only group
+				return nil
+			}
+			return []dataflow.Row{nr}
+		}
+
+		// AggSum.
+		sums := make([]value.Value, len(x.ValueCols))
+		for _, r := range rows {
+			if !present(r) {
+				continue
+			}
+			hadReal = true
+			for i, c := range x.ValueCols {
+				v := r[c]
+				if v == nil {
+					continue // NULL contribution counts as zero
+				}
+				if sums[i] == nil {
+					sums[i] = v
+				} else {
+					sums[i] = nrc.EvalArith(nrc.Add, sums[i], v)
+				}
+			}
+		}
+		if !hadReal {
+			if x.Mode == plan.ExplicitRoot {
+				return nil
+			}
+			// marker row: sums stay NULL
+		} else {
+			for i, c := range x.ValueCols {
+				if sums[i] == nil {
+					sums[i] = nrc.ZeroValue(inCols[c].Type)
+				}
+			}
+		}
+		copy(nr[width:], sums)
+		return []dataflow.Row{nr}
+	})
+	if err != nil {
+		return nil, err
+	}
+	keyPos := make([]int, len(x.GroupCols))
+	for i := range keyPos {
+		keyPos[i] = i
+	}
+	return out.WithPartitioner(keyPos), nil
+}

@@ -1,0 +1,226 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/plan"
+	"github.com/trance-go/trance/internal/skew"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// triple is a skew-triple (paper Section 5): a light component whose keys may
+// be repartitioned normally, a heavy component whose keys must stay
+// distributed, and the set of heavy keys over keyCols. keys == nil means the
+// heavy-key set is unknown (the components are merged and re-sampled when an
+// operator needs it).
+type triple struct {
+	light, heavy *dataflow.Dataset
+	keys         map[string]bool
+	keyCols      []int
+}
+
+func (t triple) merge() *dataflow.Dataset {
+	if t.heavy == nil || t.heavy.Count() == 0 {
+		return t.light
+	}
+	return t.light.Union(t.heavy)
+}
+
+func (t triple) mapBoth(fn func(*dataflow.Dataset) *dataflow.Dataset) triple {
+	out := triple{light: fn(t.light), keys: t.keys, keyCols: t.keyCols}
+	if t.heavy != nil && t.heavy.Count() > 0 {
+		out.heavy = fn(t.heavy)
+	} else {
+		out.heavy = t.light.Context().Empty()
+	}
+	return out
+}
+
+// keysFor returns the heavy keys of the triple over cols, recomputing them by
+// sampling when unknown or associated with different columns.
+func (ex *Executor) keysFor(t triple, cols []int) (triple, map[string]bool) {
+	if t.keys != nil && intsEqual(t.keyCols, cols) {
+		return t, t.keys
+	}
+	merged := t.merge()
+	det := skew.NewDetector()
+	hk := det.HeavyKeys(merged, cols)
+	light, heavy := skew.Split(merged, cols, hk)
+	return triple{light: light, heavy: heavy, keys: hk, keyCols: cols}, hk
+}
+
+// runSkew evaluates a plan with the skew-aware operator implementations of
+// paper Figure 6.
+func (ex *Executor) runSkew(op plan.Op) (triple, error) {
+	switch x := op.(type) {
+	case *plan.Scan, *plan.Values:
+		d, err := ex.run(op)
+		if err != nil {
+			return triple{}, err
+		}
+		return triple{light: d, heavy: ex.Ctx.Empty()}, nil
+
+	case *plan.Select:
+		in, err := ex.runSkew(x.In)
+		if err != nil {
+			return triple{}, err
+		}
+		return in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return applySelect(d, x) }), nil
+
+	case *plan.Extend:
+		in, err := ex.runSkew(x.In)
+		if err != nil {
+			return triple{}, err
+		}
+		return in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return applyExtend(d, x) }), nil
+
+	case *plan.Project:
+		in, err := ex.runSkew(x.In)
+		if err != nil {
+			return triple{}, err
+		}
+		out := in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return applyProject(d, x) })
+		out.keys, out.keyCols = nil, nil // projection changes the layout
+		return out, nil
+
+	case *plan.AddIndex:
+		in, err := ex.runSkew(x.In)
+		if err != nil {
+			return triple{}, err
+		}
+		return in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return d.AddUniqueID() }), nil
+
+	case *plan.Unnest:
+		in, err := ex.runSkew(x.In)
+		if err != nil {
+			return triple{}, err
+		}
+		out := in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return applyUnnest(d, x) })
+		if err := out.light.CheckMemory(ex.nextStage("unnest")); err != nil {
+			return triple{}, err
+		}
+		if err := out.heavy.CheckMemory(ex.nextStage("unnest/heavy")); err != nil {
+			return triple{}, err
+		}
+		return out, nil
+
+	case *plan.Join:
+		return ex.skewJoin(x)
+
+	case *plan.Nest:
+		// Nest merges light and heavy and follows the standard
+		// implementation (paper Figure 6: Γ returns an empty heavy
+		// component and a null heavy-key set).
+		in, err := ex.runSkew(x.In)
+		if err != nil {
+			return triple{}, err
+		}
+		d, err := ex.nest(in.merge(), x)
+		if err != nil {
+			return triple{}, err
+		}
+		return triple{light: d, heavy: ex.Ctx.Empty()}, nil
+
+	case *plan.DedupOp:
+		in, err := ex.runSkew(x.In)
+		if err != nil {
+			return triple{}, err
+		}
+		d, err := in.merge().Distinct(ex.nextStage("dedup"))
+		if err != nil {
+			return triple{}, err
+		}
+		return triple{light: d, heavy: ex.Ctx.Empty()}, nil
+
+	case *plan.UnionAll:
+		l, err := ex.runSkew(x.L)
+		if err != nil {
+			return triple{}, err
+		}
+		r, err := ex.runSkew(x.R)
+		if err != nil {
+			return triple{}, err
+		}
+		return triple{light: l.merge().Union(r.merge()), heavy: ex.Ctx.Empty()}, nil
+
+	case *plan.BagToDict:
+		// Skew-aware BagToDict (paper Figure 6): repartition only the light
+		// labels; heavy labels stay where they are.
+		in, err := ex.runSkew(x.In)
+		if err != nil {
+			return triple{}, err
+		}
+		cols := []int{x.LabelCol}
+		t, _ := ex.keysFor(in, cols)
+		light, err := t.light.RepartitionBy(ex.nextStage("bagToDict"), cols)
+		if err != nil {
+			return triple{}, err
+		}
+		return triple{light: light, heavy: t.heavy, keys: t.keys, keyCols: cols}, nil
+	}
+	return triple{}, fmt.Errorf("exec: unknown operator %T (skew)", op)
+}
+
+// skewJoin implements the skew-aware join of paper Figure 6: the light parts
+// join with key-based shuffling; the heavy rows of the left stay in place and
+// the matching right rows are broadcast to them.
+func (ex *Executor) skewJoin(x *plan.Join) (triple, error) {
+	lt, err := ex.runSkew(x.L)
+	if err != nil {
+		return triple{}, err
+	}
+	rt, err := ex.runSkew(x.R)
+	if err != nil {
+		return triple{}, err
+	}
+	right := rt.merge()
+	rw := len(x.R.Columns())
+
+	if len(x.LCols) == 0 {
+		// Cross join: broadcast right to both components.
+		out := lt.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset {
+			j, jerr := d.BroadcastJoin(ex.nextStage("cross"), right, nil, nil, rw, x.Outer)
+			if jerr != nil {
+				err = jerr
+			}
+			return j
+		})
+		return out, err
+	}
+
+	lt, hk := ex.keysFor(lt, x.LCols)
+
+	rightLight := right.Filter(func(r dataflow.Row) bool {
+		return !hk[keyOfCols(r, x.RCols)]
+	})
+	rightHeavy := right.Filter(func(r dataflow.Row) bool {
+		return hk[keyOfCols(r, x.RCols)]
+	})
+
+	light, err := ex.join(lt.light, rightLight, x)
+	if err != nil {
+		return triple{}, err
+	}
+	heavy, err := lt.heavy.BroadcastJoin(ex.nextStage("skewjoin"), rightHeavy, x.LCols, x.RCols, rw, x.Outer)
+	if err != nil {
+		return triple{}, err
+	}
+	return triple{light: light, heavy: heavy, keys: hk, keyCols: x.LCols}, nil
+}
+
+func keyOfCols(r dataflow.Row, cols []int) string {
+	return value.KeyCols(r, cols)
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

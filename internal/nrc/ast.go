@@ -1,0 +1,243 @@
+package nrc
+
+import "github.com/trance-go/trance/internal/value"
+
+// Expr is an NRC expression node. Nodes cache their type after Check.
+type Expr interface {
+	isExpr()
+	// Type returns the type assigned by Check, or nil before checking.
+	Type() Type
+	setType(Type)
+}
+
+type baseExpr struct{ typ Type }
+
+func (*baseExpr) isExpr()          {}
+func (b *baseExpr) Type() Type     { return b.typ }
+func (b *baseExpr) setType(t Type) { b.typ = t }
+
+// SetType assigns a type to a node directly. It is intended for compiler
+// stages that synthesize small, already-typed fragments; user-built trees
+// should be typed via Check.
+func SetType(e Expr, t Type) { e.setType(t) }
+
+// Const is a scalar constant.
+type Const struct {
+	baseExpr
+	Val value.Value
+}
+
+// Var references a variable bound by a for, let, lambda, match, or the
+// program environment (inputs and prior assignments).
+type Var struct {
+	baseExpr
+	Name string
+}
+
+// Proj is e.a — tuple field access.
+type Proj struct {
+	baseExpr
+	Tuple Expr
+	Field string
+}
+
+// NamedExpr is a field of a tuple constructor.
+type NamedExpr struct {
+	Name string
+	Expr Expr
+}
+
+// TupleCtor is ⟨a1 := e1, …, an := en⟩.
+type TupleCtor struct {
+	baseExpr
+	Fields []NamedExpr
+}
+
+// Sing is {e} — the singleton bag.
+type Sing struct {
+	baseExpr
+	Elem Expr
+}
+
+// Empty is ∅_Bag(F) — the empty bag of a given element type.
+type Empty struct {
+	baseExpr
+	ElemType Type
+}
+
+// Get extracts the only element of a singleton bag; on an empty or
+// non-singleton bag it returns the default (zero) value of the element type.
+type Get struct {
+	baseExpr
+	Bag Expr
+}
+
+// For is "for Var in Source union Body": iterate Source, evaluate Body per
+// binding, and take the bag union of the results.
+type For struct {
+	baseExpr
+	Var    string
+	Source Expr
+	Body   Expr
+}
+
+// Union is e1 ⊎ e2 — additive bag union.
+type Union struct {
+	baseExpr
+	L, R Expr
+}
+
+// Let binds Var to Val inside Body.
+type Let struct {
+	baseExpr
+	Var  string
+	Val  Expr
+	Body Expr
+}
+
+// If is "if Cond then Then [else Else]". Else may be nil only for bag-typed
+// Then (the empty bag is implied), per paper Figure 1.
+type If struct {
+	baseExpr
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// CmpOp is a comparison operator on scalars (RelOp in paper Figure 1).
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (o CmpOp) String() string {
+	return [...]string{"==", "!=", "<", "<=", ">", ">="}[o]
+}
+
+// Cmp is e1 RelOp e2.
+type Cmp struct {
+	baseExpr
+	Op   CmpOp
+	L, R Expr
+}
+
+// ArithOp is a primitive scalar function (PrimOp in paper Figure 1).
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (o ArithOp) String() string { return [...]string{"+", "-", "*", "/"}[o] }
+
+// Arith is e1 PrimOp e2.
+type Arith struct {
+	baseExpr
+	Op   ArithOp
+	L, R Expr
+}
+
+// Not is ¬cond.
+type Not struct {
+	baseExpr
+	E Expr
+}
+
+// BoolBin is cond BoolOp cond.
+type BoolBin struct {
+	baseExpr
+	And  bool // true = &&, false = ||
+	L, R Expr
+}
+
+// Dedup returns its input bag with all multiplicities set to one. The input
+// must be a flat bag (paper Section 2 restriction).
+type Dedup struct {
+	baseExpr
+	E Expr
+}
+
+// GroupBy groups the tuples of a bag by Keys; for each distinct key it emits
+// the key attributes plus an attribute GroupAs holding the bag of the
+// remaining attributes (paper Section 2).
+type GroupBy struct {
+	baseExpr
+	E       Expr
+	Keys    []string
+	GroupAs string // name of the group attribute, conventionally "group"
+}
+
+// SumBy groups the tuples of a bag by Keys and sums the Values attributes
+// per distinct key (paper Section 2).
+type SumBy struct {
+	baseExpr
+	E      Expr
+	Keys   []string
+	Values []string
+}
+
+// --- NRC^{Lbl+λ} extensions (paper Section 4) ---
+
+// NewLabel creates a label at occurrence Site capturing the values of the
+// Capture expressions (the relevant attributes of the free variables at the
+// occurrence, per the paper's refinement).
+type NewLabel struct {
+	baseExpr
+	Site    int32
+	Capture []NamedExpr
+}
+
+// MatchLabel is "match Label = NewLabel(Params…) then Body": it destructures
+// a label created at Site, binding its payload to Params inside Body.
+type MatchLabel struct {
+	baseExpr
+	Label      Expr
+	Site       int32
+	Params     []string
+	ParamTypes []Type
+	Body       Expr
+}
+
+// Lambda is λvar.e restricted to label parameters: a symbolic dictionary.
+type Lambda struct {
+	baseExpr
+	Param string
+	Body  Expr
+}
+
+// Lookup applies a symbolic dictionary to a label: Lookup(dict, label).
+type Lookup struct {
+	baseExpr
+	Dict, Label Expr
+}
+
+// MatLookup looks a label up in a *materialized* dictionary: a flat bag whose
+// first attribute is the label key; the result is the bag of element tuples
+// associated with the label (possibly empty).
+type MatLookup struct {
+	baseExpr
+	Dict, Label Expr
+}
+
+// Assignment is one statement of a program: Name ⇐ Expr.
+type Assignment struct {
+	Name string
+	Expr Expr
+}
+
+// Program is a sequence of assignments; later assignments may reference
+// earlier ones (paper Figure 1: P ::= (var ⇐ e)*).
+type Program struct {
+	Stmts []Assignment
+}

@@ -1,0 +1,100 @@
+package nrc
+
+import "github.com/trance-go/trance/internal/value"
+
+// The builder functions construct AST nodes concisely; they are the public
+// authoring surface for queries (see examples/).
+
+// C builds a scalar constant. Go ints are widened to int64.
+func C(v any) *Const {
+	switch x := v.(type) {
+	case int:
+		return &Const{Val: int64(x)}
+	case int64, float64, string, bool, value.Date:
+		return &Const{Val: x}
+	default:
+		panic("nrc.C: unsupported constant type")
+	}
+}
+
+// V references a variable.
+func V(name string) *Var { return &Var{Name: name} }
+
+// P is field projection e.field; extra fields chain: P(e, "a", "b") = e.a.b.
+func P(e Expr, fields ...string) Expr {
+	for _, f := range fields {
+		e = &Proj{Tuple: e, Field: f}
+	}
+	return e
+}
+
+// Record builds a tuple constructor from alternating name, Expr pairs.
+func Record(pairs ...any) *TupleCtor {
+	if len(pairs)%2 != 0 {
+		panic("nrc.Record: need name/expr pairs")
+	}
+	fs := make([]NamedExpr, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		fs = append(fs, NamedExpr{Name: pairs[i].(string), Expr: pairs[i+1].(Expr)})
+	}
+	return &TupleCtor{Fields: fs}
+}
+
+// SingOf builds the singleton bag {e}.
+func SingOf(e Expr) *Sing { return &Sing{Elem: e} }
+
+// EmptyOf builds the empty bag of the given element type.
+func EmptyOf(elem Type) *Empty { return &Empty{ElemType: elem} }
+
+// GetOf extracts the element of a singleton bag.
+func GetOf(e Expr) *Get { return &Get{Bag: e} }
+
+// ForIn builds "for v in src union body".
+func ForIn(v string, src, body Expr) *For { return &For{Var: v, Source: src, Body: body} }
+
+// UnionOf builds e1 ⊎ e2.
+func UnionOf(l, r Expr) *Union { return &Union{L: l, R: r} }
+
+// LetIn builds "let v := val in body".
+func LetIn(v string, val, body Expr) *Let { return &Let{Var: v, Val: val, Body: body} }
+
+// IfThen builds "if cond then e" (bag-typed, empty bag otherwise).
+func IfThen(cond, then Expr) *If { return &If{Cond: cond, Then: then} }
+
+// IfElse builds "if cond then t else e".
+func IfElse(cond, then, els Expr) *If { return &If{Cond: cond, Then: then, Else: els} }
+
+// Comparison builders.
+func EqOf(l, r Expr) *Cmp { return &Cmp{Op: Eq, L: l, R: r} }
+func NeOf(l, r Expr) *Cmp { return &Cmp{Op: Ne, L: l, R: r} }
+func LtOf(l, r Expr) *Cmp { return &Cmp{Op: Lt, L: l, R: r} }
+func LeOf(l, r Expr) *Cmp { return &Cmp{Op: Le, L: l, R: r} }
+func GtOf(l, r Expr) *Cmp { return &Cmp{Op: Gt, L: l, R: r} }
+func GeOf(l, r Expr) *Cmp { return &Cmp{Op: Ge, L: l, R: r} }
+
+// Arithmetic builders.
+func AddOf(l, r Expr) *Arith { return &Arith{Op: Add, L: l, R: r} }
+func SubOf(l, r Expr) *Arith { return &Arith{Op: Sub, L: l, R: r} }
+func MulOf(l, r Expr) *Arith { return &Arith{Op: Mul, L: l, R: r} }
+func DivOf(l, r Expr) *Arith { return &Arith{Op: Div, L: l, R: r} }
+
+// Boolean builders.
+func NotOf(e Expr) *Not        { return &Not{E: e} }
+func AndOf(l, r Expr) *BoolBin { return &BoolBin{And: true, L: l, R: r} }
+func OrOf(l, r Expr) *BoolBin  { return &BoolBin{And: false, L: l, R: r} }
+
+// DedupOf builds dedup(e).
+func DedupOf(e Expr) *Dedup { return &Dedup{E: e} }
+
+// GroupByOf builds groupBy_keys(e) with the group attribute named "group".
+func GroupByOf(e Expr, keys ...string) *GroupBy {
+	return &GroupBy{E: e, Keys: keys, GroupAs: "group"}
+}
+
+// SumByOf builds sumBy^values_keys(e).
+func SumByOf(e Expr, keys []string, values []string) *SumBy {
+	return &SumBy{E: e, Keys: keys, Values: values}
+}
+
+// MatLookupOf builds a lookup into a materialized dictionary.
+func MatLookupOf(dict, label Expr) *MatLookup { return &MatLookup{Dict: dict, Label: label} }

@@ -1,0 +1,168 @@
+package nrc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders an expression in the paper's surface syntax, indented.
+func Print(e Expr) string {
+	var sb strings.Builder
+	printExpr(&sb, e, 0)
+	return sb.String()
+}
+
+// PrintProgram renders a program, one assignment per block.
+func PrintProgram(p *Program) string {
+	var sb strings.Builder
+	for i, st := range p.Stmts {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(st.Name)
+		sb.WriteString(" <= ")
+		printExpr(&sb, st.Expr, 1)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func ind(sb *strings.Builder, depth int) {
+	sb.WriteString("\n")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+}
+
+func printExpr(sb *strings.Builder, e Expr, depth int) {
+	switch x := e.(type) {
+	case *Const:
+		fmt.Fprintf(sb, "%v", x.Val)
+	case *Var:
+		sb.WriteString(x.Name)
+	case *Proj:
+		printExpr(sb, x.Tuple, depth)
+		sb.WriteString(".")
+		sb.WriteString(x.Field)
+	case *TupleCtor:
+		sb.WriteString("⟨")
+		for i, f := range x.Fields {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			ind(sb, depth+1)
+			sb.WriteString(f.Name)
+			sb.WriteString(" := ")
+			printExpr(sb, f.Expr, depth+1)
+		}
+		ind(sb, depth)
+		sb.WriteString("⟩")
+	case *Sing:
+		sb.WriteString("{ ")
+		printExpr(sb, x.Elem, depth)
+		sb.WriteString(" }")
+	case *Empty:
+		sb.WriteString("∅")
+	case *Get:
+		sb.WriteString("get(")
+		printExpr(sb, x.Bag, depth)
+		sb.WriteString(")")
+	case *For:
+		sb.WriteString("for ")
+		sb.WriteString(x.Var)
+		sb.WriteString(" in ")
+		printExpr(sb, x.Source, depth)
+		sb.WriteString(" union")
+		ind(sb, depth+1)
+		printExpr(sb, x.Body, depth+1)
+	case *Union:
+		printExpr(sb, x.L, depth)
+		sb.WriteString(" ⊎ ")
+		printExpr(sb, x.R, depth)
+	case *Let:
+		sb.WriteString("let ")
+		sb.WriteString(x.Var)
+		sb.WriteString(" := ")
+		printExpr(sb, x.Val, depth+1)
+		sb.WriteString(" in")
+		ind(sb, depth)
+		printExpr(sb, x.Body, depth)
+	case *If:
+		sb.WriteString("if ")
+		printExpr(sb, x.Cond, depth)
+		sb.WriteString(" then ")
+		printExpr(sb, x.Then, depth+1)
+		if x.Else != nil {
+			sb.WriteString(" else ")
+			printExpr(sb, x.Else, depth+1)
+		}
+	case *Cmp:
+		printExpr(sb, x.L, depth)
+		fmt.Fprintf(sb, " %s ", x.Op)
+		printExpr(sb, x.R, depth)
+	case *Arith:
+		printExpr(sb, x.L, depth)
+		fmt.Fprintf(sb, " %s ", x.Op)
+		printExpr(sb, x.R, depth)
+	case *Not:
+		sb.WriteString("¬(")
+		printExpr(sb, x.E, depth)
+		sb.WriteString(")")
+	case *BoolBin:
+		printExpr(sb, x.L, depth)
+		if x.And {
+			sb.WriteString(" && ")
+		} else {
+			sb.WriteString(" || ")
+		}
+		printExpr(sb, x.R, depth)
+	case *Dedup:
+		sb.WriteString("dedup(")
+		printExpr(sb, x.E, depth)
+		sb.WriteString(")")
+	case *GroupBy:
+		fmt.Fprintf(sb, "groupBy[%s](", strings.Join(x.Keys, ","))
+		printExpr(sb, x.E, depth+1)
+		sb.WriteString(")")
+	case *SumBy:
+		fmt.Fprintf(sb, "sumBy[%s; %s](", strings.Join(x.Keys, ","), strings.Join(x.Values, ","))
+		printExpr(sb, x.E, depth+1)
+		sb.WriteString(")")
+	case *NewLabel:
+		fmt.Fprintf(sb, "NewLabel#%d(", x.Site)
+		for i, f := range x.Capture {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(f.Name)
+			sb.WriteString("=")
+			printExpr(sb, f.Expr, depth)
+		}
+		sb.WriteString(")")
+	case *MatchLabel:
+		sb.WriteString("match ")
+		printExpr(sb, x.Label, depth)
+		fmt.Fprintf(sb, " = NewLabel#%d(%s) then", x.Site, strings.Join(x.Params, ","))
+		ind(sb, depth+1)
+		printExpr(sb, x.Body, depth+1)
+	case *Lambda:
+		sb.WriteString("λ")
+		sb.WriteString(x.Param)
+		sb.WriteString(".")
+		printExpr(sb, x.Body, depth+1)
+	case *Lookup:
+		sb.WriteString("Lookup(")
+		printExpr(sb, x.Dict, depth)
+		sb.WriteString(", ")
+		printExpr(sb, x.Label, depth)
+		sb.WriteString(")")
+	case *MatLookup:
+		sb.WriteString("MatLookup(")
+		printExpr(sb, x.Dict, depth)
+		sb.WriteString(", ")
+		printExpr(sb, x.Label, depth)
+		sb.WriteString(")")
+	default:
+		fmt.Fprintf(sb, "?%T", e)
+	}
+}

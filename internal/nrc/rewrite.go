@@ -1,0 +1,307 @@
+package nrc
+
+import "fmt"
+
+// FreeVars returns the free variables of e.
+func FreeVars(e Expr) map[string]bool {
+	out := map[string]bool{}
+	freeVars(e, map[string]bool{}, out)
+	return out
+}
+
+func freeVars(e Expr, bound map[string]bool, out map[string]bool) {
+	switch x := e.(type) {
+	case nil:
+	case *Const, *Empty:
+	case *Var:
+		if !bound[x.Name] {
+			out[x.Name] = true
+		}
+	case *Proj:
+		freeVars(x.Tuple, bound, out)
+	case *TupleCtor:
+		for _, f := range x.Fields {
+			freeVars(f.Expr, bound, out)
+		}
+	case *Sing:
+		freeVars(x.Elem, bound, out)
+	case *Get:
+		freeVars(x.Bag, bound, out)
+	case *For:
+		freeVars(x.Source, bound, out)
+		withBound(bound, x.Var, func() { freeVars(x.Body, bound, out) })
+	case *Union:
+		freeVars(x.L, bound, out)
+		freeVars(x.R, bound, out)
+	case *Let:
+		freeVars(x.Val, bound, out)
+		withBound(bound, x.Var, func() { freeVars(x.Body, bound, out) })
+	case *If:
+		freeVars(x.Cond, bound, out)
+		freeVars(x.Then, bound, out)
+		if x.Else != nil {
+			freeVars(x.Else, bound, out)
+		}
+	case *Cmp:
+		freeVars(x.L, bound, out)
+		freeVars(x.R, bound, out)
+	case *Arith:
+		freeVars(x.L, bound, out)
+		freeVars(x.R, bound, out)
+	case *Not:
+		freeVars(x.E, bound, out)
+	case *BoolBin:
+		freeVars(x.L, bound, out)
+		freeVars(x.R, bound, out)
+	case *Dedup:
+		freeVars(x.E, bound, out)
+	case *GroupBy:
+		freeVars(x.E, bound, out)
+	case *SumBy:
+		freeVars(x.E, bound, out)
+	case *NewLabel:
+		for _, f := range x.Capture {
+			freeVars(f.Expr, bound, out)
+		}
+	case *MatchLabel:
+		freeVars(x.Label, bound, out)
+		old := map[string]bool{}
+		for _, p := range x.Params {
+			old[p] = bound[p]
+			bound[p] = true
+		}
+		freeVars(x.Body, bound, out)
+		for _, p := range x.Params {
+			bound[p] = old[p]
+		}
+	case *Lambda:
+		withBound(bound, x.Param, func() { freeVars(x.Body, bound, out) })
+	case *Lookup:
+		freeVars(x.Dict, bound, out)
+		freeVars(x.Label, bound, out)
+	case *MatLookup:
+		freeVars(x.Dict, bound, out)
+		freeVars(x.Label, bound, out)
+	default:
+		panic(fmt.Sprintf("nrc freeVars: unknown expression %T", e))
+	}
+}
+
+func withBound(bound map[string]bool, name string, fn func()) {
+	old := bound[name]
+	bound[name] = true
+	fn()
+	bound[name] = old
+}
+
+// Copy deep-copies an expression tree (types are dropped; re-Check after
+// structural rewrites).
+func Copy(e Expr) Expr {
+	return Substitute(e, nil)
+}
+
+// Substitute returns a copy of e with free occurrences of each variable in
+// subst replaced by (a copy of) its expression. Binders shadow as expected.
+func Substitute(e Expr, subst map[string]Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Const:
+		return &Const{Val: x.Val}
+	case *Var:
+		if r, ok := subst[x.Name]; ok {
+			return Substitute(r, nil) // copy of the replacement
+		}
+		return &Var{Name: x.Name}
+	case *Proj:
+		return &Proj{Tuple: Substitute(x.Tuple, subst), Field: x.Field}
+	case *TupleCtor:
+		fs := make([]NamedExpr, len(x.Fields))
+		for i, f := range x.Fields {
+			fs[i] = NamedExpr{Name: f.Name, Expr: Substitute(f.Expr, subst)}
+		}
+		return &TupleCtor{Fields: fs}
+	case *Sing:
+		return &Sing{Elem: Substitute(x.Elem, subst)}
+	case *Empty:
+		return &Empty{ElemType: x.ElemType}
+	case *Get:
+		return &Get{Bag: Substitute(x.Bag, subst)}
+	case *For:
+		return &For{
+			Var:    x.Var,
+			Source: Substitute(x.Source, subst),
+			Body:   Substitute(x.Body, without(subst, x.Var)),
+		}
+	case *Union:
+		return &Union{L: Substitute(x.L, subst), R: Substitute(x.R, subst)}
+	case *Let:
+		return &Let{
+			Var:  x.Var,
+			Val:  Substitute(x.Val, subst),
+			Body: Substitute(x.Body, without(subst, x.Var)),
+		}
+	case *If:
+		return &If{
+			Cond: Substitute(x.Cond, subst),
+			Then: Substitute(x.Then, subst),
+			Else: Substitute(x.Else, subst),
+		}
+	case *Cmp:
+		return &Cmp{Op: x.Op, L: Substitute(x.L, subst), R: Substitute(x.R, subst)}
+	case *Arith:
+		return &Arith{Op: x.Op, L: Substitute(x.L, subst), R: Substitute(x.R, subst)}
+	case *Not:
+		return &Not{E: Substitute(x.E, subst)}
+	case *BoolBin:
+		return &BoolBin{And: x.And, L: Substitute(x.L, subst), R: Substitute(x.R, subst)}
+	case *Dedup:
+		return &Dedup{E: Substitute(x.E, subst)}
+	case *GroupBy:
+		return &GroupBy{E: Substitute(x.E, subst), Keys: append([]string{}, x.Keys...), GroupAs: x.GroupAs}
+	case *SumBy:
+		return &SumBy{
+			E:      Substitute(x.E, subst),
+			Keys:   append([]string{}, x.Keys...),
+			Values: append([]string{}, x.Values...),
+		}
+	case *NewLabel:
+		fs := make([]NamedExpr, len(x.Capture))
+		for i, f := range x.Capture {
+			fs[i] = NamedExpr{Name: f.Name, Expr: Substitute(f.Expr, subst)}
+		}
+		return &NewLabel{Site: x.Site, Capture: fs}
+	case *MatchLabel:
+		s := subst
+		for _, p := range x.Params {
+			s = without(s, p)
+		}
+		return &MatchLabel{
+			Label:      Substitute(x.Label, subst),
+			Site:       x.Site,
+			Params:     append([]string{}, x.Params...),
+			ParamTypes: append([]Type{}, x.ParamTypes...),
+			Body:       Substitute(x.Body, s),
+		}
+	case *Lambda:
+		return &Lambda{Param: x.Param, Body: Substitute(x.Body, without(subst, x.Param))}
+	case *Lookup:
+		return &Lookup{Dict: Substitute(x.Dict, subst), Label: Substitute(x.Label, subst)}
+	case *MatLookup:
+		return &MatLookup{Dict: Substitute(x.Dict, subst), Label: Substitute(x.Label, subst)}
+	default:
+		panic(fmt.Sprintf("nrc substitute: unknown expression %T", e))
+	}
+}
+
+func without(subst map[string]Expr, name string) map[string]Expr {
+	if subst == nil {
+		return nil
+	}
+	if _, ok := subst[name]; !ok {
+		return subst
+	}
+	out := make(map[string]Expr, len(subst))
+	for k, v := range subst {
+		if k != name {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// InlineLets replaces every let binding by substitution — the Normalize step
+// of the materialization algorithm (paper Figure 5, line 3). NRC is pure, so
+// inlining preserves semantics; it may duplicate work, which the plan-level
+// common-subexpression handling tolerates at this scale.
+func InlineLets(e Expr) Expr {
+	e = Substitute(e, nil)
+	return inlineLets(e)
+}
+
+func inlineLets(e Expr) Expr {
+	if l, ok := e.(*Let); ok {
+		val := inlineLets(l.Val)
+		body := inlineLets(l.Body)
+		return inlineLets(Substitute(body, map[string]Expr{l.Var: val}))
+	}
+	return mapChildren(e, inlineLets)
+}
+
+// MapChildren rebuilds e with fn applied to every direct child expression.
+// Binders are not tracked; callers needing capture-avoidance must handle
+// shadowing themselves.
+func MapChildren(e Expr, fn func(Expr) Expr) Expr { return mapChildren(e, fn) }
+
+// Children returns the direct child expressions of e.
+func Children(e Expr) []Expr {
+	var out []Expr
+	mapChildren(e, func(c Expr) Expr {
+		out = append(out, c)
+		return c
+	})
+	return out
+}
+
+// mapChildren rebuilds e with fn applied to every direct child expression.
+func mapChildren(e Expr, fn func(Expr) Expr) Expr {
+	switch x := e.(type) {
+	case *Const, *Var, *Empty, nil:
+		return e
+	case *Proj:
+		return &Proj{Tuple: fn(x.Tuple), Field: x.Field}
+	case *TupleCtor:
+		fs := make([]NamedExpr, len(x.Fields))
+		for i, f := range x.Fields {
+			fs[i] = NamedExpr{Name: f.Name, Expr: fn(f.Expr)}
+		}
+		return &TupleCtor{Fields: fs}
+	case *Sing:
+		return &Sing{Elem: fn(x.Elem)}
+	case *Get:
+		return &Get{Bag: fn(x.Bag)}
+	case *For:
+		return &For{Var: x.Var, Source: fn(x.Source), Body: fn(x.Body)}
+	case *Union:
+		return &Union{L: fn(x.L), R: fn(x.R)}
+	case *Let:
+		return &Let{Var: x.Var, Val: fn(x.Val), Body: fn(x.Body)}
+	case *If:
+		var els Expr
+		if x.Else != nil {
+			els = fn(x.Else)
+		}
+		return &If{Cond: fn(x.Cond), Then: fn(x.Then), Else: els}
+	case *Cmp:
+		return &Cmp{Op: x.Op, L: fn(x.L), R: fn(x.R)}
+	case *Arith:
+		return &Arith{Op: x.Op, L: fn(x.L), R: fn(x.R)}
+	case *Not:
+		return &Not{E: fn(x.E)}
+	case *BoolBin:
+		return &BoolBin{And: x.And, L: fn(x.L), R: fn(x.R)}
+	case *Dedup:
+		return &Dedup{E: fn(x.E)}
+	case *GroupBy:
+		return &GroupBy{E: fn(x.E), Keys: x.Keys, GroupAs: x.GroupAs}
+	case *SumBy:
+		return &SumBy{E: fn(x.E), Keys: x.Keys, Values: x.Values}
+	case *NewLabel:
+		fs := make([]NamedExpr, len(x.Capture))
+		for i, f := range x.Capture {
+			fs[i] = NamedExpr{Name: f.Name, Expr: fn(f.Expr)}
+		}
+		return &NewLabel{Site: x.Site, Capture: fs}
+	case *MatchLabel:
+		return &MatchLabel{Label: fn(x.Label), Site: x.Site, Params: x.Params, ParamTypes: x.ParamTypes, Body: fn(x.Body)}
+	case *Lambda:
+		return &Lambda{Param: x.Param, Body: fn(x.Body)}
+	case *Lookup:
+		return &Lookup{Dict: fn(x.Dict), Label: fn(x.Label)}
+	case *MatLookup:
+		return &MatLookup{Dict: fn(x.Dict), Label: fn(x.Label)}
+	default:
+		panic(fmt.Sprintf("nrc mapChildren: unknown expression %T", e))
+	}
+}

@@ -1,0 +1,214 @@
+// Package nrc implements the source language of the paper: nested relational
+// calculus with aggregation and deduplication primitives (paper Figure 1),
+// extended with the label and dictionary constructs of NRC^{Lbl+λ} used by
+// the shredded compilation route (paper Section 4).
+//
+// The package provides the AST, the type system and checker, a builder API,
+// a pretty printer, and a tuple-at-a-time local evaluator. The evaluator is
+// the semantics of record: every distributed strategy in this repository is
+// tested against it.
+package nrc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is an NRC type (paper Figure 1 plus Label and dictionary types).
+type Type interface {
+	isType()
+	String() string
+}
+
+// ScalarKind enumerates the scalar types.
+type ScalarKind int
+
+// Scalar kinds.
+const (
+	Int ScalarKind = iota
+	Real
+	String
+	Bool
+	DateK
+)
+
+// ScalarType is one of int, real, string, bool, date.
+type ScalarType struct{ Kind ScalarKind }
+
+func (ScalarType) isType() {}
+
+func (s ScalarType) String() string {
+	switch s.Kind {
+	case Int:
+		return "int"
+	case Real:
+		return "real"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	case DateK:
+		return "date"
+	}
+	return "scalar?"
+}
+
+// Convenience singletons.
+var (
+	IntT    = ScalarType{Kind: Int}
+	RealT   = ScalarType{Kind: Real}
+	StringT = ScalarType{Kind: String}
+	BoolT   = ScalarType{Kind: Bool}
+	DateT   = ScalarType{Kind: DateK}
+)
+
+// Field is a named attribute of a tuple type.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// TupleType is ⟨a1:T1, …, an:Tn⟩.
+type TupleType struct{ Fields []Field }
+
+func (TupleType) isType() {}
+
+func (t TupleType) String() string {
+	var sb strings.Builder
+	sb.WriteString("⟨")
+	for i, f := range t.Fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(f.Name)
+		sb.WriteString(": ")
+		sb.WriteString(f.Type.String())
+	}
+	sb.WriteString("⟩")
+	return sb.String()
+}
+
+// Lookup returns the type of field name, or nil.
+func (t TupleType) Lookup(name string) Type {
+	for _, f := range t.Fields {
+		if f.Name == name {
+			return f.Type
+		}
+	}
+	return nil
+}
+
+// Index returns the position of field name, or -1.
+func (t TupleType) Index(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// BagType is Bag(T).
+type BagType struct{ Elem Type }
+
+func (BagType) isType() {}
+
+func (t BagType) String() string { return "Bag(" + t.Elem.String() + ")" }
+
+// LabelType is the atomic label type of NRC^{Lbl+λ}.
+type LabelType struct{}
+
+func (LabelType) isType() {}
+
+func (LabelType) String() string { return "Label" }
+
+// LabelT is the label type singleton.
+var LabelT = LabelType{}
+
+// DictType is Label → Bag(F): the type of a (symbolic or materialized)
+// dictionary mapping labels to flat bags.
+type DictType struct{ Elem TupleType }
+
+func (DictType) isType() {}
+
+func (t DictType) String() string { return "Label → Bag(" + t.Elem.String() + ")" }
+
+// Tup builds a tuple type from alternating name, Type pairs.
+func Tup(pairs ...any) TupleType {
+	if len(pairs)%2 != 0 {
+		panic("nrc.Tup: need name/type pairs")
+	}
+	fs := make([]Field, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		fs = append(fs, Field{Name: pairs[i].(string), Type: pairs[i+1].(Type)})
+	}
+	return TupleType{Fields: fs}
+}
+
+// BagOf builds Bag(elem).
+func BagOf(elem Type) BagType { return BagType{Elem: elem} }
+
+// TypesEqual reports structural type equality.
+func TypesEqual(a, b Type) bool {
+	switch x := a.(type) {
+	case ScalarType:
+		y, ok := b.(ScalarType)
+		return ok && x.Kind == y.Kind
+	case LabelType:
+		_, ok := b.(LabelType)
+		return ok
+	case BagType:
+		y, ok := b.(BagType)
+		return ok && TypesEqual(x.Elem, y.Elem)
+	case DictType:
+		y, ok := b.(DictType)
+		return ok && TypesEqual(x.Elem, y.Elem)
+	case TupleType:
+		y, ok := b.(TupleType)
+		if !ok || len(x.Fields) != len(y.Fields) {
+			return false
+		}
+		for i := range x.Fields {
+			if x.Fields[i].Name != y.Fields[i].Name || !TypesEqual(x.Fields[i].Type, y.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	case nil:
+		return b == nil
+	default:
+		panic(fmt.Sprintf("nrc: unknown type %T", a))
+	}
+}
+
+// IsScalar reports whether t is a scalar type.
+func IsScalar(t Type) bool {
+	_, ok := t.(ScalarType)
+	return ok
+}
+
+// IsFlatElem reports whether t is legal as the element of a flat bag: a
+// scalar, a label, or a tuple of scalars and labels.
+func IsFlatElem(t Type) bool {
+	switch x := t.(type) {
+	case ScalarType, LabelType:
+		return true
+	case TupleType:
+		for _, f := range x.Fields {
+			switch f.Type.(type) {
+			case ScalarType, LabelType:
+			default:
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// IsFlatBag reports whether t is Bag(F) with F flat.
+func IsFlatBag(t Type) bool {
+	b, ok := t.(BagType)
+	return ok && IsFlatElem(b.Elem)
+}

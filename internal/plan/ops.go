@@ -1,0 +1,326 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/trance-go/trance/internal/nrc"
+)
+
+// Column describes one output column of an operator. Columns may be
+// bag-typed: the standard compilation route carries nested collections
+// through the pipeline.
+type Column struct {
+	Name string
+	Type nrc.Type
+}
+
+// Op is a plan operator.
+type Op interface {
+	Columns() []Column
+	Children() []Op
+	Describe() string
+}
+
+// AggKind selects the nest aggregate: bag union (Γ⊎) or sum (Γ+).
+type AggKind int
+
+// Nest aggregates.
+const (
+	AggBag AggKind = iota
+	AggSum
+)
+
+// NestMode controls the NULL-casting behaviour of Γ (see DESIGN.md):
+// structural nests (from tuple-constructor nesting) always keep their group;
+// explicit nests (from sumBy/groupBy) emit NULL marker rows below the root
+// and drop pure-phantom groups at the root.
+type NestMode int
+
+// Nest modes.
+const (
+	Structural NestMode = iota
+	ExplicitNested
+	ExplicitRoot
+)
+
+func (m NestMode) String() string {
+	return [...]string{"structural", "explicit", "explicit-root"}[m]
+}
+
+// Scan reads a named input (a base relation, a shredded input dictionary, or
+// the result of a prior assignment).
+type Scan struct {
+	Input string
+	Cols  []Column
+}
+
+func (s *Scan) Columns() []Column { return s.Cols }
+func (s *Scan) Children() []Op    { return nil }
+func (s *Scan) Describe() string  { return "Scan " + s.Input }
+
+// Values is an inline literal relation (used for constant queries).
+type Values struct {
+	Cols []Column
+	Rows []Row
+}
+
+func (v *Values) Columns() []Column { return v.Cols }
+func (v *Values) Children() []Op    { return nil }
+func (v *Values) Describe() string  { return fmt.Sprintf("Values(%d rows)", len(v.Rows)) }
+
+// Select filters rows. With NullifyCols set, rows failing the predicate are
+// kept but their NullifyCols are set to NULL: the outer-level-preserving
+// selection used below the root so outer tuples survive with empty inner
+// collections.
+type Select struct {
+	In          Op
+	Pred        Expr
+	NullifyCols []int
+}
+
+func (s *Select) Columns() []Column { return s.In.Columns() }
+func (s *Select) Children() []Op    { return []Op{s.In} }
+func (s *Select) Describe() string {
+	if s.NullifyCols != nil {
+		return fmt.Sprintf("σ̄ %s (nullify %v)", s.Pred, s.NullifyCols)
+	}
+	return fmt.Sprintf("σ %s", s.Pred)
+}
+
+// Extend appends computed columns, keeping all input columns in place.
+type Extend struct {
+	In    Op
+	Exprs []NamedExpr
+}
+
+func (e *Extend) Columns() []Column {
+	in := e.In.Columns()
+	out := make([]Column, 0, len(in)+len(e.Exprs))
+	out = append(out, in...)
+	for _, ne := range e.Exprs {
+		out = append(out, Column{Name: ne.Name, Type: ne.Expr.Type()})
+	}
+	return out
+}
+func (e *Extend) Children() []Op   { return []Op{e.In} }
+func (e *Extend) Describe() string { return "ext " + namedExprString(e.Exprs) }
+
+// Project replaces the schema with the given output expressions. CastBags
+// additionally converts NULL bag-typed outputs to empty bags — applied at the
+// root of a query (the final NULL cast of the Γ machinery).
+type Project struct {
+	In       Op
+	Outs     []NamedExpr
+	CastBags bool
+}
+
+func (p *Project) Columns() []Column {
+	out := make([]Column, len(p.Outs))
+	for i, ne := range p.Outs {
+		out[i] = Column{Name: ne.Name, Type: ne.Expr.Type()}
+	}
+	return out
+}
+func (p *Project) Children() []Op   { return []Op{p.In} }
+func (p *Project) Describe() string { return "π " + namedExprString(p.Outs) }
+
+// AddIndex appends a column holding an ID unique across the dataset — the
+// unique-ID insertion the outer operators of the paper perform before
+// entering a nesting level.
+type AddIndex struct {
+	In   Op
+	Name string
+}
+
+func (a *AddIndex) Columns() []Column {
+	return append(append([]Column{}, a.In.Columns()...), Column{Name: a.Name, Type: nrc.IntT})
+}
+func (a *AddIndex) Children() []Op   { return []Op{a.In} }
+func (a *AddIndex) Describe() string { return "addIndex " + a.Name }
+
+// Unnest is μ^a / outer-unnest μ̄^a: it pairs each input row with each
+// element of its bag column, appending the element's fields (prefixed with
+// Prefix). The bag column itself is tombstoned (set to NULL) in the output,
+// mirroring the paper's projection of the unnested attribute. Outer unnest
+// emits one NULL-extended row for an empty or NULL bag.
+type Unnest struct {
+	In     Op
+	BagCol int
+	Prefix string
+	Outer  bool
+}
+
+// ElemFields returns the element fields of the unnested bag column.
+func (u *Unnest) ElemFields() []nrc.Field {
+	bt := u.In.Columns()[u.BagCol].Type.(nrc.BagType)
+	if tt, ok := bt.Elem.(nrc.TupleType); ok {
+		return tt.Fields
+	}
+	return []nrc.Field{{Name: "_value", Type: bt.Elem}}
+}
+
+func (u *Unnest) Columns() []Column {
+	in := u.In.Columns()
+	out := make([]Column, 0, len(in)+2)
+	out = append(out, in...)
+	for _, f := range u.ElemFields() {
+		out = append(out, Column{Name: u.Prefix + "." + f.Name, Type: f.Type})
+	}
+	return out
+}
+func (u *Unnest) Children() []Op { return []Op{u.In} }
+func (u *Unnest) Describe() string {
+	sym := "μ"
+	if u.Outer {
+		sym = "μ̄"
+	}
+	return fmt.Sprintf("%s $%d as %s", sym, u.BagCol, u.Prefix)
+}
+
+// Join is an equi-join (⋈) or left outer join (⧑) on column equality. Output
+// rows are left columns followed by right columns.
+type Join struct {
+	L, R         Op
+	LCols, RCols []int
+	Outer        bool
+}
+
+func (j *Join) Columns() []Column {
+	return append(append([]Column{}, j.L.Columns()...), j.R.Columns()...)
+}
+func (j *Join) Children() []Op { return []Op{j.L, j.R} }
+func (j *Join) Describe() string {
+	sym := "⋈"
+	if j.Outer {
+		sym = "⟕"
+	}
+	return fmt.Sprintf("%s L%v=R%v", sym, j.LCols, j.RCols)
+}
+
+// Nest is Γ^{agg value}_{key}: a key-based reduce (paper Section 2). Rows are
+// grouped by GroupCols; ValueCols form the contribution of each row — a
+// collected element for Γ⊎, summands for Γ+. CarryCols are columns
+// functionally determined by the group key (previously built inner bags)
+// passed through from the first row of each group. GDepth marks how many of
+// GroupCols form the outer grouping prefix G (used by explicit modes).
+//
+// NULL casting: a row whose ValueCols are all NULL contributes nothing.
+// Structural nests always emit their group; a group with no contributions
+// yields a NULL bag (cast to empty downstream). Explicit nests below the root
+// emit a NULL marker row for groups that exist only to keep outer tuples
+// alive; at the root such groups are dropped.
+//
+// Output layout: GroupCols ++ CarryCols ++ aggregate column(s).
+type Nest struct {
+	In        Op
+	GroupCols []int
+	GDepth    int
+	CarryCols []int
+	ValueCols []int
+	// PresenceCols determine phantom rows: a row is phantom when any of
+	// these columns is NULL (an outer join or outer unnest missed, or an
+	// outer-preserving selection nullified the level). Empty means every row
+	// is a real contribution.
+	PresenceCols []int
+	Agg          AggKind
+	Mode         NestMode
+	OutName      string // bag column name for AggBag
+	ScalarElem   bool   // AggBag collects raw scalars instead of tuples
+}
+
+// ElemType returns the element type of the collected bag (AggBag only).
+func (n *Nest) ElemType() nrc.Type {
+	in := n.In.Columns()
+	if n.ScalarElem {
+		return in[n.ValueCols[0]].Type
+	}
+	fs := make([]nrc.Field, len(n.ValueCols))
+	for i, c := range n.ValueCols {
+		fs[i] = nrc.Field{Name: in[c].Name, Type: in[c].Type}
+	}
+	return nrc.TupleType{Fields: fs}
+}
+
+func (n *Nest) Columns() []Column {
+	in := n.In.Columns()
+	out := make([]Column, 0, len(n.GroupCols)+len(n.CarryCols)+len(n.ValueCols))
+	for _, c := range n.GroupCols {
+		out = append(out, in[c])
+	}
+	for _, c := range n.CarryCols {
+		out = append(out, in[c])
+	}
+	if n.Agg == AggBag {
+		out = append(out, Column{Name: n.OutName, Type: nrc.BagType{Elem: n.ElemType()}})
+	} else {
+		for _, c := range n.ValueCols {
+			out = append(out, in[c])
+		}
+	}
+	return out
+}
+func (n *Nest) Children() []Op { return []Op{n.In} }
+func (n *Nest) Describe() string {
+	agg := "⊎"
+	if n.Agg == AggSum {
+		agg = "+"
+	}
+	return fmt.Sprintf("Γ%s key%v carry%v val%v (%s)", agg, n.GroupCols, n.CarryCols, n.ValueCols, n.Mode)
+}
+
+// DedupOp removes duplicate rows of a flat bag.
+type DedupOp struct{ In Op }
+
+func (d *DedupOp) Columns() []Column { return d.In.Columns() }
+func (d *DedupOp) Children() []Op    { return []Op{d.In} }
+func (d *DedupOp) Describe() string  { return "dedup" }
+
+// UnionAll is additive bag union of two inputs with identical schemas.
+type UnionAll struct{ L, R Op }
+
+func (u *UnionAll) Columns() []Column { return u.L.Columns() }
+func (u *UnionAll) Children() []Op    { return []Op{u.L, u.R} }
+func (u *UnionAll) Describe() string  { return "⊎" }
+
+// BagToDict casts a flat bag with a label column to a dictionary: the
+// executor repartitions by the label, establishing the label-based
+// partitioning guarantee of dictionaries (paper Section 4). The skew-aware
+// variant repartitions only light labels (paper Figure 6).
+type BagToDict struct {
+	In       Op
+	LabelCol int
+}
+
+func (b *BagToDict) Columns() []Column { return b.In.Columns() }
+func (b *BagToDict) Children() []Op    { return []Op{b.In} }
+func (b *BagToDict) Describe() string  { return fmt.Sprintf("bagToDict $%d", b.LabelCol) }
+
+// Explain renders the plan as an indented tree with output column lists.
+func Explain(op Op) string {
+	var sb strings.Builder
+	explain(&sb, op, 0)
+	return sb.String()
+}
+
+func explain(sb *strings.Builder, op Op, depth int) {
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+	sb.WriteString(op.Describe())
+	sb.WriteString("  → (")
+	cols := op.Columns()
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		if _, isBag := c.Type.(nrc.BagType); isBag {
+			sb.WriteString("ᴮ")
+		}
+	}
+	sb.WriteString(")\n")
+	for _, ch := range op.Children() {
+		explain(sb, ch, depth+1)
+	}
+}

@@ -1,0 +1,146 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/value"
+)
+
+func scanR() *Scan {
+	return &Scan{Input: "R", Cols: []Column{
+		{Name: "a", Type: nrc.IntT},
+		{Name: "b", Type: nrc.StringT},
+		{Name: "c", Type: nrc.RealT},
+	}}
+}
+
+func TestExprEval(t *testing.T) {
+	row := Row{int64(3), "x", 2.5}
+	add := &ArithE{Op: nrc.Add, L: &Col{Idx: 0, Typ: nrc.IntT}, R: &ConstE{Val: int64(4), Typ: nrc.IntT}, Typ: nrc.IntT}
+	if add.Eval(row).(int64) != 7 {
+		t.Fatal("arith")
+	}
+	cmp := &CmpE{Op: nrc.Lt, L: &Col{Idx: 2, Typ: nrc.RealT}, R: &ConstE{Val: 3.0, Typ: nrc.RealT}}
+	if cmp.Eval(row) != true {
+		t.Fatal("cmp")
+	}
+	// NULL semantics.
+	nullRow := Row{nil, "x", nil}
+	if add.Eval(nullRow) != nil {
+		t.Fatal("null arithmetic must be NULL")
+	}
+	if cmp.Eval(nullRow) != false {
+		t.Fatal("null comparison must be false")
+	}
+	cast := &CastNullBag{E: &Col{Idx: 0, Typ: nrc.BagOf(nrc.IntT)}}
+	if len(cast.Eval(nullRow).(value.Bag)) != 0 {
+		t.Fatal("cast of NULL must be empty bag")
+	}
+}
+
+func TestMkLabelAndLabelField(t *testing.T) {
+	mk := &MkLabel{Site: 5, Args: []Expr{&Col{Idx: 0, Typ: nrc.IntT}}}
+	l := mk.Eval(Row{int64(9)}).(value.Label)
+	if l.Site != 5 || l.Payload[0].(int64) != 9 {
+		t.Fatalf("label: %v", l)
+	}
+	lf := &LabelField{E: &ConstE{Val: l, Typ: nrc.LabelT}, Site: 5, Idx: 0, NParams: 1, Typ: nrc.IntT}
+	if lf.Eval(nil).(int64) != 9 {
+		t.Fatal("label field")
+	}
+	// Site mismatch with non-label param type yields NULL.
+	lf2 := &LabelField{E: &ConstE{Val: l, Typ: nrc.LabelT}, Site: 6, Idx: 0, NParams: 2, Typ: nrc.IntT}
+	if lf2.Eval(nil) != nil {
+		t.Fatal("mismatched site should be NULL")
+	}
+	// Label-reuse: single label-typed param returns the label itself.
+	lf3 := &LabelField{E: &ConstE{Val: l, Typ: nrc.LabelT}, Site: 6, Idx: 0, NParams: 1, Typ: nrc.LabelT}
+	if !value.Equal(lf3.Eval(nil), l) {
+		t.Fatal("label reuse destructuring failed")
+	}
+}
+
+func TestRemapExpr(t *testing.T) {
+	e := &ArithE{Op: nrc.Mul, L: &Col{Idx: 2, Typ: nrc.RealT}, R: &Col{Idx: 0, Typ: nrc.RealT}, Typ: nrc.RealT}
+	r := RemapExpr(e, map[int]int{2: 0, 0: 1}).(*ArithE)
+	if r.L.(*Col).Idx != 0 || r.R.(*Col).Idx != 1 {
+		t.Fatal("remap failed")
+	}
+	cols := ExprCols(e, nil)
+	if len(cols) != 2 {
+		t.Fatalf("expr cols: %v", cols)
+	}
+}
+
+func TestColumnsThroughOperators(t *testing.T) {
+	s := scanR()
+	ext := &Extend{In: s, Exprs: []NamedExpr{{Name: "d", Expr: &ConstE{Val: int64(1), Typ: nrc.IntT}}}}
+	if len(ext.Columns()) != 4 || ext.Columns()[3].Name != "d" {
+		t.Fatalf("extend cols: %v", ext.Columns())
+	}
+	j := &Join{L: s, R: scanR(), LCols: []int{0}, RCols: []int{0}}
+	if len(j.Columns()) != 6 {
+		t.Fatal("join cols")
+	}
+	n := &Nest{In: s, GroupCols: []int{0}, ValueCols: []int{1, 2}, Agg: AggBag, OutName: "g"}
+	cols := n.Columns()
+	if len(cols) != 2 || cols[1].Name != "g" {
+		t.Fatalf("nest cols: %v", cols)
+	}
+	if _, ok := cols[1].Type.(nrc.BagType); !ok {
+		t.Fatal("nest output must be bag-typed")
+	}
+}
+
+func TestExplainContainsOperators(t *testing.T) {
+	s := scanR()
+	op := &Nest{In: &Join{L: s, R: scanR(), LCols: []int{0}, RCols: []int{0}, Outer: true},
+		GroupCols: []int{0}, ValueCols: []int{1}, Agg: AggBag, OutName: "g"}
+	text := Explain(op)
+	for _, frag := range []string{"Γ⊎", "⟕", "Scan R"} {
+		if !strings.Contains(text, frag) {
+			t.Fatalf("explain missing %q:\n%s", frag, text)
+		}
+	}
+}
+
+func TestPruneDropsDeadColumns(t *testing.T) {
+	// π(a) over Join(R, R on a=a): columns b and c of both sides are dead;
+	// pruning must narrow both join inputs.
+	s1, s2 := scanR(), scanR()
+	j := &Join{L: s1, R: s2, LCols: []int{0}, RCols: []int{0}}
+	p := &Project{In: j, Outs: []NamedExpr{{Name: "a", Expr: &Col{Idx: 0, Name: "a", Typ: nrc.IntT}}}}
+	pruned := Prune(p)
+	// The join's inputs must now be 1-column projections.
+	pj := pruned.(*Project).In.(*Join)
+	if len(pj.L.Columns()) != 1 || len(pj.R.Columns()) != 1 {
+		t.Fatalf("join inputs not narrowed:\n%s", Explain(pruned))
+	}
+}
+
+func TestPruneKeepsNestSemantics(t *testing.T) {
+	s := scanR()
+	n := &Nest{In: s, GroupCols: []int{0}, ValueCols: []int{1}, Agg: AggBag, OutName: "g"}
+	pruned := Prune(n).(*Nest)
+	// Column c is unused: input must be narrowed to (a, b).
+	if len(pruned.In.Columns()) != 2 {
+		t.Fatalf("nest input not narrowed:\n%s", Explain(pruned))
+	}
+	if len(pruned.GroupCols) != 1 || len(pruned.ValueCols) != 1 {
+		t.Fatal("nest columns lost")
+	}
+}
+
+func TestPruneDropsUnusedExtend(t *testing.T) {
+	s := scanR()
+	ext := &Extend{In: s, Exprs: []NamedExpr{
+		{Name: "dead", Expr: &ArithE{Op: nrc.Add, L: &Col{Idx: 0, Typ: nrc.IntT}, R: &Col{Idx: 0, Typ: nrc.IntT}, Typ: nrc.IntT}},
+	}}
+	p := &Project{In: ext, Outs: []NamedExpr{{Name: "b", Expr: &Col{Idx: 1, Name: "b", Typ: nrc.StringT}}}}
+	pruned := Prune(p)
+	if _, isExtend := pruned.(*Project).In.(*Extend); isExtend {
+		t.Fatalf("dead extend not eliminated:\n%s", Explain(pruned))
+	}
+}

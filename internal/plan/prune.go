@@ -1,0 +1,315 @@
+package plan
+
+import "fmt"
+
+// Prune performs column pruning (paper Section 3, Optimization): unused
+// columns are projected away before the data-moving operators (joins and
+// nests), and computed columns nobody reads are dropped. This is the
+// optimization that lets the shredded route drop all non-label attributes of
+// intermediate dictionaries (paper Section 6, nested-to-flat discussion).
+func Prune(op Op) Op {
+	need := make([]bool, len(op.Columns()))
+	for i := range need {
+		need[i] = true
+	}
+	out, _ := prune(op, need)
+	return out
+}
+
+// prune rewrites op to compute (at least) the needed columns, returning the
+// rewritten operator and the old→new position map, which covers every column
+// marked needed.
+func prune(op Op, need []bool) (Op, map[int]int) {
+	switch x := op.(type) {
+	case *Scan, *Values:
+		return op, identity(len(op.Columns()))
+
+	case *Select:
+		w := len(x.In.Columns())
+		childNeed := cloneNeed(need, w)
+		markCols(childNeed, ExprCols(x.Pred, nil))
+		markCols(childNeed, x.NullifyCols)
+		in, rm := prune(x.In, childNeed)
+		return &Select{
+			In:          in,
+			Pred:        RemapExpr(x.Pred, rm),
+			NullifyCols: remapInts(x.NullifyCols, rm),
+		}, rm
+
+	case *Extend:
+		base := len(x.In.Columns())
+		childNeed := make([]bool, base)
+		for i := 0; i < base && i < len(need); i++ {
+			childNeed[i] = need[i]
+		}
+		var kept []int
+		for i := range x.Exprs {
+			if need[base+i] {
+				kept = append(kept, i)
+				markCols(childNeed, ExprCols(x.Exprs[i].Expr, nil))
+			}
+		}
+		in, rm := prune(x.In, childNeed)
+		newBase := len(in.Columns())
+		exprs := make([]NamedExpr, len(kept))
+		out := copyMap(rm)
+		for j, i := range kept {
+			exprs[j] = NamedExpr{Name: x.Exprs[i].Name, Expr: RemapExpr(x.Exprs[i].Expr, rm)}
+			out[base+i] = newBase + j
+		}
+		if len(exprs) == 0 {
+			return in, out
+		}
+		return &Extend{In: in, Exprs: exprs}, out
+
+	case *Project:
+		childNeed := make([]bool, len(x.In.Columns()))
+		var outs []NamedExpr
+		out := map[int]int{}
+		for i, ne := range x.Outs {
+			if !need[i] {
+				continue
+			}
+			out[i] = len(outs)
+			outs = append(outs, ne)
+			markCols(childNeed, ExprCols(ne.Expr, nil))
+		}
+		in, rm := prune(x.In, childNeed)
+		for i := range outs {
+			outs[i] = NamedExpr{Name: outs[i].Name, Expr: RemapExpr(outs[i].Expr, rm)}
+		}
+		return &Project{In: in, Outs: outs, CastBags: x.CastBags}, out
+
+	case *AddIndex:
+		base := len(x.In.Columns())
+		childNeed := make([]bool, base)
+		for i := 0; i < base && i < len(need); i++ {
+			childNeed[i] = need[i]
+		}
+		in, rm := prune(x.In, childNeed)
+		out := copyMap(rm)
+		out[base] = len(in.Columns())
+		return &AddIndex{In: in, Name: x.Name}, out
+
+	case *Unnest:
+		base := len(x.In.Columns())
+		childNeed := make([]bool, base)
+		for i := 0; i < base && i < len(need); i++ {
+			childNeed[i] = need[i]
+		}
+		childNeed[x.BagCol] = true
+		in, rm := prune(x.In, childNeed)
+		out := copyMap(rm)
+		newBase := len(in.Columns())
+		for i := range x.ElemFields() {
+			out[base+i] = newBase + i
+		}
+		return &Unnest{In: in, BagCol: rm[x.BagCol], Prefix: x.Prefix, Outer: x.Outer}, out
+
+	case *Join:
+		lw := len(x.L.Columns())
+		rw := len(x.R.Columns())
+		lNeed := make([]bool, lw)
+		rNeed := make([]bool, rw)
+		for i := 0; i < lw && i < len(need); i++ {
+			lNeed[i] = need[i]
+		}
+		for i := 0; i < rw && lw+i < len(need); i++ {
+			rNeed[i] = need[lw+i]
+		}
+		markCols(lNeed, x.LCols)
+		markCols(rNeed, x.RCols)
+		l, lrm := pruneNarrow(x.L, lNeed)
+		r, rrm := pruneNarrow(x.R, rNeed)
+		out := copyMap(lrm)
+		nlw := len(l.Columns())
+		for old, nw := range rrm {
+			out[lw+old] = nlw + nw
+		}
+		return &Join{
+			L: l, R: r,
+			LCols: remapInts(x.LCols, lrm),
+			RCols: remapInts(x.RCols, rrm),
+			Outer: x.Outer,
+		}, out
+
+	case *Nest:
+		w := len(x.In.Columns())
+		childNeed := make([]bool, w)
+		markCols(childNeed, x.GroupCols)
+		markCols(childNeed, x.ValueCols)
+		markCols(childNeed, x.PresenceCols)
+		// Carry columns are only kept when the parent reads them.
+		var keptCarry []int
+		for j, c := range x.CarryCols {
+			outPos := len(x.GroupCols) + j
+			if outPos < len(need) && need[outPos] {
+				keptCarry = append(keptCarry, c)
+				childNeed[c] = true
+			}
+		}
+		in, rm := pruneNarrow(x.In, childNeed)
+		n := &Nest{
+			In:           in,
+			GroupCols:    remapInts(x.GroupCols, rm),
+			GDepth:       x.GDepth,
+			CarryCols:    remapInts(keptCarry, rm),
+			ValueCols:    remapInts(x.ValueCols, rm),
+			PresenceCols: remapInts(x.PresenceCols, rm),
+			Agg:          x.Agg,
+			Mode:         x.Mode,
+			OutName:      x.OutName,
+			ScalarElem:   x.ScalarElem,
+		}
+		// Output remap: groups keep positions; kept carries compact; the
+		// aggregate column(s) shift left by the dropped carries.
+		out := map[int]int{}
+		for i := range x.GroupCols {
+			out[i] = i
+		}
+		pos := len(x.GroupCols)
+		for j := range x.CarryCols {
+			old := len(x.GroupCols) + j
+			kept := false
+			for _, c := range keptCarry {
+				if c == x.CarryCols[j] {
+					kept = true
+					break
+				}
+			}
+			if kept {
+				out[old] = pos
+				pos++
+			}
+		}
+		aggWidth := 1
+		if x.Agg == AggSum {
+			aggWidth = len(x.ValueCols)
+		}
+		oldAggBase := len(x.GroupCols) + len(x.CarryCols)
+		for i := 0; i < aggWidth; i++ {
+			out[oldAggBase+i] = pos + i
+		}
+		return n, out
+
+	case *DedupOp:
+		// Dedup compares whole rows: every column is semantically needed.
+		all := make([]bool, len(x.In.Columns()))
+		for i := range all {
+			all[i] = true
+		}
+		in, rm := prune(x.In, all)
+		return &DedupOp{In: in}, rm
+
+	case *UnionAll:
+		// Both branches must keep identical layouts: require everything.
+		all := make([]bool, len(x.L.Columns()))
+		for i := range all {
+			all[i] = true
+		}
+		l, _ := prune(x.L, all)
+		r, _ := prune(x.R, all)
+		return &UnionAll{L: l, R: r}, identity(len(all))
+
+	case *BagToDict:
+		w := len(x.In.Columns())
+		childNeed := cloneNeed(need, w)
+		childNeed[x.LabelCol] = true
+		in, rm := prune(x.In, childNeed)
+		return &BagToDict{In: in, LabelCol: rm[x.LabelCol]}, rm
+	}
+	panic(fmt.Sprintf("plan: prune of unknown operator %T", op))
+}
+
+// pruneNarrow prunes the child and then inserts an explicit narrowing
+// projection when unused pass-through columns remain, so joins and nests
+// never shuffle dead columns.
+func pruneNarrow(op Op, need []bool) (Op, map[int]int) {
+	in, rm := prune(op, need)
+	cols := in.Columns()
+	// Columns actually required at the new positions.
+	req := make([]bool, len(cols))
+	for old, ok := range iterNeed(need) {
+		if ok {
+			req[rm[old]] = true
+		}
+	}
+	n := 0
+	for _, ok := range req {
+		if ok {
+			n++
+		}
+	}
+	if n == len(cols) {
+		return in, rm
+	}
+	var outs []NamedExpr
+	newPos := map[int]int{}
+	for i, ok := range req {
+		if !ok {
+			continue
+		}
+		newPos[i] = len(outs)
+		outs = append(outs, NamedExpr{Name: cols[i].Name, Expr: &Col{Idx: i, Name: cols[i].Name, Typ: cols[i].Type}})
+	}
+	final := map[int]int{}
+	for old, ok := range iterNeed(need) {
+		if ok {
+			final[old] = newPos[rm[old]]
+		}
+	}
+	return &Project{In: in, Outs: outs}, final
+}
+
+func iterNeed(need []bool) map[int]bool {
+	out := make(map[int]bool, len(need))
+	for i, ok := range need {
+		out[i] = ok
+	}
+	return out
+}
+
+func identity(n int) map[int]int {
+	out := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = i
+	}
+	return out
+}
+
+func cloneNeed(need []bool, w int) []bool {
+	out := make([]bool, w)
+	for i := 0; i < w && i < len(need); i++ {
+		out[i] = need[i]
+	}
+	return out
+}
+
+func markCols(need []bool, cols []int) {
+	for _, c := range cols {
+		need[c] = true
+	}
+}
+
+func remapInts(xs []int, rm map[int]int) []int {
+	if xs == nil {
+		return nil
+	}
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		n, ok := rm[x]
+		if !ok {
+			panic(fmt.Sprintf("plan: prune lost column %d", x))
+		}
+		out[i] = n
+	}
+	return out
+}
+
+func copyMap(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/trance-go/trance/internal/core"
+	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/exec"
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/shred"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// PipelineStep is one constituent query of a multi-step pipeline; it may
+// reference the outputs of earlier steps by name.
+type PipelineStep struct {
+	Name  string
+	Query nrc.Expr
+}
+
+// PipelineResult reports a pipeline run: per-step runtimes and the first
+// failure, if any. In shredded strategies intermediate results stay shredded
+// between steps (paper Section 4: shredded output feeds the next constituent
+// query without reconstruction).
+type PipelineResult struct {
+	Strategy    Strategy
+	StepElapsed []time.Duration
+	FailedStep  int // -1 when every step completed
+	Err         error
+	Metrics     dataflow.Snapshot
+	// Output is the final step's result dataset (top bag when shredded).
+	Output *dataflow.Dataset
+}
+
+// Failed reports whether any step crashed.
+func (r *PipelineResult) Failed() bool { return r.Err != nil }
+
+// RunPipeline executes the steps in order under one strategy, binding each
+// step's output as an input of later steps.
+func RunPipeline(steps []PipelineStep, env nrc.Env, inputs map[string]value.Bag, strat Strategy, cfg Config) *PipelineResult {
+	ctx := dataflow.NewContext(cfg.Parallelism)
+	ctx.MaxPartitionBytes = cfg.MaxPartitionBytes
+	ctx.BroadcastLimit = cfg.BroadcastLimit
+	if strat == SparkSQLStyle {
+		ctx.DisableGuarantees = true
+	}
+	res := &PipelineResult{Strategy: strat, FailedStep: -1}
+
+	// Accumulate step output types.
+	scope := nrc.Env{}
+	for k, v := range env {
+		scope[k] = v
+	}
+
+	ex := exec.New(ctx)
+	ex.SkewAware = strat.skewAware()
+
+	if strat.IsShredded() {
+		runPipelineShredded(steps, scope, inputs, ex, cfg, res)
+	} else {
+		runPipelineStandard(steps, scope, inputs, ex, cfg, res)
+	}
+	res.Metrics = ctx.Metrics.Snapshot()
+	return res
+}
+
+func runPipelineStandard(steps []PipelineStep, scope nrc.Env, inputs map[string]value.Bag, ex *exec.Executor, cfg Config, res *PipelineResult) {
+	for name, b := range inputs {
+		ex.BindRows(name, rowsOf(b))
+	}
+	for i, st := range steps {
+		t, err := nrc.Check(st.Query, scope)
+		if err != nil {
+			res.fail(i, fmt.Errorf("step %s: %w", st.Name, err))
+			return
+		}
+		c, err := core.NewCompiler(scope)
+		if err != nil {
+			res.fail(i, err)
+			return
+		}
+		c.NoPrune = cfg.NoColumnPruning
+		op, err := c.Compile(st.Query)
+		if err != nil {
+			res.fail(i, fmt.Errorf("step %s compile: %w", st.Name, err))
+			return
+		}
+		start := time.Now()
+		out, err := ex.Run(op)
+		res.StepElapsed = append(res.StepElapsed, time.Since(start))
+		if err != nil {
+			res.fail(i, fmt.Errorf("step %s: %w", st.Name, err))
+			return
+		}
+		ex.Bind(st.Name, out)
+		scope[st.Name] = t
+		res.Output = out
+	}
+}
+
+func runPipelineShredded(steps []PipelineStep, scope nrc.Env, inputs map[string]value.Bag, ex *exec.Executor, cfg Config, res *PipelineResult) {
+	// Value-shred the base inputs (input preparation, untimed).
+	for name, b := range inputs {
+		bt, ok := scope[name].(nrc.BagType)
+		if !ok {
+			res.fail(0, fmt.Errorf("input %s is not a bag", name))
+			return
+		}
+		si, err := shred.ShredInput(name, b, bt)
+		if err != nil {
+			res.fail(0, err)
+			return
+		}
+		for comp, rows := range si.Rows {
+			ex.BindRows(comp, tuplesToRows(rows))
+		}
+	}
+
+	for i, st := range steps {
+		t, err := nrc.Check(st.Query, scope)
+		if err != nil {
+			res.fail(i, fmt.Errorf("step %s: %w", st.Name, err))
+			return
+		}
+		mat, err := shred.ShredQuery(st.Query, scope, st.Name, shred.Options{DomainElimination: cfg.DomainElimination})
+		if err != nil {
+			res.fail(i, fmt.Errorf("step %s shredding: %w", st.Name, err))
+			return
+		}
+		cenv := nrc.Env{}
+		for name, it := range scope {
+			b, ok := it.(nrc.BagType)
+			if !ok {
+				continue
+			}
+			ienv, err := shred.InputEnv(name, b)
+			if err != nil {
+				res.fail(i, err)
+				return
+			}
+			for k, v := range ienv {
+				cenv[k] = v
+			}
+		}
+		c, err := core.NewCompiler(cenv)
+		if err != nil {
+			res.fail(i, err)
+			return
+		}
+		c.NoPrune = cfg.NoColumnPruning
+		stmts, err := c.CompileProgram(mat.Program)
+		if err != nil {
+			res.fail(i, fmt.Errorf("step %s compile: %w", st.Name, err))
+			return
+		}
+		start := time.Now()
+		outs, err := ex.RunProgram(stmts)
+		res.StepElapsed = append(res.StepElapsed, time.Since(start))
+		if err != nil {
+			res.fail(i, fmt.Errorf("step %s: %w", st.Name, err))
+			return
+		}
+		// Register the step's shredded output as an input of later steps
+		// under the MatName convention.
+		ex.Bind(shred.MatName(st.Name, nil), outs[mat.TopName])
+		scope[st.Name] = t
+		res.Output = outs[mat.TopName]
+	}
+}
+
+func (r *PipelineResult) fail(step int, err error) {
+	r.FailedStep = step
+	r.Err = err
+}

@@ -1,0 +1,292 @@
+// Package runner orchestrates the evaluation strategies compared in the
+// paper's experiments (Section 6): the standard compilation route, the
+// shredded route with and without unshredding, their skew-aware variants, and
+// a SparkSQL-style flattening baseline.
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/trance-go/trance/internal/core"
+	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/exec"
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
+	"github.com/trance-go/trance/internal/shred"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Strategy selects an evaluation route.
+type Strategy int
+
+// The strategies of the paper's evaluation.
+const (
+	// Standard is the standard compilation route (paper Section 3).
+	Standard Strategy = iota
+	// SparkSQLStyle models the paper's SparkSQL competitor: flattening with
+	// operators kept at their source relations (no partitioning-guarantee
+	// reuse, no cogroup fusion, no shredding).
+	SparkSQLStyle
+	// Shred is shredded compilation with domain elimination, leaving the
+	// output in shredded (materialized dictionary) form.
+	Shred
+	// ShredUnshred additionally restores the nested output.
+	ShredUnshred
+	// StandardSkew is Standard with skew-aware operators.
+	StandardSkew
+	// ShredSkew is Shred with skew-aware operators.
+	ShredSkew
+	// ShredUnshredSkew is ShredUnshred with skew-aware operators.
+	ShredUnshredSkew
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Standard:
+		return "STANDARD"
+	case SparkSQLStyle:
+		return "SPARK-SQL"
+	case Shred:
+		return "SHRED"
+	case ShredUnshred:
+		return "SHRED+UNSHRED"
+	case StandardSkew:
+		return "STANDARD-SKEW"
+	case ShredSkew:
+		return "SHRED-SKEW"
+	case ShredUnshredSkew:
+		return "SHRED+UNSHRED-SKEW"
+	}
+	return "?"
+}
+
+// IsShredded reports whether the strategy runs the shredded pipeline.
+func (s Strategy) IsShredded() bool {
+	switch s {
+	case Shred, ShredUnshred, ShredSkew, ShredUnshredSkew:
+		return true
+	}
+	return false
+}
+
+func (s Strategy) skewAware() bool {
+	switch s {
+	case StandardSkew, ShredSkew, ShredUnshredSkew:
+		return true
+	}
+	return false
+}
+
+func (s Strategy) unshreds() bool {
+	return s == ShredUnshred || s == ShredUnshredSkew
+}
+
+// Config sizes the simulated cluster.
+type Config struct {
+	Parallelism       int
+	MaxPartitionBytes int64
+	BroadcastLimit    int64
+	// DomainElimination toggles the Section 4 optimization (on for the
+	// paper's Shred strategy; the ablation bench turns it off).
+	DomainElimination bool
+	// NoColumnPruning disables column pruning (paper Section 3
+	// optimizations; used by the ablation bench).
+	NoColumnPruning bool
+}
+
+// DefaultConfig returns a laptop-scale stand-in for the paper's cluster.
+func DefaultConfig() Config {
+	return Config{
+		Parallelism:       8,
+		MaxPartitionBytes: 0,
+		BroadcastLimit:    64 << 10,
+		DomainElimination: true,
+	}
+}
+
+// Job is a query over named nested inputs.
+type Job struct {
+	Name  string
+	Query nrc.Expr
+	Env   nrc.Env
+	// Inputs provides nested input values. Standard routes bind them as
+	// top-level rows; shredded routes value-shred them before the timer
+	// starts (the paper reports runtime after caching all inputs).
+	Inputs map[string]value.Bag
+}
+
+// Result reports one strategy execution.
+type Result struct {
+	Strategy Strategy
+	// Output is the result dataset: nested rows for Standard/SparkSQL and
+	// unshredding strategies, the materialized top bag for Shred.
+	Output *dataflow.Dataset
+	// Shredded holds every materialized assignment for shredded strategies.
+	Shredded map[string]*dataflow.Dataset
+	// Mat is the materialized program (shredded strategies only).
+	Mat     *shred.Materialized
+	Metrics dataflow.Snapshot
+	Elapsed time.Duration
+	// Err is non-nil when the run failed (e.g. simulated memory saturation —
+	// the paper's F entries).
+	Err error
+}
+
+// Failed reports whether the run crashed.
+func (r *Result) Failed() bool { return r.Err != nil }
+
+// Run executes the job under the given strategy.
+func Run(job Job, strat Strategy, cfg Config) *Result {
+	ctx := dataflow.NewContext(cfg.Parallelism)
+	ctx.MaxPartitionBytes = cfg.MaxPartitionBytes
+	ctx.BroadcastLimit = cfg.BroadcastLimit
+	if strat == SparkSQLStyle {
+		ctx.DisableGuarantees = true
+	}
+	res := &Result{Strategy: strat}
+
+	if strat.IsShredded() {
+		runShredded(job, strat, cfg, ctx, res)
+	} else {
+		runStandard(job, strat, cfg, ctx, res)
+	}
+	res.Metrics = ctx.Metrics.Snapshot()
+	return res
+}
+
+func runStandard(job Job, strat Strategy, cfg Config, ctx *dataflow.Context, res *Result) {
+	if _, err := nrc.Check(job.Query, job.Env); err != nil {
+		res.Err = err
+		return
+	}
+	c, err := core.NewCompiler(job.Env)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	c.NoPrune = cfg.NoColumnPruning
+	op, err := c.Compile(job.Query)
+	if err != nil {
+		res.Err = fmt.Errorf("compile: %w", err)
+		return
+	}
+	ex := exec.New(ctx)
+	ex.SkewAware = strat.skewAware()
+	for name, b := range job.Inputs {
+		ex.BindRows(name, rowsOf(b))
+	}
+
+	start := time.Now()
+	out, err := ex.Run(op)
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	res.Output = out
+}
+
+func runShredded(job Job, strat Strategy, cfg Config, ctx *dataflow.Context, res *Result) {
+	mat, err := shred.ShredQuery(job.Query, job.Env, "Q", shred.Options{DomainElimination: cfg.DomainElimination})
+	if err != nil {
+		res.Err = fmt.Errorf("shredding: %w", err)
+		return
+	}
+	res.Mat = mat
+
+	// Compiler environment: shredded components of every input.
+	cenv := nrc.Env{}
+	for name, t := range job.Env {
+		b, ok := t.(nrc.BagType)
+		if !ok {
+			res.Err = fmt.Errorf("input %s is not a bag", name)
+			return
+		}
+		ienv, err := shred.InputEnv(name, b)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		for k, v := range ienv {
+			cenv[k] = v
+		}
+	}
+	c, err := core.NewCompiler(cenv)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	c.NoPrune = cfg.NoColumnPruning
+	stmts, err := c.CompileProgram(mat.Program)
+	if err != nil {
+		res.Err = fmt.Errorf("compile shredded: %w", err)
+		return
+	}
+
+	// Value-shred the inputs (input preparation, outside the timer).
+	ex := exec.New(ctx)
+	ex.SkewAware = strat.skewAware()
+	for name, b := range job.Inputs {
+		si, err := shred.ShredInput(name, b, job.Env[name].(nrc.BagType))
+		if err != nil {
+			res.Err = err
+			return
+		}
+		for comp, rows := range si.Rows {
+			ex.BindRows(comp, tuplesToRows(rows))
+		}
+	}
+
+	start := time.Now()
+	outs, err := ex.RunProgram(stmts)
+	if err != nil {
+		res.Elapsed = time.Since(start)
+		res.Err = err
+		return
+	}
+	res.Shredded = outs
+	res.Output = outs[mat.TopName]
+
+	if strat.unshreds() {
+		uplan, err := shred.BuildUnshredPlan(mat)
+		if err != nil {
+			res.Elapsed = time.Since(start)
+			res.Err = err
+			return
+		}
+		if !cfg.NoColumnPruning {
+			uplan = plan.Prune(uplan)
+		}
+		out, err := ex.Run(uplan)
+		res.Elapsed = time.Since(start)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		res.Output = out
+		return
+	}
+	res.Elapsed = time.Since(start)
+}
+
+func rowsOf(b value.Bag) []dataflow.Row {
+	out := make([]dataflow.Row, len(b))
+	for i, e := range b {
+		if t, ok := e.(value.Tuple); ok {
+			out[i] = dataflow.Row(t)
+		} else {
+			out[i] = dataflow.Row{e}
+		}
+	}
+	return out
+}
+
+func tuplesToRows(ts []value.Tuple) []dataflow.Row {
+	out := make([]dataflow.Row, len(ts))
+	for i, t := range ts {
+		out[i] = dataflow.Row(t)
+	}
+	return out
+}

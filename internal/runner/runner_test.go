@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"testing"
+
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/testdata"
+	"github.com/trance-go/trance/internal/value"
+)
+
+func TestStrategyNames(t *testing.T) {
+	names := map[Strategy]string{
+		Standard:      "STANDARD",
+		SparkSQLStyle: "SPARK-SQL",
+		Shred:         "SHRED",
+		ShredUnshred:  "SHRED+UNSHRED",
+		ShredSkew:     "SHRED-SKEW",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d: got %s want %s", s, s, want)
+		}
+	}
+	if !Shred.IsShredded() || Standard.IsShredded() {
+		t.Fatal("IsShredded wrong")
+	}
+	if !ShredSkew.skewAware() || Shred.skewAware() {
+		t.Fatal("skewAware wrong")
+	}
+	if !ShredUnshred.unshreds() || Shred.unshreds() {
+		t.Fatal("unshreds wrong")
+	}
+}
+
+func TestRunReportsCompileErrors(t *testing.T) {
+	q := nrc.ForIn("x", nrc.V("Missing"), nrc.SingOf(nrc.Record("a", nrc.C(1))))
+	res := Run(Job{Query: q, Env: nrc.Env{}, Inputs: nil}, Standard, DefaultConfig())
+	if !res.Failed() {
+		t.Fatal("unbound input must fail")
+	}
+}
+
+func TestRunShredExposesMaterializedProgram(t *testing.T) {
+	inputs := map[string]value.Bag{"COP": testdata.SmallCOP(), "Part": testdata.SmallPart()}
+	res := Run(Job{Query: testdata.RunningExample(), Env: testdata.Env(), Inputs: inputs},
+		Shred, DefaultConfig())
+	if res.Failed() {
+		t.Fatal(res.Err)
+	}
+	if res.Mat == nil || len(res.Mat.Dicts) != 2 {
+		t.Fatalf("materialized metadata missing: %+v", res.Mat)
+	}
+	if res.Shredded[res.Mat.TopName] == nil {
+		t.Fatal("top bag dataset missing")
+	}
+	for _, d := range res.Mat.Dicts {
+		if res.Shredded[d.Name] == nil {
+			t.Fatalf("dictionary %s dataset missing", d.Name)
+		}
+	}
+}
+
+func TestPipelineFailurePropagates(t *testing.T) {
+	steps := []PipelineStep{
+		{Name: "S1", Query: nrc.ForIn("x", nrc.V("R"), nrc.SingOf(nrc.Record("a", nrc.P(nrc.V("x"), "a"))))},
+		{Name: "S2", Query: nrc.ForIn("x", nrc.V("Nope"), nrc.SingOf(nrc.Record("a", nrc.P(nrc.V("x"), "a"))))},
+	}
+	env := nrc.Env{"R": nrc.BagOf(nrc.Tup("a", nrc.IntT))}
+	inputs := map[string]value.Bag{"R": {value.Tuple{int64(1)}}}
+	res := RunPipeline(steps, env, inputs, Standard, DefaultConfig())
+	if !res.Failed() || res.FailedStep != 1 {
+		t.Fatalf("expected failure at step 1, got %d / %v", res.FailedStep, res.Err)
+	}
+	if len(res.StepElapsed) != 1 {
+		t.Fatalf("step timings: %v", res.StepElapsed)
+	}
+}
+
+func TestNoColumnPruningStillCorrect(t *testing.T) {
+	inputs := map[string]value.Bag{"COP": testdata.SmallCOP(), "Part": testdata.SmallPart()}
+	cfg := DefaultConfig()
+	cfg.NoColumnPruning = true
+	a := Run(Job{Query: testdata.RunningExample(), Env: testdata.Env(), Inputs: inputs}, Standard, cfg)
+	b := Run(Job{Query: testdata.RunningExample(), Env: testdata.Env(), Inputs: inputs}, Standard, DefaultConfig())
+	if a.Failed() || b.Failed() {
+		t.Fatalf("%v / %v", a.Err, b.Err)
+	}
+	ab := make(value.Bag, 0)
+	for _, r := range a.Output.Collect() {
+		ab = append(ab, value.Tuple(r))
+	}
+	bb := make(value.Bag, 0)
+	for _, r := range b.Output.Collect() {
+		bb = append(bb, value.Tuple(r))
+	}
+	if !value.Equal(ab, bb) {
+		t.Fatal("pruning changed results")
+	}
+	if a.Metrics.ShuffleBytes < b.Metrics.ShuffleBytes {
+		t.Fatal("pruning should not increase shuffle volume")
+	}
+}

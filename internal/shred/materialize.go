@@ -1,0 +1,251 @@
+package shred
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/trance-go/trance/internal/nrc"
+)
+
+// Options configure materialization.
+type Options struct {
+	// DomainElimination enables the two rewrite rules of paper Section 4
+	// that compute dictionaries directly from their parents instead of
+	// iterating label domains. On by default via DefaultOptions.
+	DomainElimination bool
+}
+
+// DefaultOptions is the configuration used by the paper's Shred strategy.
+func DefaultOptions() Options { return Options{DomainElimination: true} }
+
+// DictInfo describes one materialized output dictionary.
+type DictInfo struct {
+	Name string
+	Path []string // attribute path from the output root
+}
+
+// Materialized is the result of shredding + materialization: a flat NRC
+// program (one assignment for the top bag plus one per dictionary, in
+// dependency order) and the metadata needed to unshred the output.
+type Materialized struct {
+	Program *nrc.Program
+	TopName string
+	Dicts   []DictInfo
+	// OutType is the original nested output type, used for unshredding.
+	OutType nrc.BagType
+}
+
+// Inputs returns the free input names of the materialized program (shredded
+// input components plus flat relations), excluding internal assignments.
+func (m *Materialized) Inputs() []string {
+	assigned := map[string]bool{}
+	seen := map[string]bool{}
+	var out []string
+	for _, st := range m.Program.Stmts {
+		for fv := range nrc.FreeVars(st.Expr) {
+			if !assigned[fv] && !seen[fv] {
+				seen[fv] = true
+				out = append(out, fv)
+			}
+		}
+		assigned[st.Name] = true
+	}
+	return out
+}
+
+// ShredQuery shreds a checked query and materializes the result as a flat
+// program named topName (paper Figures 4 and 5 composed).
+func ShredQuery(q nrc.Expr, env nrc.Env, topName string, opts Options) (*Materialized, error) {
+	q = nrc.InlineLets(q)
+	qt, err := nrc.Check(q, env)
+	if err != nil {
+		return nil, err
+	}
+	outType, ok := qt.(nrc.BagType)
+	if !ok {
+		return nil, fmt.Errorf("shred: query must be bag-typed, got %s", qt)
+	}
+	s, err := NewShredder(env)
+	if err != nil {
+		return nil, err
+	}
+	flat, tree, err := s.Shred(q)
+	if err != nil {
+		return nil, err
+	}
+	m := &materializer{sh: s, opts: opts, out: &Materialized{
+		Program: &nrc.Program{},
+		TopName: topName,
+		OutType: outType,
+	}}
+	if err := m.run(flat, tree, topName); err != nil {
+		return nil, err
+	}
+	return m.out, nil
+}
+
+type materializer struct {
+	sh    *Shredder
+	opts  Options
+	out   *Materialized
+	fresh int
+}
+
+func (m *materializer) freshVar(prefix string) string {
+	m.fresh++
+	return fmt.Sprintf("%s%d", prefix, m.fresh)
+}
+
+func (m *materializer) emit(name string, e nrc.Expr) {
+	m.out.Program.Stmts = append(m.out.Program.Stmts, nrc.Assignment{Name: name, Expr: e})
+}
+
+// run implements the Materialize procedure of paper Figure 5: emit the top
+// assignment with symbolic dictionaries replaced, then traverse the
+// dictionary tree top-down.
+func (m *materializer) run(flat nrc.Expr, tree *DictTree, topName string) error {
+	top, err := m.replaceSymbolicDicts(flat)
+	if err != nil {
+		return err
+	}
+	m.emit(topName, top)
+	return m.materializeTree(tree, topName, nil)
+}
+
+// materializeTree is MaterializeDict of paper Figure 5, extended with the
+// flattened (label, element…) dictionary encoding and domain elimination.
+func (m *materializer) materializeTree(tree *DictTree, parentName string, path []string) error {
+	if tree == nil {
+		return nil
+	}
+	// Deterministic order: attribute names sorted.
+	var attrs []string
+	for a := range tree.Entries {
+		attrs = append(attrs, a)
+	}
+	sortStrings(attrs)
+	for _, a := range attrs {
+		entry := tree.Entries[a]
+		if entry.MatName != "" && entry.Body == nil && entry.Alts == nil {
+			// Input dictionary passed through unchanged to the output: the
+			// output references input labels, so downstream consumers (and
+			// unshredding) read the input dictionary directly. Emit an alias.
+			p := append(append([]string{}, path...), a)
+			name := m.out.TopName + "__" + strings.Join(p, "_")
+			alias := &nrc.Var{Name: entry.MatName}
+			m.emit(name, alias)
+			m.out.Dicts = append(m.out.Dicts, DictInfo{Name: name, Path: p})
+			if err := m.materializeTree(entry.Child, name, p); err != nil {
+				return err
+			}
+			continue
+		}
+		p := append(append([]string{}, path...), a)
+		name := m.out.TopName + "__" + strings.Join(p, "_")
+		expr, err := m.dictAssignment(entry, parentName, a)
+		if err != nil {
+			return fmt.Errorf("dictionary %s: %w", name, err)
+		}
+		m.emit(name, expr)
+		entry.MatName = name
+		m.out.Dicts = append(m.out.Dicts, DictInfo{Name: name, Path: p})
+		if err := m.materializeTree(entry.Child, name, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dictAssignment produces the expression computing a dictionary in the
+// flattened encoding: a bag of ⟨label, element fields…⟩ rows.
+func (m *materializer) dictAssignment(entry *DictEntry, parentName, attr string) (nrc.Expr, error) {
+	if entry.Alts != nil {
+		var out nrc.Expr
+		for _, alt := range entry.Alts {
+			e, err := m.dictAssignment(alt, parentName, attr)
+			if err != nil {
+				return nil, err
+			}
+			if out == nil {
+				out = e
+			} else {
+				out = &nrc.Union{L: out, R: e}
+			}
+		}
+		return out, nil
+	}
+
+	if m.opts.DomainElimination {
+		if e, ok, err := m.tryRule1(entry); err != nil {
+			return nil, err
+		} else if ok {
+			return e, nil
+		}
+		if e, ok, err := m.tryRule2(entry); err != nil {
+			return nil, err
+		} else if ok {
+			return e, nil
+		}
+	}
+	return m.baseline(entry, parentName, attr)
+}
+
+// baseline is the unoptimized materialization of paper Figure 5: compute the
+// label domain from the parent assignment, then evaluate the symbolic
+// dictionary per label. The label column is threaded into the body's
+// comprehension head so correlated lookups stay in one pipeline.
+func (m *materializer) baseline(entry *DictEntry, parentName, attr string) (nrc.Expr, error) {
+	body, err := m.replaceSymbolicDicts(entry.Body)
+	if err != nil {
+		return nil, err
+	}
+	xv, lv := m.freshVar("x"), m.freshVar("l")
+
+	domName := "LabDomain_" + m.freshVar("d")
+	dom := &nrc.Dedup{E: &nrc.For{
+		Var:    xv,
+		Source: &nrc.Var{Name: parentName},
+		Body: &nrc.Sing{Elem: &nrc.TupleCtor{Fields: []nrc.NamedExpr{
+			{Name: "label", Expr: nrc.P(nrc.V(xv), attr)},
+		}}},
+	}}
+	m.emit(domName, dom)
+
+	lbl := nrc.P(nrc.V(lv), "label")
+	inner, sum := unwrapSumBy(body)
+	inner, err = addLabelToHead(inner, lbl)
+	if err != nil {
+		return nil, fmt.Errorf("baseline materialization: %w", err)
+	}
+	paramNames := make([]string, len(entry.Params))
+	paramTypes := make([]nrc.Type, len(entry.Params))
+	for i, pr := range entry.Params {
+		paramNames[i] = pr.Name
+		paramTypes[i] = pr.Type
+	}
+	out := nrc.Expr(&nrc.For{
+		Var:    lv,
+		Source: &nrc.Var{Name: domName},
+		Body: &nrc.MatchLabel{
+			Label:      lbl,
+			Site:       entry.Site,
+			Params:     paramNames,
+			ParamTypes: paramTypes,
+			Body:       inner,
+		},
+	})
+	if sum != nil {
+		// Per-label aggregates commute with the label iteration because the
+		// deduplicated domain makes label groups disjoint.
+		out = &nrc.SumBy{E: out, Keys: append([]string{"label"}, sum.Keys...), Values: sum.Values}
+	}
+	return out, nil
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

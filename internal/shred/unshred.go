@@ -1,0 +1,129 @@
+package shred
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
+)
+
+// BuildUnshredPlan constructs the plan that restores nested output from the
+// materialized top bag and dictionaries: bottom-up, each dictionary is
+// grouped by label into bags (a structural Γ⊎) and outer-joined back into
+// its parent, with NULLs cast to empty bags. Executing this plan through the
+// executor meters the regrouping shuffles that the paper's Unshred series
+// measures (and inherits skew-aware operators when enabled).
+func BuildUnshredPlan(m *Materialized) (plan.Op, error) {
+	dictByPath := map[string]string{}
+	for _, d := range m.Dicts {
+		dictByPath[strings.Join(d.Path, "_")] = d.Name
+	}
+	topCols, err := flatCols(m.OutType.Elem)
+	if err != nil {
+		return nil, err
+	}
+	top := plan.Op(&plan.Scan{Input: m.TopName, Cols: topCols})
+	return attachBags(top, m.OutType.Elem, nil, dictByPath, true)
+}
+
+// attachBags joins each bag-valued attribute's (recursively nested)
+// dictionary into op, replacing label columns by bag columns.
+func attachBags(op plan.Op, elem nrc.Type, path []string, dicts map[string]string, isRoot bool) (plan.Op, error) {
+	tt, ok := elem.(nrc.TupleType)
+	if !ok {
+		return op, nil
+	}
+	type bagAttr struct {
+		idx    int
+		field  nrc.Field
+		bagCol int
+	}
+	var bags []bagAttr
+	labelOffset := 0
+	if !isRoot {
+		labelOffset = 1 // dictionary scans carry the label in column 0
+	}
+	for i, f := range tt.Fields {
+		if _, isBag := f.Type.(nrc.BagType); isBag {
+			bags = append(bags, bagAttr{idx: i, field: f})
+		}
+	}
+	if len(bags) == 0 {
+		return op, nil
+	}
+
+	// Track where each original column currently lives as joins widen rows.
+	pos := make([]int, len(tt.Fields))
+	for i := range tt.Fields {
+		pos[i] = labelOffset + i
+	}
+	bagPos := map[int]int{} // field index → bag column position
+
+	for bi := range bags {
+		b := &bags[bi]
+		p := append(append([]string{}, path...), b.field.Name)
+		key := strings.Join(p, "_")
+		dictName, okD := dicts[key]
+		if !okD {
+			return nil, fmt.Errorf("shred: no materialized dictionary for path %s", key)
+		}
+		bt := b.field.Type.(nrc.BagType)
+		elemCols, err := flatCols(bt.Elem)
+		if err != nil {
+			return nil, err
+		}
+		dictScan := plan.Op(&plan.Scan{
+			Input: dictName,
+			Cols:  append([]plan.Column{{Name: "label", Type: nrc.LabelT}}, elemCols...),
+		})
+		// Recursively materialize deeper bags inside the dictionary rows.
+		dictOp, err := attachBags(dictScan, bt.Elem, p, dicts, false)
+		if err != nil {
+			return nil, err
+		}
+		// Group the dictionary by label into bags.
+		n := len(dictOp.Columns())
+		valueCols := make([]int, 0, n-1)
+		for i := 1; i < n; i++ {
+			valueCols = append(valueCols, i)
+		}
+		scalarElem := !isTupleType(bt.Elem)
+		grouped := &plan.Nest{
+			In: dictOp, GroupCols: []int{0}, GDepth: 1,
+			ValueCols: valueCols, Agg: plan.AggBag, Mode: plan.Structural,
+			OutName: b.field.Name, ScalarElem: scalarElem,
+		}
+		// Outer-join the bags back on the label attribute.
+		lw := len(op.Columns())
+		op = &plan.Join{L: op, R: grouped, LCols: []int{pos[b.idx]}, RCols: []int{0}, Outer: true}
+		bagPos[b.idx] = lw + 1
+	}
+
+	// Final projection: original field order, labels replaced by bags (NULL
+	// bags cast to empty), plus the dictionary label key at nested levels.
+	cols := op.Columns()
+	var outs []plan.NamedExpr
+	if !isRoot {
+		outs = append(outs, plan.NamedExpr{Name: "label", Expr: &plan.Col{Idx: 0, Name: "label", Typ: nrc.LabelT}})
+	}
+	for i, f := range tt.Fields {
+		if bp, isBag := bagPos[i]; isBag {
+			outs = append(outs, plan.NamedExpr{
+				Name: f.Name,
+				Expr: &plan.CastNullBag{E: &plan.Col{Idx: bp, Name: f.Name, Typ: cols[bp].Type}},
+			})
+			continue
+		}
+		outs = append(outs, plan.NamedExpr{
+			Name: f.Name,
+			Expr: &plan.Col{Idx: pos[i], Name: f.Name, Typ: cols[pos[i]].Type},
+		})
+	}
+	return &plan.Project{In: op, Outs: outs, CastBags: true}, nil
+}
+
+func isTupleType(t nrc.Type) bool {
+	_, ok := t.(nrc.TupleType)
+	return ok
+}

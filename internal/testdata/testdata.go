@@ -1,0 +1,133 @@
+// Package testdata provides shared fixtures: the paper's running example
+// (Example 1 — the COP/Part query) and random nested-data generators used by
+// property tests across the compiler packages.
+package testdata
+
+import (
+	"math/rand"
+
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// OPartType is the innermost element of COP: ⟨pid: int, qty: real⟩.
+var OPartType = nrc.Tup("pid", nrc.IntT, "qty", nrc.RealT)
+
+// COrderType is ⟨odate: date, oparts: Bag(OPartType)⟩.
+var COrderType = nrc.Tup("odate", nrc.DateT, "oparts", nrc.BagOf(OPartType))
+
+// COPType is the paper's COP relation type:
+// Bag(⟨cname: string, corders: Bag(⟨odate: date, oparts: Bag(⟨pid,qty⟩)⟩)⟩).
+var COPType = nrc.BagOf(nrc.Tup("cname", nrc.StringT, "corders", nrc.BagOf(COrderType)))
+
+// PartType is Bag(⟨pid: int, pname: string, price: real⟩).
+var PartType = nrc.BagOf(nrc.Tup("pid", nrc.IntT, "pname", nrc.StringT, "price", nrc.RealT))
+
+// Env is the input environment of the running example.
+func Env() nrc.Env {
+	return nrc.Env{"COP": COPType, "Part": PartType}
+}
+
+// RunningExample is the paper's Example 1 query: for each customer and each
+// of their orders, the total amount spent per part name.
+func RunningExample() nrc.Expr {
+	inner := nrc.SumByOf(
+		nrc.ForIn("op", nrc.P(nrc.V("co"), "oparts"),
+			nrc.ForIn("p", nrc.V("Part"),
+				nrc.IfThen(nrc.EqOf(nrc.P(nrc.V("op"), "pid"), nrc.P(nrc.V("p"), "pid")),
+					nrc.SingOf(nrc.Record(
+						"pname", nrc.P(nrc.V("p"), "pname"),
+						"total", nrc.MulOf(nrc.P(nrc.V("op"), "qty"), nrc.P(nrc.V("p"), "price")),
+					))))),
+		[]string{"pname"}, []string{"total"})
+
+	return nrc.ForIn("cop", nrc.V("COP"),
+		nrc.SingOf(nrc.Record(
+			"cname", nrc.P(nrc.V("cop"), "cname"),
+			"corders", nrc.ForIn("co", nrc.P(nrc.V("cop"), "corders"),
+				nrc.SingOf(nrc.Record(
+					"odate", nrc.P(nrc.V("co"), "odate"),
+					"oparts", inner,
+				))),
+		)))
+}
+
+// SmallPart is a tiny Part relation.
+func SmallPart() value.Bag {
+	return value.Bag{
+		value.Tuple{int64(1), "bolt", 2.0},
+		value.Tuple{int64(2), "nut", 1.5},
+		value.Tuple{int64(3), "washer", 0.25},
+	}
+}
+
+// SmallCOP is a tiny COP instance exercising the edge cases: a customer with
+// no orders, an order with no parts, an order whose part is missing from
+// Part, and duplicate part names within one order.
+func SmallCOP() value.Bag {
+	mk := func(pid int64, qty float64) value.Tuple { return value.Tuple{pid, qty} }
+	return value.Bag{
+		value.Tuple{"alice", value.Bag{
+			value.Tuple{value.MakeDate(2020, 1, 15), value.Bag{mk(1, 2), mk(2, 4), mk(1, 1)}},
+			value.Tuple{value.MakeDate(2020, 3, 2), value.Bag{}},
+		}},
+		value.Tuple{"bob", value.Bag{
+			value.Tuple{value.MakeDate(2019, 11, 30), value.Bag{mk(3, 10), mk(99, 7)}},
+		}},
+		value.Tuple{"carol", value.Bag{}},
+	}
+}
+
+// Scope returns an evaluator scope binding COP and Part.
+func Scope() *nrc.Scope {
+	var s *nrc.Scope
+	s = s.Bind("COP", SmallCOP())
+	return s.Bind("Part", SmallPart())
+}
+
+// RandomCOP generates a random COP instance: nCust customers with up to
+// maxOrders orders of up to maxParts parts, pids drawn from [1, pidDomain].
+func RandomCOP(r *rand.Rand, nCust, maxOrders, maxParts, pidDomain int) value.Bag {
+	names := []string{"ann", "ben", "cam", "dee", "eli", "fay", "gus", "hal"}
+	out := make(value.Bag, 0, nCust)
+	for i := 0; i < nCust; i++ {
+		cname := names[i%len(names)]
+		if i >= len(names) {
+			cname = cname + string(rune('0'+i/len(names)))
+		}
+		orders := value.Bag{}
+		for j := 0; j < r.Intn(maxOrders+1); j++ {
+			parts := value.Bag{}
+			for k := 0; k < r.Intn(maxParts+1); k++ {
+				parts = append(parts, value.Tuple{
+					int64(1 + r.Intn(pidDomain)),
+					float64(1+r.Intn(8)) / 2,
+				})
+			}
+			orders = append(orders, value.Tuple{
+				value.MakeDate(2015+r.Intn(6), 1+r.Intn(12), 1+r.Intn(28)),
+				parts,
+			})
+		}
+		out = append(out, value.Tuple{cname, orders})
+	}
+	return out
+}
+
+// RandomPart generates a Part relation covering pids [1, pidDomain] with a
+// hole (pid divisible by 5 missing) so joins exercise misses.
+func RandomPart(r *rand.Rand, pidDomain int) value.Bag {
+	names := []string{"bolt", "nut", "washer", "screw", "cog", "rod", "pin", "cap"}
+	out := value.Bag{}
+	for pid := 1; pid <= pidDomain; pid++ {
+		if pid%5 == 0 {
+			continue
+		}
+		out = append(out, value.Tuple{
+			int64(pid),
+			names[pid%len(names)],
+			float64(1+r.Intn(16)) / 4,
+		})
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package tpch implements the paper's TPC-H micro-benchmark (Section 6): a
+// deterministic generator with Zipf-skewed foreign keys (skew factor 0–4, 0 =
+// uniform, mirroring the skewed TPC-H generator the paper uses), and the
+// flat-to-nested / nested-to-nested / nested-to-flat query suites with 0–4
+// levels of nesting in narrow and wide variants.
+//
+// The level hierarchy follows the paper: Lineitem at level 0, grouped across
+// Orders, Customer, Nation, then Region as the level increases, so the number
+// of top-level tuples decreases as nesting deepens.
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Config sizes the generated database.
+type Config struct {
+	Customers         int
+	OrdersPerCustomer int // average; skew redistributes
+	LinesPerOrder     int // average; skew redistributes
+	Parts             int
+	// SkewFactor is the Zipf exponent of the order→customer and
+	// lineitem→order assignments: 0 generates uniform keys, 4 concentrates
+	// most rows on a few heavy keys (paper Section 6, Benchmarks).
+	SkewFactor int
+	Seed       int64
+}
+
+// DefaultConfig is a laptop-scale stand-in for the paper's SF100 dataset.
+func DefaultConfig() Config {
+	return Config{Customers: 200, OrdersPerCustomer: 5, LinesPerOrder: 4, Parts: 100, Seed: 1}
+}
+
+// Tables holds the generated base relations as nested-value bags.
+type Tables struct {
+	Region   value.Bag
+	Nation   value.Bag
+	Customer value.Bag
+	Orders   value.Bag
+	Lineitem value.Bag
+	Part     value.Bag
+}
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationNames = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+	"GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+	"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+	"VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+}
+
+var partAdjectives = []string{"almond", "azure", "beige", "blush", "burnished", "chiffon", "cornsilk", "forest", "ghost", "honeydew"}
+var partNouns = []string{"bolt", "cog", "dowel", "flange", "gasket", "hinge", "pin", "rivet", "washer", "wheel"}
+
+// zipfWeights precomputes a cumulative distribution over n keys with
+// exponent z (z = 0 is uniform).
+func zipfWeights(n int, z float64) []float64 {
+	cdf := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		w := 1.0
+		if z > 0 {
+			w = 1.0 / math.Pow(float64(i+1), z)
+		}
+		total += w
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return cdf
+}
+
+func pick(r *rand.Rand, cdf []float64) int {
+	x := r.Float64()
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Generate builds the database deterministically from the config.
+func Generate(cfg Config) *Tables {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	t := &Tables{}
+
+	for i, name := range regionNames {
+		t.Region = append(t.Region, value.Tuple{int64(i), name, "region comment " + name})
+	}
+	for i, name := range nationNames {
+		t.Nation = append(t.Nation, value.Tuple{int64(i), name, int64(i % len(regionNames)), "nation comment " + name})
+	}
+	for i := 0; i < cfg.Parts; i++ {
+		name := partAdjectives[i%len(partAdjectives)] + " " + partNouns[(i/len(partAdjectives))%len(partNouns)]
+		t.Part = append(t.Part, value.Tuple{
+			int64(i + 1),
+			fmt.Sprintf("%s #%d", name, i+1),
+			fmt.Sprintf("Manufacturer#%d", i%5+1),
+			fmt.Sprintf("Brand#%d%d", i%5+1, i%4+1),
+			name,
+			int64(i%50 + 1),
+			"JUMBO PKG",
+			float64(900+(i%1100)) / 100,
+			"part comment",
+		})
+	}
+	for i := 0; i < cfg.Customers; i++ {
+		t.Customer = append(t.Customer, value.Tuple{
+			int64(i + 1),
+			fmt.Sprintf("Customer#%09d", i+1),
+			fmt.Sprintf("addr-%d", i),
+			int64(i % len(nationNames)),
+			fmt.Sprintf("%02d-%07d", i%34+10, i),
+			float64(r.Intn(1000000)) / 100,
+			[]string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}[i%5],
+			"customer comment",
+		})
+	}
+
+	z := float64(cfg.SkewFactor)
+	custCDF := zipfWeights(cfg.Customers, z)
+	nOrders := cfg.Customers * cfg.OrdersPerCustomer
+	for i := 0; i < nOrders; i++ {
+		cust := pick(r, custCDF) + 1
+		t.Orders = append(t.Orders, value.Tuple{
+			int64(i + 1),
+			int64(cust),
+			[]string{"O", "F", "P"}[r.Intn(3)],
+			float64(r.Intn(50000000)) / 100,
+			value.MakeDate(1992+r.Intn(7), 1+r.Intn(12), 1+r.Intn(28)),
+			fmt.Sprintf("%d-PRIORITY", r.Intn(5)+1),
+			fmt.Sprintf("Clerk#%09d", r.Intn(1000)),
+			int64(0),
+			"order comment",
+		})
+	}
+	orderCDF := zipfWeights(nOrders, z)
+	nLines := nOrders * cfg.LinesPerOrder
+	for i := 0; i < nLines; i++ {
+		okey := i/cfg.LinesPerOrder + 1
+		if z > 0 {
+			okey = pick(r, orderCDF) + 1
+		}
+		t.Lineitem = append(t.Lineitem, value.Tuple{
+			int64(okey),
+			int64(r.Intn(cfg.Parts) + 1),
+			int64(r.Intn(100) + 1),
+			int64(i%7 + 1),
+			float64(r.Intn(50) + 1),
+			float64(r.Intn(10000000)) / 100,
+			float64(r.Intn(11)) / 100,
+			float64(r.Intn(9)) / 100,
+			[]string{"A", "N", "R"}[r.Intn(3)],
+			[]string{"F", "O"}[r.Intn(2)],
+			value.MakeDate(1992+r.Intn(7), 1+r.Intn(12), 1+r.Intn(28)),
+			value.MakeDate(1992+r.Intn(7), 1+r.Intn(12), 1+r.Intn(28)),
+			value.MakeDate(1992+r.Intn(7), 1+r.Intn(12), 1+r.Intn(28)),
+			"DELIVER IN PERSON",
+			[]string{"AIR", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK", "REG AIR"}[r.Intn(7)],
+			"lineitem comment",
+		})
+	}
+	return t
+}
+
+// Inputs returns the flat relations as a runner input map.
+func (t *Tables) Inputs() map[string]value.Bag {
+	return map[string]value.Bag{
+		"Region":   t.Region,
+		"Nation":   t.Nation,
+		"Customer": t.Customer,
+		"Orders":   t.Orders,
+		"Lineitem": t.Lineitem,
+		"Part":     t.Part,
+	}
+}

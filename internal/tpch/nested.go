@@ -1,0 +1,88 @@
+package tpch
+
+import (
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// BuildNested materializes the flat-to-nested result at the given level
+// directly in memory — the nested input of the nested-to-* suites (the paper
+// uses the materialized flat-to-nested output as input). It is equivalent to
+// evaluating FlatToNestedQuery with the local evaluator but far faster.
+func BuildNested(t *Tables, level int, wide bool) value.Bag {
+	if level == 0 {
+		idx := fieldIndexes(LineitemType, leafFields(wide))
+		out := make(value.Bag, len(t.Lineitem))
+		for i, e := range t.Lineitem {
+			out[i] = project(e.(value.Tuple), idx)
+		}
+		return out
+	}
+
+	// Leaf: lineitems grouped by order key.
+	leafIdx := fieldIndexes(LineitemType, leafFields(wide))
+	fkIdx := indexOf(LineitemType, "l_orderkey")
+	childBags := map[int64]value.Bag{}
+	for _, e := range t.Lineitem {
+		row := e.(value.Tuple)
+		k := row[fkIdx].(int64)
+		childBags[k] = append(childBags[k], project(row, leafIdx))
+	}
+
+	tables := map[string]value.Bag{
+		"Orders": t.Orders, "Customer": t.Customer, "Nation": t.Nation, "Region": t.Region,
+	}
+	var topBag value.Bag
+	for lvl := 1; lvl <= level; lvl++ {
+		u := hierarchy[lvl]
+		rows := tables[u.table]
+		keyIdx := indexOf(u.typ, u.key)
+		attrIdx := fieldIndexes(u.typ, levelFields(lvl, wide))
+		parentFKIdx := -1
+		if lvl < level {
+			parentFKIdx = indexOf(u.typ, hierarchy[lvl+1].childFK)
+		}
+		cur := map[int64]value.Bag{}
+		topBag = nil
+		for _, e := range rows {
+			row := e.(value.Tuple)
+			key := row[keyIdx].(int64)
+			bag := childBags[key]
+			if bag == nil {
+				bag = value.Bag{}
+			}
+			nt := append(project(row, attrIdx), bag)
+			if parentFKIdx >= 0 {
+				pk := row[parentFKIdx].(int64)
+				cur[pk] = append(cur[pk], nt)
+			} else {
+				topBag = append(topBag, nt)
+			}
+		}
+		childBags = cur
+	}
+	if topBag == nil {
+		topBag = value.Bag{}
+	}
+	return topBag
+}
+
+func project(row value.Tuple, idx []int) value.Tuple {
+	out := make(value.Tuple, len(idx), len(idx)+1)
+	for i, j := range idx {
+		out[i] = row[j]
+	}
+	return out
+}
+
+func indexOf(b nrc.BagType, name string) int {
+	return b.Elem.(nrc.TupleType).Index(name)
+}
+
+func fieldIndexes(b nrc.BagType, names []string) []int {
+	out := make([]int, len(names))
+	for i, n := range names {
+		out[i] = indexOf(b, n)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package tpch
+
+import (
+	"github.com/trance-go/trance/internal/nrc"
+)
+
+// QueryClass selects one of the paper's three suites.
+type QueryClass int
+
+// The three query classes of the micro-benchmark.
+const (
+	FlatToNested QueryClass = iota
+	NestedToNested
+	NestedToFlat
+)
+
+func (c QueryClass) String() string {
+	return [...]string{"flat-to-nested", "nested-to-nested", "nested-to-flat"}[c]
+}
+
+// record builds a tuple constructor copying the given attributes of variable
+// v, followed by extra fields.
+func record(v string, attrs []string, extra ...nrc.NamedExpr) *nrc.TupleCtor {
+	fields := make([]nrc.NamedExpr, 0, len(attrs)+len(extra))
+	for _, a := range attrs {
+		fields = append(fields, nrc.NamedExpr{Name: a, Expr: nrc.P(nrc.V(v), a)})
+	}
+	fields = append(fields, extra...)
+	return &nrc.TupleCtor{Fields: fields}
+}
+
+// FlatToNestedQuery groups the flat relations into the level-deep hierarchy.
+// Level 0 projects Lineitem.
+func FlatToNestedQuery(level int, wide bool) nrc.Expr {
+	if level == 0 {
+		return nrc.ForIn("l", nrc.V("Lineitem"), nrc.SingOf(record("l", leafFields(wide))))
+	}
+	// Construct recursively: head(lvl) is the singleton for one unit at lvl.
+	var head func(lvl int) func(v string) nrc.Expr
+	head = func(lvl int) func(v string) nrc.Expr {
+		u := hierarchy[lvl]
+		return func(v string) nrc.Expr {
+			var bag nrc.Expr
+			if lvl == 1 {
+				bag = nrc.ForIn("li", nrc.V("Lineitem"),
+					nrc.IfThen(nrc.EqOf(nrc.P(nrc.V("li"), u.childFK), nrc.P(nrc.V(v), u.key)),
+						nrc.SingOf(record("li", leafFields(wide)))))
+			} else {
+				cu := hierarchy[lvl-1]
+				cv := varFor(lvl - 1)
+				bag = nrc.ForIn(cv, nrc.V(cu.table),
+					nrc.IfThen(nrc.EqOf(nrc.P(nrc.V(cv), u.childFK), nrc.P(nrc.V(v), u.key)),
+						head(lvl-1)(cv)))
+			}
+			return nrc.SingOf(record(v, levelFields(lvl, wide),
+				nrc.NamedExpr{Name: u.bagAttr, Expr: bag}))
+		}
+	}
+	top := hierarchy[level]
+	tv := varFor(level)
+	return nrc.ForIn(tv, nrc.V(top.table), head(level)(tv))
+}
+
+func varFor(lvl int) string {
+	return [...]string{"li", "o", "c", "n", "r"}[lvl]
+}
+
+// leafJoinAgg is the paper's Example 1 aggregate: join the lineitems bag of
+// ordVar with Part and sum quantity×price per part name.
+func leafJoinAgg(bagExpr nrc.Expr) nrc.Expr {
+	return nrc.SumByOf(
+		nrc.ForIn("li2", bagExpr,
+			nrc.ForIn("p", nrc.V("Part"),
+				nrc.IfThen(nrc.EqOf(nrc.P(nrc.V("li2"), "l_partkey"), nrc.P(nrc.V("p"), "p_partkey")),
+					nrc.SingOf(nrc.Record(
+						"p_name", nrc.P(nrc.V("p"), "p_name"),
+						"total", nrc.MulOf(nrc.P(nrc.V("li2"), "l_quantity"), nrc.P(nrc.V("p"), "p_retailprice")),
+					))))),
+		[]string{"p_name"}, []string{"total"})
+}
+
+// NestedToNestedQuery takes the wide nested input NDB and rebuilds the same
+// hierarchy with the leaf replaced by the join-and-aggregate of Example 1.
+// The narrow variant projects each level down to its narrow attributes.
+func NestedToNestedQuery(level int, narrowOut bool) nrc.Expr {
+	if level == 0 {
+		// Flat input: join with Part, aggregate per order and part name.
+		return nrc.SumByOf(
+			nrc.ForIn("li", nrc.V("NDB"),
+				nrc.ForIn("p", nrc.V("Part"),
+					nrc.IfThen(nrc.EqOf(nrc.P(nrc.V("li"), "l_partkey"), nrc.P(nrc.V("p"), "p_partkey")),
+						nrc.SingOf(nrc.Record(
+							"l_orderkey", nrc.P(nrc.V("li"), "l_orderkey"),
+							"p_name", nrc.P(nrc.V("p"), "p_name"),
+							"total", nrc.MulOf(nrc.P(nrc.V("li"), "l_quantity"), nrc.P(nrc.V("p"), "p_retailprice")),
+						))))),
+			[]string{"l_orderkey", "p_name"}, []string{"total"})
+	}
+	var rebuild func(lvl int, v string) nrc.Expr
+	rebuild = func(lvl int, v string) nrc.Expr {
+		u := hierarchy[lvl]
+		var bag nrc.Expr
+		if lvl == 1 {
+			bag = leafJoinAgg(nrc.P(nrc.V(v), u.bagAttr))
+		} else {
+			cv := varFor(lvl - 1)
+			bag = nrc.ForIn(cv, nrc.P(nrc.V(v), u.bagAttr), rebuild(lvl-1, cv))
+		}
+		attrs := levelFields(lvl, !narrowOut)
+		return nrc.SingOf(record(v, attrs, nrc.NamedExpr{Name: u.bagAttr, Expr: bag}))
+	}
+	tv := varFor(level)
+	return nrc.ForIn(tv, nrc.V("NDB"), rebuild(level, tv))
+}
+
+// NestedToFlatQuery navigates the wide nested input down to the leaf, joins
+// with Part, and aggregates at the top level on the top unit's display
+// attribute, returning a flat collection (paper Section 6).
+func NestedToFlatQuery(level int) nrc.Expr {
+	if level == 0 {
+		return nrc.SumByOf(
+			nrc.ForIn("li", nrc.V("NDB"),
+				nrc.ForIn("p", nrc.V("Part"),
+					nrc.IfThen(nrc.EqOf(nrc.P(nrc.V("li"), "l_partkey"), nrc.P(nrc.V("p"), "p_partkey")),
+						nrc.SingOf(nrc.Record(
+							"name", nrc.P(nrc.V("p"), "p_name"),
+							"total", nrc.MulOf(nrc.P(nrc.V("li"), "l_quantity"), nrc.P(nrc.V("p"), "p_retailprice")),
+						))))),
+			[]string{"name"}, []string{"total"})
+	}
+	top := hierarchy[level]
+	tv := varFor(level)
+	// Chain of fors navigating to the leaf.
+	inner := nrc.SingOf(nrc.Record(
+		"name", nrc.P(nrc.V(tv), top.narrow),
+		"total", nrc.MulOf(nrc.P(nrc.V("li2"), "l_quantity"), nrc.P(nrc.V("p"), "p_retailprice")),
+	))
+	body := nrc.Expr(nrc.ForIn("p", nrc.V("Part"),
+		nrc.IfThen(nrc.EqOf(nrc.P(nrc.V("li2"), "l_partkey"), nrc.P(nrc.V("p"), "p_partkey")), inner)))
+	// innermost loop over lineitems of level-1 unit.
+	body = nrc.ForIn("li2", nrc.P(nrc.V(varFor(1)), hierarchy[1].bagAttr), body)
+	for lvl := 2; lvl <= level; lvl++ {
+		body = nrc.ForIn(varFor(lvl-1), nrc.P(nrc.V(varFor(lvl)), hierarchy[lvl].bagAttr), body)
+	}
+	return nrc.SumByOf(nrc.ForIn(tv, nrc.V("NDB"), body), []string{"name"}, []string{"total"})
+}
+
+// Query builds the benchmark query for a class, level and width.
+func Query(class QueryClass, level int, wide bool) nrc.Expr {
+	switch class {
+	case FlatToNested:
+		return FlatToNestedQuery(level, wide)
+	case NestedToNested:
+		return NestedToNestedQuery(level, !wide)
+	default:
+		return NestedToFlatQuery(level)
+	}
+}
+
+// Env returns the input environment for a class/level/width. Nested classes
+// read the wide materialized input (paper Section 6).
+func Env(class QueryClass, level int, wide bool) nrc.Env {
+	if class == FlatToNested {
+		return FlatEnv()
+	}
+	return NestedEnv(level, true)
+}

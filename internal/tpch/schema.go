@@ -1,0 +1,138 @@
+package tpch
+
+import (
+	"github.com/trance-go/trance/internal/nrc"
+)
+
+// Table schemas (standard TPC-H attributes).
+var (
+	RegionType = nrc.BagOf(nrc.Tup(
+		"r_regionkey", nrc.IntT, "r_name", nrc.StringT, "r_comment", nrc.StringT))
+
+	NationType = nrc.BagOf(nrc.Tup(
+		"n_nationkey", nrc.IntT, "n_name", nrc.StringT, "n_regionkey", nrc.IntT,
+		"n_comment", nrc.StringT))
+
+	CustomerType = nrc.BagOf(nrc.Tup(
+		"c_custkey", nrc.IntT, "c_name", nrc.StringT, "c_address", nrc.StringT,
+		"c_nationkey", nrc.IntT, "c_phone", nrc.StringT, "c_acctbal", nrc.RealT,
+		"c_mktsegment", nrc.StringT, "c_comment", nrc.StringT))
+
+	OrdersType = nrc.BagOf(nrc.Tup(
+		"o_orderkey", nrc.IntT, "o_custkey", nrc.IntT, "o_orderstatus", nrc.StringT,
+		"o_totalprice", nrc.RealT, "o_orderdate", nrc.DateT, "o_orderpriority", nrc.StringT,
+		"o_clerk", nrc.StringT, "o_shippriority", nrc.IntT, "o_comment", nrc.StringT))
+
+	LineitemType = nrc.BagOf(nrc.Tup(
+		"l_orderkey", nrc.IntT, "l_partkey", nrc.IntT, "l_suppkey", nrc.IntT,
+		"l_linenumber", nrc.IntT, "l_quantity", nrc.RealT, "l_extendedprice", nrc.RealT,
+		"l_discount", nrc.RealT, "l_tax", nrc.RealT, "l_returnflag", nrc.StringT,
+		"l_linestatus", nrc.StringT, "l_shipdate", nrc.DateT, "l_commitdate", nrc.DateT,
+		"l_receiptdate", nrc.DateT, "l_shipinstruct", nrc.StringT, "l_shipmode", nrc.StringT,
+		"l_comment", nrc.StringT))
+
+	PartType = nrc.BagOf(nrc.Tup(
+		"p_partkey", nrc.IntT, "p_name", nrc.StringT, "p_mfgr", nrc.StringT,
+		"p_brand", nrc.StringT, "p_type", nrc.StringT, "p_size", nrc.IntT,
+		"p_container", nrc.StringT, "p_retailprice", nrc.RealT, "p_comment", nrc.StringT))
+)
+
+// FlatEnv is the environment of the flat base relations.
+func FlatEnv() nrc.Env {
+	return nrc.Env{
+		"Region":   RegionType,
+		"Nation":   NationType,
+		"Customer": CustomerType,
+		"Orders":   OrdersType,
+		"Lineitem": LineitemType,
+		"Part":     PartType,
+	}
+}
+
+// unit describes one level of the paper's hierarchy: Lineitem at level 0,
+// then Orders, Customer, Nation, Region.
+type unit struct {
+	table   string // input relation
+	key     string // unit key attribute
+	childFK string // attribute of the child unit referencing key
+	narrow  string // the single attribute kept by narrow variants
+	bagAttr string // name of the nested collection holding the child units
+	typ     nrc.BagType
+}
+
+// hierarchy lists the units bottom-up. Index = nesting level introduced.
+var hierarchy = []unit{
+	{table: "Lineitem", key: "", childFK: "", narrow: "", bagAttr: "", typ: LineitemType},
+	{table: "Orders", key: "o_orderkey", childFK: "l_orderkey", narrow: "o_orderdate", bagAttr: "lineitems", typ: OrdersType},
+	{table: "Customer", key: "c_custkey", childFK: "o_custkey", narrow: "c_name", bagAttr: "orders", typ: CustomerType},
+	{table: "Nation", key: "n_nationkey", childFK: "c_nationkey", narrow: "n_name", bagAttr: "custs", typ: NationType},
+	{table: "Region", key: "r_regionkey", childFK: "n_regionkey", narrow: "r_name", bagAttr: "nations", typ: RegionType},
+}
+
+// MaxLevel is the deepest nesting level of the suite.
+const MaxLevel = 4
+
+// leafFields returns the lineitem attributes kept at the lowest level.
+func leafFields(wide bool) []string {
+	if wide {
+		return fieldNames(LineitemType)
+	}
+	return []string{"l_partkey", "l_quantity"}
+}
+
+// levelFields returns the attributes kept at level lvl (1-based).
+func levelFields(lvl int, wide bool) []string {
+	u := hierarchy[lvl]
+	if wide {
+		return fieldNames(u.typ)
+	}
+	// Narrow keeps the display attribute; the unit key is retained as well so
+	// the nesting remains joinable downstream.
+	if u.narrow == u.key {
+		return []string{u.key}
+	}
+	return []string{u.key, u.narrow}
+}
+
+func fieldNames(b nrc.BagType) []string {
+	tt := b.Elem.(nrc.TupleType)
+	out := make([]string, len(tt.Fields))
+	for i, f := range tt.Fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+func fieldType(b nrc.BagType, name string) nrc.Type {
+	return b.Elem.(nrc.TupleType).Lookup(name)
+}
+
+// NestedType is the type of the materialized flat-to-nested result at the
+// given level.
+func NestedType(level int, wide bool) nrc.BagType {
+	elem := leafElem(wide)
+	for l := 1; l <= level; l++ {
+		u := hierarchy[l]
+		var fs []nrc.Field
+		for _, a := range levelFields(l, wide) {
+			fs = append(fs, nrc.Field{Name: a, Type: fieldType(u.typ, a)})
+		}
+		fs = append(fs, nrc.Field{Name: u.bagAttr, Type: nrc.BagType{Elem: elem}})
+		elem = nrc.TupleType{Fields: fs}
+	}
+	return nrc.BagType{Elem: elem}
+}
+
+func leafElem(wide bool) nrc.TupleType {
+	var fs []nrc.Field
+	for _, a := range leafFields(wide) {
+		fs = append(fs, nrc.Field{Name: a, Type: fieldType(LineitemType, a)})
+	}
+	return nrc.TupleType{Fields: fs}
+}
+
+// NestedEnv is the environment of the nested-to-* queries: the materialized
+// nested input NDB plus Part.
+func NestedEnv(level int, wide bool) nrc.Env {
+	return nrc.Env{"NDB": NestedType(level, wide), "Part": PartType}
+}

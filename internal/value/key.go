@@ -1,0 +1,83 @@
+package value
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// AppendKey appends a canonical byte encoding of v to dst. Two values have
+// equal encodings iff Compare(a, b) == 0 for flat values (scalars, labels,
+// and tuples thereof). The encoding is prefix-free per value: each value is
+// introduced by a one-byte tag, and variable-length payloads carry a length.
+//
+// Bags deliberately panic here: bags are never legal grouping, join, or
+// partitioning keys (the paper restricts keys to flat types).
+func AppendKey(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, 0x00)
+	case bool:
+		if x {
+			return append(dst, 0x01, 1)
+		}
+		return append(dst, 0x01, 0)
+	case int64:
+		dst = append(dst, 0x02)
+		return binary.BigEndian.AppendUint64(dst, uint64(x))
+	case float64:
+		dst = append(dst, 0x03)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(x))
+	case Date:
+		dst = append(dst, 0x04)
+		return binary.BigEndian.AppendUint64(dst, uint64(x))
+	case string:
+		dst = append(dst, 0x05)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(x)))
+		return append(dst, x...)
+	case Label:
+		dst = append(dst, 0x06)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(x.Site))
+		return AppendKey(dst, x.Payload)
+	case Tuple:
+		dst = append(dst, 0x07)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(x)))
+		for _, e := range x {
+			dst = AppendKey(dst, e)
+		}
+		return dst
+	default:
+		panic("value: bags and unknown types cannot be keys")
+	}
+}
+
+// Key returns the canonical string key of a flat value, suitable as a Go map
+// key for grouping and joining.
+func Key(v Value) string { return string(AppendKey(nil, v)) }
+
+// KeyCols returns the composite key of row projected on cols.
+func KeyCols(row Tuple, cols []int) string {
+	buf := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		buf = AppendKey(buf, row[c])
+	}
+	return string(buf)
+}
+
+// Hash64 hashes a flat value with FNV-1a over its canonical encoding.
+func Hash64(v Value) uint64 {
+	h := fnv.New64a()
+	h.Write(AppendKey(nil, v))
+	return h.Sum64()
+}
+
+// HashCols hashes the composite key of row projected on cols.
+func HashCols(row Tuple, cols []int) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		buf = AppendKey(buf[:0], row[c])
+		h.Write(buf)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,322 @@
+// Package value defines the runtime representation of nested data: the
+// scalars of NRC (int, real, string, bool, date), tuples, bags, and the
+// labels introduced by the shredding transformation.
+//
+// A Value is dynamically typed. The Go nil Value is NULL — the marker
+// introduced by outer joins and outer unnests during plan evaluation.
+// Arithmetic over NULL yields NULL and comparisons against NULL are false,
+// mirroring the plan semantics of Section 2 of the paper.
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is one of: nil (NULL), int64, float64, string, bool, Date, Label,
+// Tuple, Bag. Any other dynamic type is a programming error and the helper
+// functions panic on it.
+type Value any
+
+// Date is a calendar date encoded as yyyymmdd. The encoding is ordered, so
+// date comparison is integer comparison.
+type Date int64
+
+// MakeDate builds a Date from year, month and day.
+func MakeDate(y, m, d int) Date { return Date(int64(y)*10000 + int64(m)*100 + int64(d)) }
+
+// Year returns the year component.
+func (d Date) Year() int { return int(d / 10000) }
+
+// Month returns the month component.
+func (d Date) Month() int { return int(d/100) % 100 }
+
+// Day returns the day component.
+func (d Date) Day() int { return int(d % 100) }
+
+// String formats the date as yyyy-mm-dd.
+func (d Date) String() string {
+	return fmt.Sprintf("%04d-%02d-%02d", d.Year(), d.Month(), d.Day())
+}
+
+// Tuple is an ordered sequence of field values. Field names live in the
+// schema (the type), not in the value, exactly like engine rows.
+type Tuple []Value
+
+// Bag is an unordered collection with multiplicities. Elements are tuples
+// or scalars (paper Figure 1 restricts bag contents to flat types or tuple
+// types).
+type Bag []Value
+
+// Label identifies an inner bag in the shredded representation. Site
+// identifies the NewLabel occurrence that created it; Payload carries the
+// captured (relevant) attributes of the free variables at that occurrence.
+//
+// Per the refinement in Section 4 of the paper, construction via NewLabel
+// reuses an existing label when the payload is exactly one label value; use
+// NewLabel rather than building Label literals so that refinement applies.
+type Label struct {
+	Site    int32
+	Payload Tuple
+}
+
+// NewLabel constructs a label for occurrence site with the given captured
+// values. When the payload is a single label, that label is reused
+// unchanged — the identity-relabeling refinement that makes
+// domain-elimination rule 1 sound.
+func NewLabel(site int32, payload ...Value) Value {
+	if len(payload) == 1 {
+		if l, ok := payload[0].(Label); ok {
+			return l
+		}
+	}
+	return Label{Site: site, Payload: Tuple(payload)}
+}
+
+// IsNull reports whether v is the NULL marker.
+func IsNull(v Value) bool { return v == nil }
+
+// AllNull reports whether every column of the row restricted to cols is
+// NULL. An empty cols set is vacuously all-NULL.
+func AllNull(row Tuple, cols []int) bool {
+	for _, c := range cols {
+		if row[c] != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies a value. Scalars are immutable and shared.
+func Clone(v Value) Value {
+	switch x := v.(type) {
+	case Tuple:
+		out := make(Tuple, len(x))
+		for i, e := range x {
+			out[i] = Clone(e)
+		}
+		return out
+	case Bag:
+		out := make(Bag, len(x))
+		for i, e := range x {
+			out[i] = Clone(e)
+		}
+		return out
+	case Label:
+		return Label{Site: x.Site, Payload: Clone(x.Payload).(Tuple)}
+	default:
+		return v
+	}
+}
+
+// Equal reports deep equality of two values. Bags are compared as unordered
+// multisets via canonical sorting.
+func Equal(a, b Value) bool {
+	return Compare(a, b) == 0
+}
+
+// typeRank orders the dynamic types so Compare yields a total order across
+// heterogeneous values (needed to canonicalize bags).
+func typeRank(v Value) int {
+	switch v.(type) {
+	case nil:
+		return 0
+	case bool:
+		return 1
+	case int64:
+		return 2
+	case float64:
+		return 3
+	case Date:
+		return 4
+	case string:
+		return 5
+	case Label:
+		return 6
+	case Tuple:
+		return 7
+	case Bag:
+		return 8
+	default:
+		panic(fmt.Sprintf("value: unsupported type %T", v))
+	}
+}
+
+// Compare defines a deterministic total order over values: NULL first, then
+// by type rank, then by content. Bags compare as sorted multisets, so Compare
+// implements multiset equality. Int and Real compare numerically against each
+// other when mixed inside one column would otherwise be incomparable.
+func Compare(a, b Value) int {
+	ra, rb := typeRank(a), typeRank(b)
+	// Numeric cross-type comparison keeps int64/float64 columns coherent.
+	if (ra == 2 || ra == 3) && (rb == 2 || rb == 3) && ra != rb {
+		fa, fb := toF(a), toF(b)
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch x := a.(type) {
+	case nil:
+		return 0
+	case bool:
+		y := b.(bool)
+		switch {
+		case x == y:
+			return 0
+		case !x:
+			return -1
+		default:
+			return 1
+		}
+	case int64:
+		y := b.(int64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	case float64:
+		y := b.(float64)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	case Date:
+		y := b.(Date)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		default:
+			return 0
+		}
+	case string:
+		return strings.Compare(x, b.(string))
+	case Label:
+		y := b.(Label)
+		if x.Site != y.Site {
+			if x.Site < y.Site {
+				return -1
+			}
+			return 1
+		}
+		return Compare(x.Payload, y.Payload)
+	case Tuple:
+		y := b.(Tuple)
+		if c := compareSeq([]Value(x), []Value(y)); c != 0 {
+			return c
+		}
+		return 0
+	case Bag:
+		y := b.(Bag)
+		xs, ys := sortedBag(x), sortedBag(y)
+		return compareSeq(xs, ys)
+	default:
+		panic(fmt.Sprintf("value: unsupported type %T", a))
+	}
+}
+
+func toF(v Value) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	panic("value: not numeric")
+}
+
+func compareSeq(xs, ys []Value) int {
+	n := len(xs)
+	if len(ys) < n {
+		n = len(ys)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(xs[i], ys[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(xs) < len(ys):
+		return -1
+	case len(xs) > len(ys):
+		return 1
+	default:
+		return 0
+	}
+}
+
+func sortedBag(b Bag) []Value {
+	out := make([]Value, len(b))
+	copy(out, b)
+	sort.Slice(out, func(i, j int) bool { return Compare(out[i], out[j]) < 0 })
+	return out
+}
+
+// Format renders a value for display: tuples as ⟨…⟩, bags as {…} with
+// canonical element order so output is deterministic.
+func Format(v Value) string {
+	var sb strings.Builder
+	format(&sb, v)
+	return sb.String()
+}
+
+func format(sb *strings.Builder, v Value) {
+	switch x := v.(type) {
+	case nil:
+		sb.WriteString("NULL")
+	case bool:
+		fmt.Fprintf(sb, "%t", x)
+	case int64:
+		fmt.Fprintf(sb, "%d", x)
+	case float64:
+		fmt.Fprintf(sb, "%g", x)
+	case Date:
+		sb.WriteString(x.String())
+	case string:
+		fmt.Fprintf(sb, "%q", x)
+	case Label:
+		fmt.Fprintf(sb, "L%d", x.Site)
+		format(sb, x.Payload)
+	case Tuple:
+		sb.WriteString("⟨")
+		for i, e := range x {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			format(sb, e)
+		}
+		sb.WriteString("⟩")
+	case Bag:
+		sb.WriteString("{")
+		for i, e := range sortedBag(x) {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			format(sb, e)
+		}
+		sb.WriteString("}")
+	default:
+		panic(fmt.Sprintf("value: unsupported type %T", v))
+	}
+}

@@ -1,0 +1,204 @@
+// Package trance is a Go implementation of the compilation framework from
+// "Scalable Querying of Nested Data" (Smith, Benedikt, Nikolic, Shaikhha;
+// PVLDB 14(3), 2021) — the TraNCE system.
+//
+// Queries are written in NRC (nested relational calculus with aggregation and
+// deduplication) using the builder functions of this package, compiled either
+// through the standard route (Fegaras–Maier unnesting to an algebraic plan)
+// or the shredded route (symbolic shredding, materialization, domain
+// elimination), optionally with skew-resilient operators, and executed on an
+// in-process multi-partition dataflow engine that meters shuffles and
+// emulates per-worker memory limits.
+//
+// Quick start:
+//
+//	env := trance.Env{"R": trance.BagOf(trance.Tup("a", trance.IntT))}
+//	q := trance.ForIn("x", trance.V("R"),
+//	        trance.SingOf(trance.Record("b", trance.AddOf(trance.P(trance.V("x"), "a"), trance.C(1)))))
+//	res := trance.Run(trance.Job{Query: q, Env: env, Inputs: inputs},
+//	        trance.Standard, trance.DefaultConfig())
+//
+// See examples/ for complete programs, DESIGN.md for the architecture, and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package trance
+
+import (
+	"github.com/trance-go/trance/internal/core"
+	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
+	"github.com/trance-go/trance/internal/runner"
+	"github.com/trance-go/trance/internal/shred"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Value model.
+type (
+	// Value is a runtime nested value (nil is NULL).
+	Value = value.Value
+	// Tuple is an ordered record value.
+	Tuple = value.Tuple
+	// Bag is a multiset value.
+	Bag = value.Bag
+	// Date is a calendar date (yyyymmdd encoding).
+	Date = value.Date
+	// Label identifies an inner bag in the shredded representation.
+	Label = value.Label
+)
+
+// MakeDate builds a Date from year, month, day.
+func MakeDate(y, m, d int) Date { return value.MakeDate(y, m, d) }
+
+// FormatValue renders a value deterministically.
+func FormatValue(v Value) string { return value.Format(v) }
+
+// ValuesEqual reports deep (multiset) equality.
+func ValuesEqual(a, b Value) bool { return value.Equal(a, b) }
+
+// Language: types.
+type (
+	// Type is an NRC type.
+	Type = nrc.Type
+	// Env maps input names to their types.
+	Env = nrc.Env
+	// Expr is an NRC expression.
+	Expr = nrc.Expr
+	// Program is a sequence of assignments.
+	Program = nrc.Program
+)
+
+// Scalar type singletons.
+var (
+	IntT    = nrc.IntT
+	RealT   = nrc.RealT
+	StringT = nrc.StringT
+	BoolT   = nrc.BoolT
+	DateT   = nrc.DateT
+)
+
+// Type constructors.
+var (
+	// Tup builds a tuple type from name/Type pairs.
+	Tup = nrc.Tup
+	// BagOf builds Bag(elem).
+	BagOf = nrc.BagOf
+)
+
+// Expression builders (see package nrc for documentation).
+var (
+	C       = nrc.C
+	V       = nrc.V
+	P       = nrc.P
+	Record  = nrc.Record
+	SingOf  = nrc.SingOf
+	EmptyOf = nrc.EmptyOf
+	GetOf   = nrc.GetOf
+	ForIn   = nrc.ForIn
+	UnionOf = nrc.UnionOf
+	LetIn   = nrc.LetIn
+	IfThen  = nrc.IfThen
+	IfElse  = nrc.IfElse
+	EqOf    = nrc.EqOf
+	NeOf    = nrc.NeOf
+	LtOf    = nrc.LtOf
+	LeOf    = nrc.LeOf
+	GtOf    = nrc.GtOf
+	GeOf    = nrc.GeOf
+	AddOf   = nrc.AddOf
+	SubOf   = nrc.SubOf
+	MulOf   = nrc.MulOf
+	DivOf   = nrc.DivOf
+	NotOf   = nrc.NotOf
+	AndOf   = nrc.AndOf
+	OrOf    = nrc.OrOf
+	DedupOf = nrc.DedupOf
+	// GroupByOf groups a bag by key attributes into a "group" bag attribute.
+	GroupByOf = nrc.GroupByOf
+	// SumByOf sums value attributes per distinct key.
+	SumByOf = nrc.SumByOf
+)
+
+// Check type-checks a query against an environment.
+func Check(q Expr, env Env) (Type, error) { return nrc.Check(q, env) }
+
+// Print renders a query in the paper's surface syntax.
+func Print(q Expr) string { return nrc.Print(q) }
+
+// LocalEval evaluates a checked query with the tuple-at-a-time reference
+// evaluator (the oracle used by this repository's tests).
+func LocalEval(q Expr, inputs map[string]Bag) Value {
+	var s *nrc.Scope
+	for name, b := range inputs {
+		s = s.Bind(name, b)
+	}
+	return nrc.Eval(q, s)
+}
+
+// Execution strategies (paper Section 6).
+type Strategy = runner.Strategy
+
+// Strategy values.
+const (
+	Standard         = runner.Standard
+	SparkSQLStyle    = runner.SparkSQLStyle
+	Shred            = runner.Shred
+	ShredUnshred     = runner.ShredUnshred
+	StandardSkew     = runner.StandardSkew
+	ShredSkew        = runner.ShredSkew
+	ShredUnshredSkew = runner.ShredUnshredSkew
+)
+
+// Execution configuration and results.
+type (
+	// Config sizes the simulated cluster.
+	Config = runner.Config
+	// Job is a query over named nested inputs.
+	Job = runner.Job
+	// Result reports one run.
+	Result = runner.Result
+	// PipelineStep is one constituent query of a multi-step pipeline.
+	PipelineStep = runner.PipelineStep
+	// PipelineResult reports a pipeline run.
+	PipelineResult = runner.PipelineResult
+	// Metrics is a snapshot of engine counters.
+	Metrics = dataflow.Snapshot
+)
+
+// DefaultConfig is a laptop-scale stand-in for the paper's cluster.
+func DefaultConfig() Config { return runner.DefaultConfig() }
+
+// Run executes a job under a strategy.
+func Run(job Job, strat Strategy, cfg Config) *Result { return runner.Run(job, strat, cfg) }
+
+// RunPipeline executes a multi-step pipeline; shredded strategies keep
+// intermediate results shredded between steps.
+func RunPipeline(steps []PipelineStep, env Env, inputs map[string]Bag, strat Strategy, cfg Config) *PipelineResult {
+	return runner.RunPipeline(steps, env, inputs, strat, cfg)
+}
+
+// ExplainStandard compiles a query through the standard route and renders the
+// algebraic plan (paper Figure 3 style).
+func ExplainStandard(q Expr, env Env) (string, error) {
+	if _, err := nrc.Check(q, env); err != nil {
+		return "", err
+	}
+	c, err := core.NewCompiler(env)
+	if err != nil {
+		return "", err
+	}
+	op, err := c.Compile(q)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(op), nil
+}
+
+// ExplainShredded shreds and materializes a query and renders the resulting
+// flat program (paper Example 5/6 style).
+func ExplainShredded(q Expr, env Env) (string, error) {
+	mat, err := shred.ShredQuery(q, env, "Q", shred.DefaultOptions())
+	if err != nil {
+		return "", err
+	}
+	return nrc.PrintProgram(mat.Program), nil
+}
