@@ -14,6 +14,7 @@ package trance_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"github.com/trance-go/trance/internal/biomed"
@@ -306,6 +307,72 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// BenchmarkParallelScaling exercises the pipelined engine's worker pool: the
+// TPC-H nested-to-nested query and the biomedical E2E pipeline run the
+// identical plan — same partition count — once with Workers=1 (every
+// partition task sequential on the caller) and once with Workers=NumCPU.
+// Each workload×workers configuration is its own sub-benchmark, so the
+// ns/op series are benchstat-comparable. The workload is sized up from the
+// figure benches so per-partition compute dominates scheduling overhead.
+func BenchmarkParallelScaling(b *testing.B) {
+	ncpu := runtime.NumCPU()
+	tables := tpch.Generate(tpch.Config{
+		Customers:         scaled(2500),
+		OrdersPerCustomer: 8,
+		LinesPerOrder:     6,
+		Parts:             scaled(800),
+		Seed:              1,
+	})
+	q := tpch.Query(tpch.NestedToNested, 2, false)
+	env := tpch.Env(tpch.NestedToNested, 2, false)
+	inputs := map[string]value.Bag{
+		"NDB":  tpch.BuildNested(tables, 2, true),
+		"Part": tables.Part,
+	}
+	bioInputs := biomed.Generate(biomed.Config{
+		Samples: scaled(120), Genes: scaled(600),
+		MutationsPerSample: 40, CandidatesPerMut: 4,
+		EdgesPerGene: 12, Seed: 7,
+	})
+
+	cfgFor := func(workers int) runner.Config {
+		cfg := runner.DefaultConfig()
+		cfg.Parallelism = 4 * ncpu
+		cfg.Workers = workers
+		cfg.MaxPartitionBytes = 0
+		return cfg
+	}
+	configs := []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}}
+	if ncpu > 1 { // on a single-CPU host the two configs would be identical
+		configs = append(configs, struct {
+			name    string
+			workers int
+		}{fmt.Sprintf("workers=%d", ncpu), ncpu})
+	}
+	for _, w := range configs {
+		cfg := cfgFor(w.workers)
+		b.Run("tpch-n2n-L2/"+w.name, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				res := runner.Run(runner.Job{Query: q, Env: env, Inputs: inputs}, runner.Standard, cfg)
+				if res.Failed() {
+					b.Fatalf("tpch failed: %v", res.Err)
+				}
+			}
+		})
+		b.Run("biomed-e2e/"+w.name, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				pres := runner.RunPipeline(biomed.Steps(), biomed.Env(), bioInputs, runner.Standard, cfg)
+				if pres.Failed() {
+					b.Fatalf("biomed failed: %v", pres.Err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkRunningExample measures the paper's Example 1 end to end under

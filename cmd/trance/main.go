@@ -62,6 +62,12 @@ func parseClass(s string) tpch.QueryClass {
 	return 0
 }
 
+func checkLevel(level int) {
+	if err := tpch.ValidateLevel(level); err != nil {
+		log.Fatal(err)
+	}
+}
+
 func parseStrategy(s string) runner.Strategy {
 	switch s {
 	case "standard":
@@ -91,6 +97,7 @@ func cmdExplain(args []string) {
 	_ = fs.Parse(args)
 
 	qc := parseClass(*class)
+	checkLevel(*level)
 	q := tpch.Query(qc, *level, *wide)
 	env := tpch.Env(qc, *level, *wide)
 
@@ -122,6 +129,7 @@ func cmdRun(args []string) {
 	_ = fs.Parse(args)
 
 	qc := parseClass(*class)
+	checkLevel(*level)
 	tables := tpch.Generate(tpch.Config{
 		Customers: *customers, OrdersPerCustomer: 6, LinesPerOrder: 4,
 		Parts: 100, SkewFactor: *skew, Seed: 1,

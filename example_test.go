@@ -1,0 +1,96 @@
+package trance_test
+
+import (
+	"fmt"
+
+	"github.com/trance-go/trance"
+)
+
+// ExampleRun compiles and runs a small NRC query through the standard route:
+// for each row of R, emit a record with the incremented a attribute.
+func ExampleRun() {
+	env := trance.Env{"R": trance.BagOf(trance.Tup("a", trance.IntT))}
+	inputs := map[string]trance.Bag{
+		"R": {trance.Tuple{int64(1)}, trance.Tuple{int64(2)}, trance.Tuple{int64(3)}},
+	}
+	q := trance.ForIn("x", trance.V("R"),
+		trance.SingOf(trance.Record("b", trance.AddOf(trance.P(trance.V("x"), "a"), trance.C(int64(1))))))
+
+	res := trance.Run(trance.Job{Query: q, Env: env, Inputs: inputs}, trance.Standard, trance.DefaultConfig())
+	if res.Failed() {
+		fmt.Println("failed:", res.Err)
+		return
+	}
+	for _, row := range res.Output.CollectSorted() {
+		fmt.Println(trance.FormatValue(trance.Tuple(row)))
+	}
+	// Output:
+	// ⟨2⟩
+	// ⟨3⟩
+	// ⟨4⟩
+}
+
+// ExampleRun_strategies runs one nested query under the standard route and
+// the shredded route with unshredding (paper Section 6's STANDARD vs
+// SHRED+UNSHRED) and checks they agree — the repository-wide invariant every
+// strategy is tested against.
+func ExampleRun_strategies() {
+	order := trance.Tup("pid", trance.IntT, "qty", trance.IntT)
+	env := trance.Env{
+		"CO":   trance.BagOf(trance.Tup("cname", trance.StringT, "orders", trance.BagOf(order))),
+		"Part": trance.BagOf(trance.Tup("pid", trance.IntT, "pname", trance.StringT)),
+	}
+	inputs := map[string]trance.Bag{
+		"CO": {
+			trance.Tuple{"alice", trance.Bag{trance.Tuple{int64(1), int64(5)}, trance.Tuple{int64(2), int64(7)}}},
+			trance.Tuple{"bob", trance.Bag{}},
+		},
+		"Part": {trance.Tuple{int64(1), "bolt"}, trance.Tuple{int64(2), "nut"}},
+	}
+	// For each customer, resolve each ordered part to its name (a
+	// nested-to-nested query joining an inner collection with a flat input).
+	q := trance.ForIn("c", trance.V("CO"),
+		trance.SingOf(trance.Record(
+			"cname", trance.P(trance.V("c"), "cname"),
+			"items", trance.ForIn("o", trance.P(trance.V("c"), "orders"),
+				trance.ForIn("p", trance.V("Part"),
+					trance.IfThen(trance.EqOf(trance.P(trance.V("o"), "pid"), trance.P(trance.V("p"), "pid")),
+						trance.SingOf(trance.Record(
+							"pname", trance.P(trance.V("p"), "pname"),
+							"qty", trance.P(trance.V("o"), "qty")))))))))
+
+	cfg := trance.DefaultConfig()
+	std := trance.Run(trance.Job{Query: q, Env: env, Inputs: inputs}, trance.Standard, cfg)
+	shr := trance.Run(trance.Job{Query: q, Env: env, Inputs: inputs}, trance.ShredUnshred, cfg)
+	if std.Failed() || shr.Failed() {
+		fmt.Println("failed:", std.Err, shr.Err)
+		return
+	}
+	var a, b trance.Bag
+	for _, r := range std.Output.CollectSorted() {
+		a = append(a, trance.Tuple(r))
+	}
+	for _, r := range shr.Output.CollectSorted() {
+		b = append(b, trance.Tuple(r))
+	}
+	fmt.Println("strategies agree:", trance.ValuesEqual(a, b))
+	for _, v := range a {
+		fmt.Println(trance.FormatValue(v))
+	}
+	// Output:
+	// strategies agree: true
+	// ⟨"alice", {⟨"bolt", 5⟩, ⟨"nut", 7⟩}⟩
+	// ⟨"bob", {}⟩
+}
+
+// ExamplePrint renders a query in the paper's surface syntax.
+func ExamplePrint() {
+	q := trance.ForIn("x", trance.V("R"),
+		trance.SingOf(trance.Record("b", trance.P(trance.V("x"), "a"))))
+	fmt.Println(trance.Print(q))
+	// Output:
+	// for x in R union
+	//   { ⟨
+	//     b := x.a
+	//   ⟩ }
+}

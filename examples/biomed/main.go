@@ -1,7 +1,9 @@
 // Command biomed runs the paper's five-step biomedical E2E pipeline
 // (Figure 9) on synthetic ICGC-shaped data, comparing the standard and
 // shredded routes step by step. The shredded route keeps every intermediate
-// result in shredded form between steps.
+// result in shredded form between steps; within each step the parallel
+// pipelined engine fuses narrow operator chains and runs partitions on its
+// bounded worker pool.
 package main
 
 import (

@@ -1,6 +1,9 @@
 // Command quickstart runs the paper's Example 1 (the COP/Part query) end to
 // end: it prints the query, the standard algebraic plan, the shredded flat
 // program, and the results of the standard and shredded+unshredded routes.
+// Both routes execute on the parallel pipelined dataflow engine — fused
+// narrow operators, goroutine-per-partition on a bounded worker pool, and
+// metered shuffles (see docs/ARCHITECTURE.md).
 package main
 
 import (

@@ -1,7 +1,10 @@
 // Command skew demonstrates skew-resilient processing (paper Section 5 and
 // Figure 8): the narrow two-level nested-to-nested query on increasingly
 // skewed TPC-H data, with and without skew-aware operators, under a
-// per-worker memory cap that makes skew-oblivious flattening crash.
+// per-worker memory cap that makes skew-oblivious flattening crash. The cap
+// is enforced by the pipelined engine wherever partitions materialize —
+// shuffle boundaries and in-place flattening — while fused narrow chains
+// between them never materialize at all.
 package main
 
 import (

@@ -1,0 +1,3 @@
+module github.com/trance-go/trance
+
+go 1.24

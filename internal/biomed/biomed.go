@@ -1,7 +1,7 @@
 // Package biomed implements the paper's biomedical benchmark (Section 6): a
 // synthetic stand-in for the ICGC datasets (the real data is access-gated —
-// see DESIGN.md, Substitutions) and the five-step end-to-end driver-gene
-// pipeline E2E based on Zhang & Wang [47].
+// see docs/ARCHITECTURE.md, Substitutions) and the five-step end-to-end
+// driver-gene pipeline E2E based on Zhang & Wang [47].
 //
 // Shapes mirror the paper's inputs: Occurrences is the two-level nested BN2
 // (samples → mutations → candidate gene annotations, as produced by the

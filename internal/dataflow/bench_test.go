@@ -57,6 +57,61 @@ func BenchmarkBroadcastJoin(b *testing.B) {
 	}
 }
 
+// narrowChain applies the benchmark's three-operator narrow chain to d.
+func narrowChain(d *Dataset) *Dataset {
+	return d.
+		Map(func(r Row) Row { return Row{r[0], r[1].(int64) * 3, r[2]} }).
+		Filter(func(r Row) bool { return r[1].(int64)%2 == 0 }).
+		Map(func(r Row) Row { return Row{r[0], r[1]} })
+}
+
+// BenchmarkNarrowChainFused measures a map→filter→map chain executed the
+// pipelined way: one fused pass, no intermediate partitions.
+func BenchmarkNarrowChainFused(b *testing.B) {
+	rows := benchRows(50_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewContext(8)
+		if narrowChain(c.FromRows(rows)).Count() != 25_000 {
+			b.Fatal("wrong count")
+		}
+	}
+}
+
+// BenchmarkNarrowChainMaterialized measures the same chain with every
+// intermediate forced — how the engine executed before operator fusion.
+func BenchmarkNarrowChainMaterialized(b *testing.B) {
+	rows := benchRows(50_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewContext(8)
+		d := c.FromRows(rows)
+		d = d.Map(func(r Row) Row { return Row{r[0], r[1].(int64) * 3, r[2]} })
+		d.force()
+		d = d.Filter(func(r Row) bool { return r[1].(int64)%2 == 0 })
+		d.force()
+		d = d.Map(func(r Row) Row { return Row{r[0], r[1]} })
+		d.force()
+		if d.Count() != 25_000 {
+			b.Fatal("wrong count")
+		}
+	}
+}
+
+// BenchmarkFusedShuffle measures a narrow chain flowing straight into a
+// shuffle — the map side consumes the fused chain without materializing the
+// pre-shuffle dataset.
+func BenchmarkFusedShuffle(b *testing.B) {
+	rows := benchRows(50_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := NewContext(8)
+		if _, err := narrowChain(c.FromRows(rows)).RepartitionBy("b", []int{0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGroupReduce measures key-based reduction (the engine primitive
 // under Γ⊎ and Γ+).
 func BenchmarkGroupReduce(b *testing.B) {

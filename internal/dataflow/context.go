@@ -1,23 +1,37 @@
 // Package dataflow is the distributed-processing substrate of this
-// repository: an in-process, multi-partition bulk dataflow engine that plays
-// the role Apache Spark plays in the paper.
+// repository: an in-process, multi-partition, parallel pipelined dataflow
+// engine that plays the role Apache Spark plays in the paper.
 //
-// A Dataset is a collection of rows split into partitions. Operators process
-// partitions in parallel (one goroutine per partition). Key-based
-// repartitioning is an explicit shuffle; the engine meters every row that
-// crosses the shuffle boundary (bytes and records), tracks peak partition
-// sizes, and enforces an optional per-partition memory cap that emulates the
-// executor out-of-memory failures reported as "F = FAIL" in the paper's
-// figures. Datasets carry partitioning guarantees so that co-partitioned
-// inputs skip shuffles, exactly as Spark's partitioner-aware planning does
-// (paper Section 3, "Operators effect the partitioning guarantee").
+// A Dataset is a collection of rows split into partitions. Narrow operators
+// (Map, Filter, FlatMap, AddUniqueID) do not materialize their output:
+// consecutive narrow operators are fused into a single per-row pass that runs
+// when a wide operator (shuffle, join, group) or an action (Collect, Count)
+// consumes the dataset. Partitions are processed goroutine-per-partition on a
+// bounded worker pool shared by the whole Context, so no matter how many
+// partitions a stage has, at most Workers tasks (counting the submitting
+// goroutine, which runs overflow tasks inline) compute at once.
+//
+// Key-based repartitioning is an explicit shuffle: map-side tasks stream rows
+// through the fused operator chain directly into per-(source,target) buffers,
+// and reduce-side tasks concatenate their buffers in parallel. The engine
+// meters every row that crosses the shuffle boundary (bytes and records),
+// records per-stage wall time, tracks peak partition sizes, and enforces an
+// optional per-partition memory cap that emulates the executor out-of-memory
+// failures reported as "F = FAIL" in the paper's figures. Datasets carry
+// partitioning guarantees so that co-partitioned inputs skip shuffles,
+// exactly as Spark's partitioner-aware planning does (paper Section 3,
+// "Operators effect the partitioning guarantee").
 package dataflow
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/trance-go/trance/internal/value"
 )
@@ -37,6 +51,13 @@ type Context struct {
 	// Parallelism is the number of partitions used by shuffles. It plays the
 	// role of the paper's "1000 partitions used for shuffling data".
 	Parallelism int
+	// Workers bounds the number of partition tasks executing at any moment
+	// (the cluster's core count); the submitting goroutine counts as one
+	// worker and runs overflow tasks inline, so Workers=1 executes every
+	// task sequentially on the caller. 0 means runtime.NumCPU(). The pool
+	// size is latched on the context's first operation; set Workers before
+	// running anything — later changes are ignored.
+	Workers int
 	// MaxPartitionBytes caps the estimated size of any single materialized
 	// partition; 0 disables the cap. Exceeding it fails the job with
 	// ErrMemoryExceeded.
@@ -55,9 +76,13 @@ type Context struct {
 	DisableGuarantees bool
 
 	Metrics Metrics
+
+	poolOnce sync.Once
+	pool     chan struct{}
 }
 
-// NewContext returns a context with the given parallelism and no memory cap.
+// NewContext returns a context with the given parallelism, a NumCPU-sized
+// worker pool, and no memory cap.
 func NewContext(parallelism int) *Context {
 	if parallelism <= 0 {
 		parallelism = 1
@@ -65,15 +90,56 @@ func NewContext(parallelism int) *Context {
 	return &Context{Parallelism: parallelism, BroadcastLimit: 10 << 20, SampleSeed: 42}
 }
 
-// Metrics accumulates engine counters for one run. All fields are updated
-// atomically; read them after the job completes.
+// slots returns the shared bounded worker pool, initializing it on first use.
+// The caller of runParts counts as one worker (it runs overflow tasks
+// inline), so the pool holds Workers-1 goroutine slots; with Workers=1 the
+// pool is empty and every task runs sequentially on the caller.
+func (c *Context) slots() chan struct{} {
+	c.poolOnce.Do(func() {
+		w := c.Workers
+		if w <= 0 {
+			w = runtime.NumCPU()
+		}
+		c.pool = make(chan struct{}, w-1)
+	})
+	return c.pool
+}
+
+// StageTime is the measured wall time of one named engine stage.
+type StageTime struct {
+	Stage string
+	Wall  time.Duration
+}
+
+// Metrics accumulates engine counters for one run. The atomic fields are
+// updated lock-free from partition tasks; stage wall times are recorded under
+// a mutex by the driver-side operator code. Read everything after the job
+// completes (or via Snapshot at any point).
 type Metrics struct {
-	ShuffleBytes    atomic.Int64 // bytes of rows written across a shuffle boundary
-	ShuffleRecords  atomic.Int64 // rows written across a shuffle boundary
-	BroadcastBytes  atomic.Int64 // bytes replicated to every partition by broadcasts
-	PeakPartition   atomic.Int64 // largest materialized partition observed
-	Stages          atomic.Int64 // shuffle stages executed
-	SkippedShuffles atomic.Int64 // shuffles avoided thanks to partitioning guarantees
+	ShuffleBytes      atomic.Int64 // bytes of rows written across a shuffle boundary
+	ShuffleRecords    atomic.Int64 // rows written across a shuffle boundary
+	BroadcastBytes    atomic.Int64 // bytes replicated to every partition by broadcasts
+	PeakPartition     atomic.Int64 // largest materialized partition observed (bytes)
+	PeakPartitionRows atomic.Int64 // largest materialized partition observed (rows)
+	Stages            atomic.Int64 // shuffle stages executed
+	SkippedShuffles   atomic.Int64 // shuffles avoided thanks to partitioning guarantees
+
+	mu        sync.Mutex
+	stageWall map[string]time.Duration
+	stageSeen []string // first-seen order, for stable reporting
+}
+
+// AddStageWall accumulates wall time under a stage name.
+func (m *Metrics) AddStageWall(stage string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stageWall == nil {
+		m.stageWall = map[string]time.Duration{}
+	}
+	if _, ok := m.stageWall[stage]; !ok {
+		m.stageSeen = append(m.stageSeen, stage)
+	}
+	m.stageWall[stage] += d
 }
 
 // Reset zeroes all counters.
@@ -82,70 +148,126 @@ func (m *Metrics) Reset() {
 	m.ShuffleRecords.Store(0)
 	m.BroadcastBytes.Store(0)
 	m.PeakPartition.Store(0)
+	m.PeakPartitionRows.Store(0)
 	m.Stages.Store(0)
 	m.SkippedShuffles.Store(0)
+	m.mu.Lock()
+	m.stageWall = nil
+	m.stageSeen = nil
+	m.mu.Unlock()
 }
 
 // Snapshot is a plain-struct copy of Metrics, convenient for reporting.
 type Snapshot struct {
-	ShuffleBytes    int64
-	ShuffleRecords  int64
-	BroadcastBytes  int64
-	PeakPartition   int64
-	Stages          int64
-	SkippedShuffles int64
+	ShuffleBytes      int64
+	ShuffleRecords    int64
+	BroadcastBytes    int64
+	PeakPartition     int64
+	PeakPartitionRows int64
+	Stages            int64
+	SkippedShuffles   int64
+	// StageWall lists per-stage wall times in first-execution order.
+	StageWall []StageTime
 }
 
 // Snapshot copies the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
-	return Snapshot{
-		ShuffleBytes:    m.ShuffleBytes.Load(),
-		ShuffleRecords:  m.ShuffleRecords.Load(),
-		BroadcastBytes:  m.BroadcastBytes.Load(),
-		PeakPartition:   m.PeakPartition.Load(),
-		Stages:          m.Stages.Load(),
-		SkippedShuffles: m.SkippedShuffles.Load(),
+	s := Snapshot{
+		ShuffleBytes:      m.ShuffleBytes.Load(),
+		ShuffleRecords:    m.ShuffleRecords.Load(),
+		BroadcastBytes:    m.BroadcastBytes.Load(),
+		PeakPartition:     m.PeakPartition.Load(),
+		PeakPartitionRows: m.PeakPartitionRows.Load(),
+		Stages:            m.Stages.Load(),
+		SkippedShuffles:   m.SkippedShuffles.Load(),
 	}
+	m.mu.Lock()
+	for _, name := range m.stageSeen {
+		s.StageWall = append(s.StageWall, StageTime{Stage: name, Wall: m.stageWall[name]})
+	}
+	m.mu.Unlock()
+	return s
 }
 
 func (s Snapshot) String() string {
-	return fmt.Sprintf("shuffle=%dB/%drec broadcast=%dB peakPart=%dB stages=%d skipped=%d",
-		s.ShuffleBytes, s.ShuffleRecords, s.BroadcastBytes, s.PeakPartition, s.Stages, s.SkippedShuffles)
+	return fmt.Sprintf("shuffle=%dB/%drec broadcast=%dB peakPart=%dB/%drows stages=%d skipped=%d",
+		s.ShuffleBytes, s.ShuffleRecords, s.BroadcastBytes, s.PeakPartition, s.PeakPartitionRows,
+		s.Stages, s.SkippedShuffles)
 }
 
-// runParts invokes fn for every partition index in parallel and returns the
-// first error.
-func runParts(n int, fn func(i int) error) error {
+// StageReport renders the per-stage wall times, slowest first.
+func (s Snapshot) StageReport() string {
+	st := append([]StageTime(nil), s.StageWall...)
+	sort.SliceStable(st, func(i, j int) bool { return st[i].Wall > st[j].Wall })
+	var b strings.Builder
+	for _, t := range st {
+		fmt.Fprintf(&b, "%-24s %12s\n", t.Stage, t.Wall)
+	}
+	return b.String()
+}
+
+// runParts invokes fn for every partition index and returns the joined
+// errors. Execution is work-stealing over the context's bounded worker pool:
+// helper goroutines (as many as free pool slots allow, at most Workers-1)
+// and the caller itself all pull the next unclaimed index from a shared
+// counter, so a long-running partition never stalls dispatch of the ones
+// behind it. At most Workers tasks compute at once — the caller counts as
+// one worker, so Workers=1 runs every task sequentially on the caller — and
+// scheduling can never deadlock.
+func (c *Context) runParts(n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
 	if n == 1 {
 		return fn(0)
 	}
-	var wg sync.WaitGroup
 	errs := make([]error, n)
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			defer wg.Done()
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
 			errs[i] = fn(i)
-		}(i)
+		}
 	}
+	sem := c.slots()
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				work()
+			}()
+			continue
+		default:
+		}
+		break
+	}
+	work()
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// timeStage measures fn's wall time under the stage name.
+func (c *Context) timeStage(stage string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	c.Metrics.AddStageWall(stage, time.Since(start))
+	return err
 }
 
 // checkPartitions records peak partition sizes and enforces the memory cap.
 func (c *Context) checkPartitions(stage string, parts [][]Row) error {
 	var failed atomic.Bool
-	_ = runParts(len(parts), func(i int) error {
+	_ = c.runParts(len(parts), func(i int) error {
 		sz := value.SizeRows(parts[i])
-		for {
-			cur := c.Metrics.PeakPartition.Load()
-			if sz <= cur || c.Metrics.PeakPartition.CompareAndSwap(cur, sz) {
-				break
-			}
-		}
+		maxInt64(&c.Metrics.PeakPartition, sz)
+		maxInt64(&c.Metrics.PeakPartitionRows, int64(len(parts[i])))
 		if c.MaxPartitionBytes > 0 && sz > c.MaxPartitionBytes {
 			failed.Store(true)
 		}
@@ -155,4 +277,14 @@ func (c *Context) checkPartitions(stage string, parts [][]Row) error {
 		return fmt.Errorf("stage %s: %w", stage, ErrMemoryExceeded)
 	}
 	return nil
+}
+
+// maxInt64 raises an atomic counter to v if v is larger.
+func maxInt64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }

@@ -28,10 +28,30 @@ func (p *Partitioner) equal(o *Partitioner) bool {
 	return true
 }
 
-// Dataset is a partitioned, immutable collection of rows bound to a Context.
+// stageFn is one fused narrow operator: it transforms a single input row into
+// zero or more output rows via emit.
+type stageFn func(r Row, emit func(Row))
+
+// stageFactory instantiates a stage for one partition. Stages that carry
+// per-partition state (AddUniqueID's sequence counter) get a fresh instance
+// per partition per pass, which keeps replays deterministic and parallel
+// passes race-free.
+type stageFactory func(part int) stageFn
+
+// Dataset is a partitioned collection of rows bound to a Context. Rows are
+// never mutated, but the Dataset itself is lazy with respect to narrow
+// operators: parts holds the materialized source partitions and stages the
+// pending fused operator chain. Wide operators and actions stream rows
+// through the chain (one pass, no intermediate slices); force caches the
+// result in place when a caller needs the materialized rows themselves.
+//
+// Driving a Dataset — operators and actions — is a single-goroutine (driver)
+// activity: force mutates parts/stages without synchronization. Publish a
+// dataset to concurrent readers only after Force.
 type Dataset struct {
 	ctx         *Context
 	parts       [][]Row
+	stages      []stageFactory
 	partitioner *Partitioner
 }
 
@@ -61,17 +81,76 @@ func (c *Context) FromPartitions(parts [][]Row) *Dataset {
 	return &Dataset{ctx: c, parts: parts}
 }
 
+// Empty returns an empty dataset with the context's parallelism.
+func (c *Context) Empty() *Dataset {
+	return &Dataset{ctx: c, parts: make([][]Row, c.Parallelism)}
+}
+
 // Context returns the engine context the dataset is bound to.
 func (d *Dataset) Context() *Context { return d.ctx }
 
-// NumPartitions returns the partition count.
+// NumPartitions returns the partition count (narrow operators never change
+// it).
 func (d *Dataset) NumPartitions() int { return len(d.parts) }
 
 // Partitioner returns the current partitioning guarantee, or nil.
 func (d *Dataset) Partitioner() *Partitioner { return d.partitioner }
 
-// Count returns the total number of rows.
+// withStage returns a new dataset with one more fused narrow operator. The
+// stage slice is copied, never shared, so sibling datasets derived from the
+// same parent cannot alias each other's chains.
+func (d *Dataset) withStage(f stageFactory) *Dataset {
+	stages := make([]stageFactory, len(d.stages)+1)
+	copy(stages, d.stages)
+	stages[len(d.stages)] = f
+	return &Dataset{ctx: d.ctx, parts: d.parts, stages: stages}
+}
+
+// feed streams partition part through the fused operator chain into sink.
+// This is the pipelined execution path: a row travels Map → Filter → … →
+// sink without any intermediate partition ever being allocated.
+func (d *Dataset) feed(part int, sink func(Row)) {
+	emit := sink
+	for i := len(d.stages) - 1; i >= 0; i-- {
+		st := d.stages[i](part)
+		next := emit
+		emit = func(r Row) { st(r, next) }
+	}
+	for _, r := range d.parts[part] {
+		emit(r)
+	}
+}
+
+// force runs the pending fused chain (in parallel over the worker pool) and
+// caches the materialized partitions in place. Idempotent; a dataset with no
+// pending stages is already materialized.
+func (d *Dataset) force() {
+	if len(d.stages) == 0 {
+		return
+	}
+	parts := make([][]Row, len(d.parts))
+	_ = d.ctx.runParts(len(d.parts), func(i int) error {
+		var out []Row
+		d.feed(i, func(r Row) { out = append(out, r) })
+		parts[i] = out
+		return nil
+	})
+	d.parts = parts
+	d.stages = nil
+}
+
+// Force materializes any pending fused stages in place and returns d. Wide
+// operators and actions force automatically; callers that publish a dataset
+// to concurrent readers, or that time a run, force explicitly first so no
+// deferred work escapes them.
+func (d *Dataset) Force() *Dataset {
+	d.force()
+	return d
+}
+
+// Count returns the total number of rows, materializing pending stages.
 func (d *Dataset) Count() int64 {
+	d.force()
 	var n int64
 	for _, p := range d.parts {
 		n += int64(len(p))
@@ -81,6 +160,7 @@ func (d *Dataset) Count() int64 {
 
 // SizeBytes estimates the total materialized size.
 func (d *Dataset) SizeBytes() int64 {
+	d.force()
 	var s int64
 	for _, p := range d.parts {
 		s += value.SizeRows(p)
@@ -90,6 +170,7 @@ func (d *Dataset) SizeBytes() int64 {
 
 // Collect gathers all rows into one slice (driver-side action).
 func (d *Dataset) Collect() []Row {
+	d.force()
 	out := make([]Row, 0, d.Count())
 	for _, p := range d.parts {
 		out = append(out, p...)
@@ -107,17 +188,13 @@ func (d *Dataset) CollectSorted() []Row {
 	return rows
 }
 
-// Map applies fn to every row. Narrow (no shuffle); preserves partitioning
-// only if the caller says key columns survive — use MapPreserving for that.
+// Map applies fn to every row. Narrow, fused, and lazy: nothing runs until a
+// wide operator or action consumes the dataset. Preserves partitioning only
+// if the caller says key columns survive — use MapPreserving for that.
 func (d *Dataset) Map(fn func(Row) Row) *Dataset {
-	out := d.mapPartitions(func(rows []Row) []Row {
-		res := make([]Row, len(rows))
-		for i, r := range rows {
-			res[i] = fn(r)
-		}
-		return res
+	return d.withStage(func(int) stageFn {
+		return func(r Row, emit func(Row)) { emit(fn(r)) }
 	})
-	return out
 }
 
 // MapPreserving is Map for transformations that leave the key columns of the
@@ -129,29 +206,29 @@ func (d *Dataset) MapPreserving(fn func(Row) Row) *Dataset {
 	return out
 }
 
-// Filter keeps rows satisfying pred. Preserves the partitioning guarantee.
+// Filter keeps rows satisfying pred. Narrow, fused, lazy; preserves the
+// partitioning guarantee.
 func (d *Dataset) Filter(pred func(Row) bool) *Dataset {
-	out := d.mapPartitions(func(rows []Row) []Row {
-		res := make([]Row, 0, len(rows))
-		for _, r := range rows {
+	out := d.withStage(func(int) stageFn {
+		return func(r Row, emit func(Row)) {
 			if pred(r) {
-				res = append(res, r)
+				emit(r)
 			}
 		}
-		return res
 	})
 	out.partitioner = d.partitioner
 	return out
 }
 
-// FlatMap expands every row to zero or more rows. Drops the guarantee.
+// FlatMap expands every row to zero or more rows. Narrow, fused, lazy; drops
+// the guarantee.
 func (d *Dataset) FlatMap(fn func(Row) []Row) *Dataset {
-	return d.mapPartitions(func(rows []Row) []Row {
-		var res []Row
-		for _, r := range rows {
-			res = append(res, fn(r)...)
+	return d.withStage(func(int) stageFn {
+		return func(r Row, emit func(Row)) {
+			for _, o := range fn(r) {
+				emit(o)
+			}
 		}
-		return res
 	})
 }
 
@@ -164,19 +241,34 @@ func (d *Dataset) FlatMapPreserving(fn func(Row) []Row) *Dataset {
 	return out
 }
 
-// mapPartitions applies fn to each partition in parallel.
-func (d *Dataset) mapPartitions(fn func([]Row) []Row) *Dataset {
-	parts := make([][]Row, len(d.parts))
-	_ = runParts(len(d.parts), func(i int) error {
-		parts[i] = fn(d.parts[i])
-		return nil
+// AddUniqueID appends a new column holding an ID unique across the dataset,
+// without any shuffle: IDs combine the partition index and a per-partition
+// sequence number, assigned by a fused stage whose counter is instantiated
+// per partition per pass (so replays produce identical IDs). This implements
+// the unique-ID insertion performed by the outer-unnest operator of the
+// paper.
+func (d *Dataset) AddUniqueID() *Dataset {
+	out := d.withStage(func(part int) stageFn {
+		base := int64(part) << 40
+		var seq int64
+		return func(r Row, emit func(Row)) {
+			nr := make(Row, len(r)+1)
+			copy(nr, r)
+			nr[len(r)] = base | seq
+			seq++
+			emit(nr)
+		}
 	})
-	return &Dataset{ctx: d.ctx, parts: parts}
+	out.partitioner = d.partitioner
+	return out
 }
 
 // Union concatenates two datasets partition-wise (no shuffle, guarantee
-// dropped — Spark's union likewise drops the partitioner).
+// dropped — Spark's union likewise drops the partitioner). Both sides are
+// materialized first so their fused chains are not cross-multiplied.
 func (d *Dataset) Union(o *Dataset) *Dataset {
+	d.force()
+	o.force()
 	n := len(d.parts)
 	if len(o.parts) > n {
 		n = len(o.parts)
@@ -195,39 +287,13 @@ func (d *Dataset) Union(o *Dataset) *Dataset {
 	return &Dataset{ctx: d.ctx, parts: parts}
 }
 
-// AddUniqueID appends a new column holding an ID unique across the dataset,
-// without any shuffle: IDs combine the partition index and a per-partition
-// sequence number. This implements the unique-ID insertion performed by the
-// outer-unnest operator of the paper.
-func (d *Dataset) AddUniqueID() *Dataset {
-	parts := make([][]Row, len(d.parts))
-	_ = runParts(len(d.parts), func(i int) error {
-		src := d.parts[i]
-		res := make([]Row, len(src))
-		base := int64(i) << 40
-		for j, r := range src {
-			nr := make(Row, len(r)+1)
-			copy(nr, r)
-			nr[len(r)] = base | int64(j)
-			res[j] = nr
-		}
-		parts[i] = res
-		return nil
-	})
-	out := &Dataset{ctx: d.ctx, parts: parts}
-	out.partitioner = d.partitioner
-	return out
-}
-
-// Empty returns an empty dataset with the context's parallelism.
-func (c *Context) Empty() *Dataset {
-	return &Dataset{ctx: c, parts: make([][]Row, c.Parallelism)}
-}
-
-// CheckMemory enforces the per-partition memory cap on the dataset's current
-// partitions, recording the peak. Operators that materially expand data in
+// CheckMemory materializes pending stages and enforces the per-partition
+// memory cap, recording the peak. Operators that materially expand data in
 // place (flattening a nested collection) call it to model worker memory
 // pressure outside shuffle boundaries.
 func (d *Dataset) CheckMemory(stage string) error {
-	return d.ctx.checkPartitions(stage, d.parts)
+	return d.ctx.timeStage(stage, func() error {
+		d.force()
+		return d.ctx.checkPartitions(stage, d.parts)
+	})
 }

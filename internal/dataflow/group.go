@@ -1,30 +1,35 @@
 package dataflow
 
 import (
+	"time"
+
 	"github.com/trance-go/trance/internal/value"
 )
 
 // GroupReduce hash-partitions by the key columns (skipping the shuffle when
-// the guarantee already holds) and applies reduce to every key group. The
-// groups slice passed to reduce contains all rows sharing the composite key;
-// rows keep their original layout. The result carries no guarantee; callers
-// that keep key columns in place can reinstate it with WithPartitioner.
+// the guarantee already holds) and applies reduce to every key group,
+// streaming rows through any pending fused operator chain into the group
+// table. The groups slice passed to reduce contains all rows sharing the
+// composite key; rows keep their original layout. The result carries no
+// guarantee; callers that keep key columns in place can reinstate it with
+// WithPartitioner.
 func (d *Dataset) GroupReduce(stage string, cols []int, reduce func(rows []Row) []Row) (*Dataset, error) {
 	sh, err := d.RepartitionBy(stage, cols)
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	parts := make([][]Row, len(sh.parts))
-	_ = runParts(len(sh.parts), func(i int) error {
+	_ = d.ctx.runParts(len(sh.parts), func(i int) error {
 		groups := make(map[string][]Row)
 		order := make([]string, 0, 64)
-		for _, r := range sh.parts[i] {
+		sh.feed(i, func(r Row) {
 			k := value.KeyCols(r, cols)
 			if _, ok := groups[k]; !ok {
 				order = append(order, k)
 			}
 			groups[k] = append(groups[k], r)
-		}
+		})
 		var out []Row
 		for _, k := range order {
 			out = append(out, reduce(groups[k])...)
@@ -32,6 +37,7 @@ func (d *Dataset) GroupReduce(stage string, cols []int, reduce func(rows []Row) 
 		parts[i] = out
 		return nil
 	})
+	d.ctx.Metrics.AddStageWall(stage+"/reduce", time.Since(start))
 	if err := d.ctx.checkPartitions(stage+"/reduce", parts); err != nil {
 		return nil, err
 	}
@@ -47,8 +53,10 @@ func (d *Dataset) WithPartitioner(cols []int) *Dataset {
 }
 
 // Distinct removes duplicate rows (whole-row key). Implements the paper's
-// dedup over flat bags: one shuffle, then per-partition elimination.
+// dedup over flat bags: one shuffle, then per-partition elimination. Pending
+// stages are materialized first because the key spans every output column.
 func (d *Dataset) Distinct(stage string) (*Dataset, error) {
+	d.force()
 	width := 0
 	for _, p := range d.parts {
 		if len(p) > 0 {

@@ -1,13 +1,16 @@
 package dataflow
 
 import (
+	"time"
+
 	"github.com/trance-go/trance/internal/value"
 )
 
 // Join performs an equi-join with d as the left input. Both sides are
 // hash-partitioned on their key columns (shuffles are skipped for sides whose
 // partitioning guarantee already matches), then joined per partition with a
-// build-probe hash join. Output rows are left ++ right. With leftOuter set,
+// build-probe hash join; probe rows stream through any pending fused operator
+// chain of the left side. Output rows are left ++ right. With leftOuter set,
 // unmatched left rows survive padded with rightWidth NULL columns — the NULL
 // machinery the Γ operators later cast away.
 //
@@ -25,15 +28,21 @@ func (d *Dataset) Join(stage string, right *Dataset, lcols, rcols []int, rightWi
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	parts := make([][]Row, len(ls.parts))
-	_ = runParts(len(ls.parts), func(i int) error {
-		var rrows []Row
+	_ = d.ctx.runParts(len(ls.parts), func(i int) error {
+		var build map[string][]Row
 		if i < len(rs.parts) {
-			rrows = rs.parts[i]
+			build = buildJoinMap(rs, i, rcols)
 		}
-		parts[i] = hashJoinPartition(ls.parts[i], rrows, lcols, rcols, rightWidth, leftOuter)
+		var out []Row
+		ls.feed(i, func(l Row) {
+			probeJoin(l, build, lcols, rightWidth, leftOuter, func(r Row) { out = append(out, r) })
+		})
+		parts[i] = out
 		return nil
 	})
+	d.ctx.Metrics.AddStageWall(stage, time.Since(start))
 	if err := d.ctx.checkPartitions(stage+"/out", parts); err != nil {
 		return nil, err
 	}
@@ -43,18 +52,26 @@ func (d *Dataset) Join(stage string, right *Dataset, lcols, rcols []int, rightWi
 }
 
 // BroadcastJoin replicates the right side to every partition of the left and
-// joins locally: no shuffle of the left at all. The broadcast volume is
-// metered separately from shuffle (Spark likewise reports it apart). The
-// left's partitioning guarantee is preserved — the property the skew-aware
-// join of paper Figure 6 relies on to leave heavy keys where they are.
+// joins locally: no shuffle of the left at all — left rows stream through
+// their fused chain straight into the probe. The broadcast volume is metered
+// separately from shuffle (Spark likewise reports it apart). The left's
+// partitioning guarantee is preserved — the property the skew-aware join of
+// paper Figure 6 relies on to leave heavy keys where they are.
 func (d *Dataset) BroadcastJoin(stage string, right *Dataset, lcols, rcols []int, rightWidth int, leftOuter bool) (*Dataset, error) {
 	rrows := right.Collect()
 	d.ctx.Metrics.BroadcastBytes.Add(value.SizeRows(rrows) * int64(d.ctx.Parallelism))
+	start := time.Now()
+	build := buildJoinMapRows(rrows, rcols)
 	parts := make([][]Row, len(d.parts))
-	_ = runParts(len(d.parts), func(i int) error {
-		parts[i] = hashJoinPartition(d.parts[i], rrows, lcols, rcols, rightWidth, leftOuter)
+	_ = d.ctx.runParts(len(d.parts), func(i int) error {
+		var out []Row
+		d.feed(i, func(l Row) {
+			probeJoin(l, build, lcols, rightWidth, leftOuter, func(r Row) { out = append(out, r) })
+		})
+		parts[i] = out
 		return nil
 	})
+	d.ctx.Metrics.AddStageWall(stage, time.Since(start))
 	if err := d.ctx.checkPartitions(stage+"/out", parts); err != nil {
 		return nil, err
 	}
@@ -63,35 +80,54 @@ func (d *Dataset) BroadcastJoin(stage string, right *Dataset, lcols, rcols []int
 	return out, nil
 }
 
-func hashJoinPartition(left, right []Row, lcols, rcols []int, rightWidth int, leftOuter bool) []Row {
-	build := make(map[string][]Row, len(right))
-	for _, r := range right {
+// buildJoinMap builds the hash table over one partition of the right side,
+// streaming through any pending fused chain.
+func buildJoinMap(rs *Dataset, part int, rcols []int) map[string][]Row {
+	build := make(map[string][]Row, len(rs.parts[part]))
+	rs.feed(part, func(r Row) {
+		if anyNullCols(r, rcols) {
+			return
+		}
+		k := value.KeyCols(r, rcols)
+		build[k] = append(build[k], r)
+	})
+	return build
+}
+
+// buildJoinMapRows builds the hash table over collected rows (broadcast
+// side). With rcols nil (cross join) every row lands under the empty key, so
+// each probe matches all of them.
+func buildJoinMapRows(rows []Row, rcols []int) map[string][]Row {
+	build := make(map[string][]Row, len(rows))
+	for _, r := range rows {
 		if anyNullCols(r, rcols) {
 			continue
 		}
 		k := value.KeyCols(r, rcols)
 		build[k] = append(build[k], r)
 	}
-	var out []Row
-	for _, l := range left {
-		var matches []Row
-		if !anyNullCols(l, lcols) {
-			matches = build[value.KeyCols(l, lcols)]
-		}
-		if len(matches) == 0 {
-			if leftOuter {
-				out = append(out, padRight(l, rightWidth))
-			}
-			continue
-		}
-		for _, r := range matches {
-			nr := make(Row, len(l)+len(r))
-			copy(nr, l)
-			copy(nr[len(l):], r)
-			out = append(out, nr)
-		}
+	return build
+}
+
+// probeJoin probes one left row against the build table, emitting joined rows
+// (or the NULL-padded row under leftOuter).
+func probeJoin(l Row, build map[string][]Row, lcols []int, rightWidth int, leftOuter bool, emit func(Row)) {
+	var matches []Row
+	if !anyNullCols(l, lcols) {
+		matches = build[value.KeyCols(l, lcols)]
 	}
-	return out
+	if len(matches) == 0 {
+		if leftOuter {
+			emit(padRight(l, rightWidth))
+		}
+		return
+	}
+	for _, r := range matches {
+		nr := make(Row, len(l)+len(r))
+		copy(nr, l)
+		copy(nr[len(l):], r)
+		emit(nr)
+	}
 }
 
 func anyNullCols(r Row, cols []int) bool {
@@ -122,25 +158,27 @@ func (d *Dataset) CoGroup(stage string, right *Dataset, lcols, rcols []int, fn f
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	parts := make([][]Row, len(ls.parts))
-	_ = runParts(len(ls.parts), func(i int) error {
+	_ = d.ctx.runParts(len(ls.parts), func(i int) error {
 		lgroups := make(map[string][]Row)
 		order := make([]string, 0, 64)
-		for _, r := range ls.parts[i] {
+		ls.feed(i, func(r Row) {
 			k := value.KeyCols(r, lcols)
 			if _, ok := lgroups[k]; !ok {
 				order = append(order, k)
 			}
 			lgroups[k] = append(lgroups[k], r)
-		}
+		})
 		rgroups := make(map[string][]Row)
 		if i < len(rs.parts) {
-			for _, r := range rs.parts[i] {
+			rs.feed(i, func(r Row) {
 				if anyNullCols(r, rcols) {
-					continue
+					return
 				}
-				rgroups[value.KeyCols(r, rcols)] = append(rgroups[value.KeyCols(r, rcols)], r)
-			}
+				k := value.KeyCols(r, rcols)
+				rgroups[k] = append(rgroups[k], r)
+			})
 		}
 		var out []Row
 		for _, k := range order {
@@ -149,9 +187,9 @@ func (d *Dataset) CoGroup(stage string, right *Dataset, lcols, rcols []int, fn f
 		parts[i] = out
 		return nil
 	})
+	d.ctx.Metrics.AddStageWall(stage, time.Since(start))
 	if err := d.ctx.checkPartitions(stage+"/out", parts); err != nil {
 		return nil, err
 	}
-	out := &Dataset{ctx: d.ctx, parts: parts}
-	return out, nil
+	return &Dataset{ctx: d.ctx, parts: parts}, nil
 }

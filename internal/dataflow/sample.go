@@ -6,13 +6,18 @@ import (
 
 // SamplePartitions draws a deterministic pseudo-random sample of up to n rows
 // from every partition and hands each sample, with its partition index, to
-// visit. The skew detector of Section 5 uses it to estimate per-partition key
-// frequencies without a full pass being charged as a shuffle.
+// visit. Sampling runs in parallel on the worker pool; visit is called
+// sequentially on the caller's goroutine, in partition order, so callers need
+// no synchronization. The skew detector of Section 5 uses it to estimate
+// per-partition key frequencies without a full pass being charged as a
+// shuffle.
 func (d *Dataset) SamplePartitions(n int, visit func(part int, sample []Row)) {
-	_ = runParts(len(d.parts), func(i int) error {
+	d.force()
+	samples := make([][]Row, len(d.parts))
+	_ = d.ctx.runParts(len(d.parts), func(i int) error {
 		rows := d.parts[i]
 		if len(rows) <= n {
-			visit(i, rows)
+			samples[i] = rows
 			return nil
 		}
 		rng := rand.New(rand.NewSource(d.ctx.SampleSeed + int64(i)))
@@ -24,7 +29,10 @@ func (d *Dataset) SamplePartitions(n int, visit func(part int, sample []Row)) {
 				sample[k] = rows[j]
 			}
 		}
-		visit(i, sample)
+		samples[i] = sample
 		return nil
 	})
+	for i, s := range samples {
+		visit(i, s)
+	}
 }

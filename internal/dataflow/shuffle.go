@@ -1,6 +1,8 @@
 package dataflow
 
 import (
+	"time"
+
 	"github.com/trance-go/trance/internal/value"
 )
 
@@ -14,7 +16,9 @@ func (d *Dataset) RepartitionBy(stage string, cols []int) (*Dataset, error) {
 		d.ctx.Metrics.SkippedShuffles.Add(1)
 		return d, nil
 	}
-	out, err := d.shuffle(stage, func(r Row) uint64 { return value.HashCols(r, cols) })
+	out, err := d.shuffle(stage, func(int) func(Row) uint64 {
+		return func(r Row) uint64 { return value.HashCols(r, cols) }
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -22,33 +26,43 @@ func (d *Dataset) RepartitionBy(stage string, cols []int) (*Dataset, error) {
 	return out, nil
 }
 
-// shuffle redistributes rows into Parallelism partitions by the given hash
-// function, metering every row written across the boundary.
-func (d *Dataset) shuffle(stage string, hash func(Row) uint64) (*Dataset, error) {
+// shuffle redistributes rows into Parallelism partitions. hashFor builds one
+// hash function per source partition (stateful routing, e.g. Rebalance's
+// round-robin counter, stays partition-local and race-free).
+//
+// The exchange is pipelined: each map-side task streams its partition through
+// the dataset's fused narrow-operator chain directly into P per-target
+// buffers — the pre-shuffle map/filter chain is never materialized. Each
+// reduce-side task then concatenates its (source,target) buffers. Both sides
+// run goroutine-per-partition on the bounded worker pool, and every row
+// crossing the boundary is metered.
+func (d *Dataset) shuffle(stage string, hashFor func(part int) func(Row) uint64) (*Dataset, error) {
 	c := d.ctx
 	p := c.Parallelism
 	c.Metrics.Stages.Add(1)
+	start := time.Now()
 
-	// Map side: each source partition writes P buckets.
+	// Map side: source partition i streams into buckets[i][t] for target t.
 	buckets := make([][][]Row, len(d.parts))
-	_ = runParts(len(d.parts), func(i int) error {
+	_ = c.runParts(len(d.parts), func(i int) error {
 		local := make([][]Row, p)
+		hash := hashFor(i)
 		var bytes, recs int64
-		for _, r := range d.parts[i] {
+		d.feed(i, func(r Row) {
 			t := int(hash(r) % uint64(p))
 			local[t] = append(local[t], r)
 			bytes += value.Size(r)
 			recs++
-		}
+		})
 		buckets[i] = local
 		c.Metrics.ShuffleBytes.Add(bytes)
 		c.Metrics.ShuffleRecords.Add(recs)
 		return nil
 	})
 
-	// Reduce side: each target partition concatenates its buckets.
+	// Reduce side: each target partition concatenates its buffers.
 	parts := make([][]Row, p)
-	_ = runParts(p, func(t int) error {
+	_ = c.runParts(p, func(t int) error {
 		var n int
 		for i := range buckets {
 			n += len(buckets[i][t])
@@ -61,6 +75,7 @@ func (d *Dataset) shuffle(stage string, hash func(Row) uint64) (*Dataset, error)
 		return nil
 	})
 
+	c.Metrics.AddStageWall(stage, time.Since(start))
 	if err := c.checkPartitions(stage, parts); err != nil {
 		return nil, err
 	}
@@ -68,11 +83,16 @@ func (d *Dataset) shuffle(stage string, hash func(Row) uint64) (*Dataset, error)
 }
 
 // Rebalance redistributes rows round-robin (no key), dropping any guarantee.
-// Used to spread data evenly, e.g. after a highly selective filter.
+// Used to spread data evenly, e.g. after a highly selective filter. The
+// round-robin counter is per source partition (offset by the partition index
+// so sources do not all target the same sequence), keeping the map side free
+// of shared state.
 func (d *Dataset) Rebalance(stage string) (*Dataset, error) {
-	var i int64
-	return d.shuffle(stage, func(Row) uint64 {
-		i++
-		return uint64(i)
+	return d.shuffle(stage, func(part int) func(Row) uint64 {
+		i := uint64(part)
+		return func(Row) uint64 {
+			i++
+			return i
+		}
 	})
 }

@@ -1,8 +1,14 @@
 // Package exec binds algebraic plans to the dataflow engine: every plan
 // operator becomes a bulk operation over distributed Datasets, implementing
 // the code-generation stage of the paper (Section 3) with the NULL-casting Γ
-// semantics and partitioning-guarantee handling. The skew-aware variants of
-// Section 5 live in skew.go.
+// semantics and partitioning-guarantee handling. Narrow plan operators
+// (Select, Extend, Project) map to the engine's fused lazy operators, so
+// chains of them execute as one pipelined pass per partition, consumed by
+// wide operators (Join, Nest, Dedup, BagToDict) at shuffle boundaries.
+// Unnest also maps to a fused FlatMap but is materialized immediately by the
+// CheckMemory call that models in-place flattening pressure, so fusion
+// always terminates there. The skew-aware variants of Section 5 live in
+// skew.go.
 package exec
 
 import (
@@ -31,8 +37,10 @@ func New(ctx *dataflow.Context) *Executor {
 	return &Executor{Ctx: ctx, Inputs: map[string]*dataflow.Dataset{}}
 }
 
-// Bind registers a named input dataset.
-func (ex *Executor) Bind(name string, d *dataflow.Dataset) { ex.Inputs[name] = d }
+// Bind registers a named input dataset. The dataset is forced first: a named
+// input may be scanned by several downstream plans, and materializing once
+// here keeps each of them from re-running the name's pending fused chain.
+func (ex *Executor) Bind(name string, d *dataflow.Dataset) { ex.Inputs[name] = d.Force() }
 
 // BindRows registers a named input from raw rows.
 func (ex *Executor) BindRows(name string, rows []dataflow.Row) {

@@ -40,6 +40,7 @@ func (r *PipelineResult) Failed() bool { return r.Err != nil }
 // step's output as an input of later steps.
 func RunPipeline(steps []PipelineStep, env nrc.Env, inputs map[string]value.Bag, strat Strategy, cfg Config) *PipelineResult {
 	ctx := dataflow.NewContext(cfg.Parallelism)
+	ctx.Workers = cfg.Workers
 	ctx.MaxPartitionBytes = cfg.MaxPartitionBytes
 	ctx.BroadcastLimit = cfg.BroadcastLimit
 	if strat == SparkSQLStyle {
@@ -88,6 +89,9 @@ func runPipelineStandard(steps []PipelineStep, scope nrc.Env, inputs map[string]
 		}
 		start := time.Now()
 		out, err := ex.Run(op)
+		if err == nil {
+			out.Force() // charge trailing fused narrow work to this step
+		}
 		res.StepElapsed = append(res.StepElapsed, time.Since(start))
 		if err != nil {
 			res.fail(i, fmt.Errorf("step %s: %w", st.Name, err))

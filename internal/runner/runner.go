@@ -85,7 +85,12 @@ func (s Strategy) unshreds() bool {
 
 // Config sizes the simulated cluster.
 type Config struct {
-	Parallelism       int
+	// Parallelism is the partition count used by shuffles.
+	Parallelism int
+	// Workers bounds the engine's shared goroutine pool (0 = NumCPU). Set it
+	// to 1 to execute the same partitioned plan sequentially — the
+	// parallel-scaling benchmarks compare exactly these two settings.
+	Workers           int
 	MaxPartitionBytes int64
 	BroadcastLimit    int64
 	// DomainElimination toggles the Section 4 optimization (on for the
@@ -140,6 +145,7 @@ func (r *Result) Failed() bool { return r.Err != nil }
 // Run executes the job under the given strategy.
 func Run(job Job, strat Strategy, cfg Config) *Result {
 	ctx := dataflow.NewContext(cfg.Parallelism)
+	ctx.Workers = cfg.Workers
 	ctx.MaxPartitionBytes = cfg.MaxPartitionBytes
 	ctx.BroadcastLimit = cfg.BroadcastLimit
 	if strat == SparkSQLStyle {
@@ -180,6 +186,9 @@ func runStandard(job Job, strat Strategy, cfg Config, ctx *dataflow.Context, res
 
 	start := time.Now()
 	out, err := ex.Run(op)
+	if err == nil {
+		out.Force() // charge trailing fused narrow work to the timed region
+	}
 	res.Elapsed = time.Since(start)
 	if err != nil {
 		res.Err = err
@@ -260,6 +269,9 @@ func runShredded(job Job, strat Strategy, cfg Config, ctx *dataflow.Context, res
 			uplan = plan.Prune(uplan)
 		}
 		out, err := ex.Run(uplan)
+		if err == nil {
+			out.Force()
+		}
 		res.Elapsed = time.Since(start)
 		if err != nil {
 			res.Err = err

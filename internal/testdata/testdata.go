@@ -1,6 +1,6 @@
 // Package testdata provides shared fixtures: the paper's running example
-// (Example 1 — the COP/Part query) and random nested-data generators used by
-// property tests across the compiler packages.
+// (Section 2, Example 1 — the COP/Part query) and random nested-data
+// generators used by property tests across the compiler packages.
 package testdata
 
 import (

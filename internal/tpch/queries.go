@@ -1,6 +1,8 @@
 package tpch
 
 import (
+	"fmt"
+
 	"github.com/trance-go/trance/internal/nrc"
 )
 
@@ -145,8 +147,27 @@ func NestedToFlatQuery(level int) nrc.Expr {
 	return nrc.SumByOf(nrc.ForIn(tv, nrc.V("NDB"), body), []string{"name"}, []string{"total"})
 }
 
-// Query builds the benchmark query for a class, level and width.
+// ValidateLevel reports whether level is a supported nesting depth; CLIs use
+// it to reject bad input with a friendly error before Query/Env panic.
+func ValidateLevel(level int) error {
+	if level < 0 || level > MaxLevel {
+		return fmt.Errorf("nesting level %d out of range 0-%d", level, MaxLevel)
+	}
+	return nil
+}
+
+// checkLevel turns the out-of-range index panics deep inside the query
+// builders into an actionable message at the API boundary.
+func checkLevel(level int) {
+	if err := ValidateLevel(level); err != nil {
+		panic("tpch: " + err.Error())
+	}
+}
+
+// Query builds the benchmark query for a class, level and width. Levels
+// outside 0..MaxLevel panic with a descriptive message.
 func Query(class QueryClass, level int, wide bool) nrc.Expr {
+	checkLevel(level)
 	switch class {
 	case FlatToNested:
 		return FlatToNestedQuery(level, wide)
@@ -160,6 +181,7 @@ func Query(class QueryClass, level int, wide bool) nrc.Expr {
 // Env returns the input environment for a class/level/width. Nested classes
 // read the wide materialized input (paper Section 6).
 func Env(class QueryClass, level int, wide bool) nrc.Env {
+	checkLevel(level)
 	if class == FlatToNested {
 		return FlatEnv()
 	}

@@ -7,8 +7,11 @@
 // through the standard route (Fegaras–Maier unnesting to an algebraic plan)
 // or the shredded route (symbolic shredding, materialization, domain
 // elimination), optionally with skew-resilient operators, and executed on an
-// in-process multi-partition dataflow engine that meters shuffles and
-// emulates per-worker memory limits.
+// in-process, parallel pipelined dataflow engine: partitions are processed
+// goroutine-per-partition on a bounded worker pool, consecutive narrow
+// operators are fused into one pass, and the engine meters shuffles,
+// per-stage wall time, and peak partition sizes while emulating per-worker
+// memory limits.
 //
 // Quick start:
 //
@@ -18,8 +21,9 @@
 //	res := trance.Run(trance.Job{Query: q, Env: env, Inputs: inputs},
 //	        trance.Standard, trance.DefaultConfig())
 //
-// See examples/ for complete programs, DESIGN.md for the architecture, and
-// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+// See examples/ for complete programs, README.md for a quickstart,
+// docs/ARCHITECTURE.md for the architecture and paper-to-package map, and
+// bench_test.go for the reproduction of the paper's evaluation.
 package trance
 
 import (
@@ -160,8 +164,11 @@ type (
 	PipelineStep = runner.PipelineStep
 	// PipelineResult reports a pipeline run.
 	PipelineResult = runner.PipelineResult
-	// Metrics is a snapshot of engine counters.
+	// Metrics is a snapshot of engine counters, including per-stage wall
+	// times (Metrics.StageWall).
 	Metrics = dataflow.Snapshot
+	// StageTime is the measured wall time of one named engine stage.
+	StageTime = dataflow.StageTime
 )
 
 // DefaultConfig is a laptop-scale stand-in for the paper's cluster.
