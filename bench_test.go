@@ -12,11 +12,13 @@
 package trance_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"testing"
 
+	"github.com/trance-go/trance"
 	"github.com/trance-go/trance/internal/biomed"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/runner"
@@ -408,5 +410,57 @@ func BenchmarkRunningExample(b *testing.B) {
 			expect = got
 		}
 		expect = nil
+	}
+}
+
+// BenchmarkPreparedVsUnprepared measures what trance.Prepare amortizes: the
+// unprepared path rebuilds the query AST and re-runs typechecking,
+// (shredded) compilation and plan pruning on every evaluation, the prepared
+// path compiles once and only executes. Compare the sub-benchmarks with
+// benchstat.
+func BenchmarkPreparedVsUnprepared(b *testing.B) {
+	// Small enough that compilation is a visible share of end-to-end latency
+	// (the serving regime: many fast queries over cached data).
+	tables := tpch.Generate(tpch.Config{
+		Customers: scaled(20), OrdersPerCustomer: 6, LinesPerOrder: 4,
+		Parts: scaled(50), Seed: 1,
+	})
+	const level = 1
+	inputs := map[string]value.Bag{
+		"NDB":  tpch.BuildNested(tables, level, true),
+		"Part": tables.Part,
+	}
+	cfg := runner.DefaultConfig()
+
+	for _, strat := range []runner.Strategy{runner.Standard, runner.ShredUnshred} {
+		b.Run("unprepared/"+strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := runner.Run(runner.Job{
+					Query:  tpch.Query(tpch.NestedToNested, level, false),
+					Env:    tpch.Env(tpch.NestedToNested, level, false),
+					Inputs: inputs,
+				}, strat, cfg)
+				if res.Failed() {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+		b.Run("prepared/"+strat.String(), func(b *testing.B) {
+			pq, err := trance.Prepare(tpch.Query(tpch.NestedToNested, level, false), trance.PrepareOptions{
+				Name:       "bench/nested-to-nested",
+				Env:        tpch.Env(tpch.NestedToNested, level, false),
+				Config:     &cfg,
+				Strategies: []trance.Strategy{strat},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pq.Run(context.Background(), inputs, strat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -69,24 +69,11 @@ func checkLevel(level int) {
 }
 
 func parseStrategy(s string) runner.Strategy {
-	switch s {
-	case "standard":
-		return runner.Standard
-	case "sparksql":
-		return runner.SparkSQLStyle
-	case "shred":
-		return runner.Shred
-	case "shred+unshred":
-		return runner.ShredUnshred
-	case "standard-skew":
-		return runner.StandardSkew
-	case "shred-skew":
-		return runner.ShredSkew
-	case "shred+unshred-skew":
-		return runner.ShredUnshredSkew
+	strat, ok := runner.ParseStrategy(s)
+	if !ok {
+		log.Fatalf("unknown strategy %q", s)
 	}
-	log.Fatalf("unknown strategy %q", s)
-	return 0
+	return strat
 }
 
 func cmdExplain(args []string) {

@@ -1,0 +1,68 @@
+// Command tranced serves the library's prepared benchmark queries over HTTP:
+// compile-once/run-many evaluation of TPC-H and biomedical workloads on a
+// shared bounded worker pool, with per-stage engine metrics.
+//
+// Endpoints:
+//
+//	GET /                 catalog of preloaded queries and endpoints
+//	GET /query            name + level + strategy → JSON result rows
+//	GET /strategies       the paper's evaluation strategies
+//	GET /metrics          serving counters, plan cache, per-stage wall times
+//	GET /healthz          liveness
+//
+// Example:
+//
+//	tranced -addr :8080 &
+//	curl 'localhost:8080/query?name=tpch/nested-to-nested&level=2&strategy=shred&limit=3'
+//	curl 'localhost:8080/metrics'
+//
+// See docs/SERVING.md for the full reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	cfg := defaultServerConfig()
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.IntVar(&cfg.Customers, "customers", cfg.Customers, "TPC-H customers to generate")
+	flag.IntVar(&cfg.SkewFactor, "skew", cfg.SkewFactor, "TPC-H skew factor (0-4)")
+	flag.IntVar(&cfg.Parallelism, "parallelism", cfg.Parallelism, "partitions per shuffle")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "shared worker pool size (0 = NumCPU)")
+	flag.IntVar(&cfg.MaxLevel, "max-level", cfg.MaxLevel, "highest TPC-H nesting level to preload (0-4)")
+	flag.BoolVar(&cfg.BiomedFull, "biomed-full", cfg.BiomedFull, "use the full-size biomedical dataset")
+	flag.Parse()
+
+	start := time.Now()
+	srv, err := newServer(cfg)
+	if err != nil {
+		log.Fatalf("tranced: %v", err)
+	}
+	log.Printf("tranced: prepared %d query families in %v, serving on %s", len(srv.queries), time.Since(start), *addr)
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+	}()
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("tranced: %v", err)
+	}
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// testServer builds a small server once for the whole test file.
+var (
+	testOnce sync.Once
+	testSrv  *server
+	testErr  error
+)
+
+func smallServer(t *testing.T) *server {
+	t.Helper()
+	testOnce.Do(func() {
+		cfg := defaultServerConfig()
+		cfg.Customers = 20
+		cfg.MaxLevel = 1
+		testSrv, testErr = newServer(cfg)
+	})
+	if testErr != nil {
+		t.Fatalf("newServer: %v", testErr)
+	}
+	return testSrv
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d (want %d): %s", path, resp.StatusCode, wantStatus, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("GET %s: not JSON: %v\n%s", path, err, body)
+	}
+	return out
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts := httptest.NewServer(smallServer(t))
+	defer ts.Close()
+
+	for _, q := range []string{
+		"/query?name=tpch/nested-to-nested&level=1&strategy=standard&limit=3",
+		"/query?name=tpch/nested-to-nested&level=1&strategy=shred&limit=3",
+		"/query?name=tpch/nested-to-flat&level=1&strategy=shred%2Bunshred",
+		"/query?name=tpch/flat-to-nested&level=0",
+		"/query?name=biomed/step1&strategy=shred",
+	} {
+		out := getJSON(t, ts, q, http.StatusOK)
+		if out["rows"].(float64) <= 0 {
+			t.Fatalf("%s: no rows: %v", q, out)
+		}
+		results := out["results"].([]any)
+		if len(results) == 0 {
+			t.Fatalf("%s: empty results", q)
+		}
+		if _, ok := results[0].(map[string]any); !ok {
+			t.Fatalf("%s: result rows should be objects: %v", q, results[0])
+		}
+	}
+}
+
+func TestQueryEndpointRejectsBadRequests(t *testing.T) {
+	ts := httptest.NewServer(smallServer(t))
+	defer ts.Close()
+
+	for _, q := range []string{
+		"/query?name=nope",
+		"/query?name=tpch/nested-to-nested&level=9",
+		"/query?name=tpch/nested-to-nested&level=x",
+		"/query?name=tpch/nested-to-nested&strategy=quantum",
+		"/query?name=tpch/nested-to-nested&limit=-2",
+	} {
+		out := getJSON(t, ts, q, http.StatusBadRequest)
+		if out["error"] == nil {
+			t.Fatalf("%s: missing error field: %v", q, out)
+		}
+	}
+}
+
+func TestStrategiesEndpoint(t *testing.T) {
+	ts := httptest.NewServer(smallServer(t))
+	defer ts.Close()
+
+	out := getJSON(t, ts, "/strategies", http.StatusOK)
+	list := out["strategies"].([]any)
+	if len(list) != 7 {
+		t.Fatalf("want 7 strategies, got %d", len(list))
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(smallServer(t))
+	defer ts.Close()
+
+	getJSON(t, ts, "/query?name=tpch/nested-to-nested&level=1&strategy=shred", http.StatusOK)
+	out := getJSON(t, ts, "/metrics", http.StatusOK)
+	cache := out["plan_cache"].(map[string]any)
+	if cache["compiles"].(float64) < 1 {
+		t.Fatalf("plan cache shows no compilations: %v", out)
+	}
+	routes := out["routes"].(map[string]any)
+	route, ok := routes["tpch/nested-to-nested/L1/shred"].(map[string]any)
+	if !ok {
+		t.Fatalf("route stats missing: %v", routes)
+	}
+	stages := route["stage_wall_ms"].([]any)
+	if len(stages) == 0 {
+		t.Fatal("route should report per-stage wall times")
+	}
+}
+
+// Hammer one query family from many goroutines across strategies: every
+// response must be 200 with identical row counts per strategy class.
+func TestConcurrentQueries(t *testing.T) {
+	ts := httptest.NewServer(smallServer(t))
+	defer ts.Close()
+
+	strategies := []string{"standard", "shred", "shred%2Bunshred", "sparksql"}
+	const goroutines = 16
+	rowCounts := make([]float64, goroutines)
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := fmt.Sprintf("/query?name=tpch/nested-to-nested&level=1&strategy=%s&limit=1", strategies[g%len(strategies)])
+			resp, err := http.Get(ts.URL + q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("%s: status %d: %s", q, resp.StatusCode, body)
+				return
+			}
+			var out map[string]any
+			if err := json.Unmarshal(body, &out); err != nil {
+				errs <- fmt.Errorf("%s: %v", q, err)
+				return
+			}
+			rowCounts[g] = out["rows"].(float64)
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Every strategy returns the same top-level cardinality for this query.
+	for g := 1; g < goroutines; g++ {
+		if rowCounts[g] != rowCounts[0] {
+			t.Fatalf("row counts diverge: %v", rowCounts)
+		}
+	}
+}
+
+func TestIndexAndHealth(t *testing.T) {
+	ts := httptest.NewServer(smallServer(t))
+	defer ts.Close()
+
+	out := getJSON(t, ts, "/", http.StatusOK)
+	if out["queries"] == nil {
+		t.Fatalf("index should list queries: %v", out)
+	}
+	h := getJSON(t, ts, "/healthz", http.StatusOK)
+	if h["status"] != "ok" {
+		t.Fatalf("health: %v", h)
+	}
+}

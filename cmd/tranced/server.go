@@ -1,0 +1,432 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/trance-go/trance"
+	"github.com/trance-go/trance/internal/biomed"
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/tpch"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// serverConfig sizes the preloaded datasets and the engine.
+type serverConfig struct {
+	Customers   int
+	SkewFactor  int
+	BiomedFull  bool
+	Parallelism int
+	Workers     int
+	MaxLevel    int
+}
+
+func defaultServerConfig() serverConfig {
+	return serverConfig{Customers: 100, Parallelism: 8, MaxLevel: 2}
+}
+
+// queryEntry is one preloaded query family: a prepared query and its fixed
+// input dataset per nesting level.
+type queryEntry struct {
+	name     string
+	levels   []int
+	prepared map[int]*trance.PreparedQuery
+	// data holds each level's dataset bound once at startup, so requests
+	// reuse the converted (and, on shredded routes, value-shredded) rows
+	// instead of re-preparing the fixed inputs per request.
+	data map[int]*trance.PreparedData
+}
+
+// routeStats accumulates per-(query, level, strategy) serving metrics.
+type routeStats struct {
+	Count        int64
+	Errors       int64
+	LastElapsed  time.Duration
+	TotalElapsed time.Duration
+	ShuffleBytes int64
+	StageWall    map[string]time.Duration
+	stageOrder   []string
+}
+
+// server is the tranced HTTP service: prepared queries over preloaded
+// datasets, served concurrently on one shared worker pool.
+type server struct {
+	mux      *http.ServeMux
+	queries  map[string]*queryEntry
+	order    []string
+	pool     *trance.Pool
+	started  time.Time
+	requests atomic.Int64
+
+	mu    sync.Mutex
+	stats map[string]*routeStats
+}
+
+
+// newServer generates the datasets, prepares every query family, and wires
+// the HTTP routes. Strategies compile lazily, exactly once each, on first
+// request.
+func newServer(cfg serverConfig) (*server, error) {
+	s := &server{
+		mux:     http.NewServeMux(),
+		queries: map[string]*queryEntry{},
+		pool:    trance.NewPool(cfg.Workers),
+		started: time.Now(),
+		stats:   map[string]*routeStats{},
+	}
+	runCfg := trance.DefaultConfig()
+	runCfg.Parallelism = cfg.Parallelism
+
+	if err := tpch.ValidateLevel(cfg.MaxLevel); err != nil {
+		return nil, err
+	}
+	tables := tpch.Generate(tpch.Config{
+		Customers: cfg.Customers, OrdersPerCustomer: 6, LinesPerOrder: 4,
+		Parts: 100, SkewFactor: cfg.SkewFactor, Seed: 1,
+	})
+	classes := []tpch.QueryClass{tpch.FlatToNested, tpch.NestedToNested, tpch.NestedToFlat}
+	for _, qc := range classes {
+		entry := &queryEntry{
+			name:     "tpch/" + qc.String(),
+			prepared: map[int]*trance.PreparedQuery{},
+			data:     map[int]*trance.PreparedData{},
+		}
+		for level := 0; level <= cfg.MaxLevel; level++ {
+			pq, err := trance.Prepare(tpch.Query(qc, level, false), trance.PrepareOptions{
+				Name:   fmt.Sprintf("%s/L%d", entry.name, level),
+				Env:    tpch.Env(qc, level, false),
+				Config: &runCfg,
+				Pool:   s.pool,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("prepare %s L%d: %w", entry.name, level, err)
+			}
+			inputs := map[string]trance.Bag{}
+			if qc == tpch.FlatToNested {
+				for k, v := range tables.Inputs() {
+					inputs[k] = v
+				}
+			} else {
+				inputs["NDB"] = tpch.BuildNested(tables, level, true)
+				inputs["Part"] = tables.Part
+			}
+			entry.prepared[level] = pq
+			entry.data[level] = pq.BindData(inputs)
+			entry.levels = append(entry.levels, level)
+		}
+		s.queries[entry.name] = entry
+		s.order = append(s.order, entry.name)
+	}
+
+	bioCfg := biomed.SmallConfig()
+	if cfg.BiomedFull {
+		bioCfg = biomed.FullConfig()
+	}
+	bioInputs := biomed.Generate(bioCfg)
+	step1 := biomed.Steps()[0]
+	bpq, err := trance.Prepare(step1.Query, trance.PrepareOptions{
+		Name:   "biomed/step1",
+		Env:    biomed.Env(),
+		Config: &runCfg,
+		Pool:   s.pool,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("prepare biomed/step1: %w", err)
+	}
+	s.queries["biomed/step1"] = &queryEntry{
+		name:     "biomed/step1",
+		levels:   []int{0},
+		prepared: map[int]*trance.PreparedQuery{0: bpq},
+		data:     map[int]*trance.PreparedData{0: bpq.BindData(bioInputs)},
+	}
+	s.order = append(s.order, "biomed/step1")
+
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("GET /strategies", s.handleStrategies)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		httpError(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
+		return
+	}
+	type qinfo struct {
+		Name   string `json:"name"`
+		Levels []int  `json:"levels"`
+	}
+	var qs []qinfo
+	for _, name := range s.order {
+		qs = append(qs, qinfo{Name: name, Levels: s.queries[name].levels})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"service":   "tranced",
+		"endpoints": []string{"/query?name=&level=&strategy=&limit=", "/strategies", "/metrics", "/healthz"},
+		"queries":   qs,
+	})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "uptime_s": time.Since(s.started).Seconds()})
+}
+
+func (s *server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	type sinfo struct {
+		Name      string `json:"name"`
+		Paper     string `json:"paper"`
+		Shredded  bool   `json:"shredded"`
+		SkewAware bool   `json:"skew_aware"`
+	}
+	var out []sinfo
+	for _, s := range trance.AllStrategies() {
+		out = append(out, sinfo{
+			Name:      s.CLIName(),
+			Paper:     s.String(),
+			Shredded:  s.IsShredded(),
+			SkewAware: s.SkewAware(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"strategies": out})
+}
+
+// handleQuery evaluates one prepared query: name + level + strategy → JSON
+// rows. Bad requests (unknown query/level/strategy, compile failures) are
+// 4xx; engine failures are 5xx; neither can crash the process.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	entry, ok := s.queries[name]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown query %q (see / for the catalog)", name)
+		return
+	}
+	level := 0
+	if lv := q.Get("level"); lv != "" {
+		var err error
+		level, err = strconv.Atoi(lv)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad level %q", lv)
+			return
+		}
+	}
+	pq, ok := entry.prepared[level]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "query %s has no level %d (levels %v)", name, level, entry.levels)
+		return
+	}
+	stratName := q.Get("strategy")
+	if stratName == "" {
+		stratName = "standard"
+	}
+	strat, ok := trance.ParseStrategy(stratName)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown strategy %q (see /strategies)", stratName)
+		return
+	}
+	limit := 20
+	if ls := q.Get("limit"); ls != "" {
+		var err error
+		limit, err = strconv.Atoi(ls)
+		if err != nil || limit < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", ls)
+			return
+		}
+	}
+
+	cols, err := pq.OutputColumns(strat)
+	if err != nil {
+		// Compilation failed: the query/strategy combination is unservable —
+		// a client-side problem, reported without crashing anything.
+		s.record(name, level, stratName, nil, true)
+		httpError(w, http.StatusBadRequest, "compile %s (%s): %v", name, stratName, err)
+		return
+	}
+	res, err := pq.RunBound(r.Context(), entry.data[level], strat)
+	if err != nil {
+		s.record(name, level, stratName, res, true)
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			return // client went away; nothing sensible to write
+		}
+		httpError(w, http.StatusInternalServerError, "execute %s (%s): %v", name, stratName, err)
+		return
+	}
+	s.record(name, level, stratName, res, false)
+
+	rows := res.Output.CollectSorted()
+	total := len(rows)
+	truncated := false
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+		truncated = true
+	}
+	results := make([]map[string]any, len(rows))
+	for i, row := range rows {
+		m := make(map[string]any, len(cols))
+		for ci, c := range cols {
+			if ci < len(row) {
+				m[c.Name] = valueJSON(row[ci], c.Type)
+			}
+		}
+		results[i] = m
+	}
+	type colInfo struct {
+		Name string `json:"name"`
+		Type string `json:"type"`
+	}
+	colOut := make([]colInfo, len(cols))
+	for i, c := range cols {
+		colOut[i] = colInfo{Name: c.Name, Type: c.Type.String()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":      name,
+		"level":      level,
+		"strategy":   res.Strategy.String(),
+		"elapsed_ms": float64(res.Elapsed.Microseconds()) / 1000,
+		"rows":       total,
+		"returned":   len(results),
+		"truncated":  truncated,
+		"columns":    colOut,
+		"results":    results,
+	})
+}
+
+// record folds one run's outcome and engine metrics into the route's stats.
+func (s *server) record(name string, level int, strat string, res *trance.Result, failed bool) {
+	key := fmt.Sprintf("%s/L%d/%s", name, level, strat)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.stats[key]
+	if !ok {
+		st = &routeStats{StageWall: map[string]time.Duration{}}
+		s.stats[key] = st
+	}
+	st.Count++
+	if failed {
+		st.Errors++
+	}
+	if res == nil {
+		return
+	}
+	st.LastElapsed = res.Elapsed
+	st.TotalElapsed += res.Elapsed
+	st.ShuffleBytes += res.Metrics.ShuffleBytes
+	for _, sw := range res.Metrics.StageWall {
+		if _, seen := st.StageWall[sw.Stage]; !seen {
+			st.stageOrder = append(st.stageOrder, sw.Stage)
+		}
+		st.StageWall[sw.Stage] += sw.Wall
+	}
+}
+
+// handleMetrics reports serving counters, the compilation cache, and the
+// accumulated per-stage wall times of every served route.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	type stageMs struct {
+		Stage string  `json:"stage"`
+		Ms    float64 `json:"ms"`
+	}
+	type routeOut struct {
+		Count        int64     `json:"count"`
+		Errors       int64     `json:"errors"`
+		LastMs       float64   `json:"last_elapsed_ms"`
+		TotalMs      float64   `json:"total_elapsed_ms"`
+		ShuffleBytes int64     `json:"shuffle_bytes"`
+		StageWallMs  []stageMs `json:"stage_wall_ms"`
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+	s.mu.Lock()
+	routes := make(map[string]routeOut, len(s.stats))
+	for key, st := range s.stats {
+		ro := routeOut{
+			Count: st.Count, Errors: st.Errors,
+			LastMs: ms(st.LastElapsed), TotalMs: ms(st.TotalElapsed),
+			ShuffleBytes: st.ShuffleBytes,
+			StageWallMs:  []stageMs{},
+		}
+		for _, stage := range st.stageOrder {
+			ro.StageWallMs = append(ro.StageWallMs, stageMs{Stage: stage, Ms: ms(st.StageWall[stage])})
+		}
+		routes[key] = ro
+	}
+	s.mu.Unlock()
+
+	cache := trance.PlanCacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": time.Since(s.started).Seconds(),
+		"requests": s.requests.Load(),
+		"workers":  s.pool.Workers(),
+		"plan_cache": map[string]any{
+			"entries":   cache.Entries,
+			"compiles":  cache.Compiles,
+			"hits":      cache.Hits,
+			"evictions": cache.Evictions,
+		},
+		"routes": routes,
+	})
+}
+
+// valueJSON renders a runtime value as JSON guided by its static type:
+// tuples become objects (field names come from the type), bags become
+// arrays, labels and dates render in the value model's textual form.
+func valueJSON(v value.Value, t nrc.Type) any {
+	if v == nil {
+		return nil
+	}
+	switch tt := t.(type) {
+	case nrc.BagType:
+		b, ok := v.(value.Bag)
+		if !ok {
+			return value.Format(v)
+		}
+		out := make([]any, len(b))
+		for i, e := range b {
+			out[i] = valueJSON(e, tt.Elem)
+		}
+		return out
+	case nrc.TupleType:
+		tp, ok := v.(value.Tuple)
+		if !ok {
+			return value.Format(v)
+		}
+		m := make(map[string]any, len(tt.Fields))
+		for i, f := range tt.Fields {
+			if i < len(tp) {
+				m[f.Name] = valueJSON(tp[i], f.Type)
+			}
+		}
+		return m
+	}
+	switch x := v.(type) {
+	case int64, float64, string, bool:
+		return x
+	default:
+		return value.Format(v)
+	}
+}

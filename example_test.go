@@ -1,6 +1,7 @@
 package trance_test
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/trance-go/trance"
@@ -93,4 +94,54 @@ func ExamplePrint() {
 	//   { ⟨
 	//     b := x.a
 	//   ⟩ }
+}
+
+// ExamplePrepare compiles a query once and evaluates it many times — across
+// datasets and strategies — the pattern a serving process uses. Each
+// (query, strategy) pair compiles exactly once into a process-wide cache;
+// every Run gets fresh metrics on a shared bounded worker pool.
+func ExamplePrepare() {
+	env := trance.Env{"R": trance.BagOf(trance.Tup(
+		"name", trance.StringT,
+		"items", trance.BagOf(trance.Tup("qty", trance.IntT)),
+	))}
+	q := trance.ForIn("r", trance.V("R"),
+		trance.SingOf(trance.Record(
+			"name", trance.P(trance.V("r"), "name"),
+			"big", trance.ForIn("it", trance.P(trance.V("r"), "items"),
+				trance.IfThen(trance.GtOf(trance.P(trance.V("it"), "qty"), trance.C(int64(10))),
+					trance.SingOf(trance.V("it")))),
+		)))
+
+	pq, err := trance.Prepare(q, trance.PrepareOptions{
+		Name:       "big-items",
+		Env:        env,
+		Strategies: []trance.Strategy{trance.Standard, trance.ShredUnshred},
+	})
+	if err != nil {
+		fmt.Println("prepare failed:", err)
+		return
+	}
+
+	// Run the same compiled plans over two different datasets.
+	for day, data := range []map[string]trance.Bag{
+		{"R": {trance.Tuple{"alice", trance.Bag{trance.Tuple{int64(3)}, trance.Tuple{int64(12)}}}}},
+		{"R": {trance.Tuple{"bob", trance.Bag{trance.Tuple{int64(40)}}}}},
+	} {
+		for _, strat := range []trance.Strategy{trance.Standard, trance.ShredUnshred} {
+			res, err := pq.Run(context.Background(), data, strat)
+			if err != nil {
+				fmt.Println("run failed:", err)
+				return
+			}
+			for _, row := range res.Output.CollectSorted() {
+				fmt.Printf("day %d %s: %s\n", day, strat, trance.FormatValue(trance.Tuple(row)))
+			}
+		}
+	}
+	// Output:
+	// day 0 STANDARD: ⟨"alice", {⟨12⟩}⟩
+	// day 0 SHRED+UNSHRED: ⟨"alice", {⟨12⟩}⟩
+	// day 1 STANDARD: ⟨"bob", {⟨40⟩}⟩
+	// day 1 SHRED+UNSHRED: ⟨"bob", {⟨40⟩}⟩
 }

@@ -1,0 +1,10 @@
+package trance
+
+// SetMaxPlanCacheEntriesForTest shrinks the compilation-cache bound and
+// returns a restore func, so tests can exercise eviction without hundreds
+// of queries.
+func SetMaxPlanCacheEntriesForTest(n int) (restore func()) {
+	old := maxPlanCacheEntries
+	maxPlanCacheEntries = n
+	return func() { maxPlanCacheEntries = old }
+}

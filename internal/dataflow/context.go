@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -75,10 +76,47 @@ type Context struct {
 	// re-exchange data at every key-based step.
 	DisableGuarantees bool
 
+	// SharedPool, when non-nil, replaces the context's private worker pool so
+	// several concurrent jobs (each with its own Context) draw helper
+	// goroutines from one bounded budget — the serving layer's "many requests,
+	// one cluster" model. Workers is ignored when SharedPool is set. Set it
+	// before running anything on the context.
+	SharedPool *Pool
+
 	Metrics Metrics
 
 	poolOnce sync.Once
 	pool     chan struct{}
+}
+
+// Pool is a bounded worker pool that can be shared by any number of Contexts.
+// Each job's submitting goroutine counts as one worker and runs overflow
+// tasks inline (exactly as with a private pool), so a pool of size w bounds
+// the EXTRA helper goroutines across all sharing jobs to w-1; total
+// computing tasks are at most (concurrent jobs) + w - 1. A zero or negative
+// size means runtime.NumCPU().
+type Pool struct {
+	size  int
+	once  sync.Once
+	slots chan struct{}
+}
+
+// NewPool creates a pool bounding helper goroutines to workers-1 (0 =
+// NumCPU).
+func NewPool(workers int) *Pool { return &Pool{size: workers} }
+
+// Workers reports the pool's configured worker count after defaulting.
+func (p *Pool) Workers() int {
+	w := p.size
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	return w
+}
+
+func (p *Pool) semaphore() chan struct{} {
+	p.once.Do(func() { p.slots = make(chan struct{}, p.Workers()-1) })
+	return p.slots
 }
 
 // NewContext returns a context with the given parallelism, a NumCPU-sized
@@ -95,6 +133,9 @@ func NewContext(parallelism int) *Context {
 // inline), so the pool holds Workers-1 goroutine slots; with Workers=1 the
 // pool is empty and every task runs sequentially on the caller.
 func (c *Context) slots() chan struct{} {
+	if c.SharedPool != nil {
+		return c.SharedPool.semaphore()
+	}
 	c.poolOnce.Do(func() {
 		w := c.Workers
 		if w <= 0 {
@@ -219,7 +260,7 @@ func (c *Context) runParts(n int, fn func(i int) error) error {
 		return nil
 	}
 	if n == 1 {
-		return fn(0)
+		return runTask(fn, 0)
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
@@ -229,7 +270,7 @@ func (c *Context) runParts(n int, fn func(i int) error) error {
 			if i >= n {
 				return
 			}
-			errs[i] = fn(i)
+			errs[i] = runTask(fn, i)
 		}
 	}
 	sem := c.slots()
@@ -251,6 +292,19 @@ func (c *Context) runParts(n int, fn func(i int) error) error {
 	work()
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// runTask runs one partition task, converting a panic into an error. Tasks
+// run on pool goroutines where a panic would kill the whole process — no
+// caller-side recover can reach them — so this boundary is what lets a
+// malformed query or corrupt row degrade to a failed job instead of a crash.
+func runTask(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dataflow: partition %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
 }
 
 // timeStage measures fn's wall time under the stage name.

@@ -1,6 +1,7 @@
 package dataflow
 
 import (
+	"errors"
 	"sort"
 
 	"github.com/trance-go/trance/internal/value"
@@ -53,6 +54,10 @@ type Dataset struct {
 	parts       [][]Row
 	stages      []stageFactory
 	partitioner *Partitioner
+	// err poisons the dataset after a partition task failed (memory cap or a
+	// recovered panic): operators and actions keep returning it instead of
+	// computing over partial data.
+	err error
 }
 
 // FromRows distributes rows round-robin over Parallelism partitions. Inputs
@@ -103,7 +108,7 @@ func (d *Dataset) withStage(f stageFactory) *Dataset {
 	stages := make([]stageFactory, len(d.stages)+1)
 	copy(stages, d.stages)
 	stages[len(d.stages)] = f
-	return &Dataset{ctx: d.ctx, parts: d.parts, stages: stages}
+	return &Dataset{ctx: d.ctx, parts: d.parts, stages: stages, err: d.err}
 }
 
 // feed streams partition part through the fused operator chain into sink.
@@ -122,14 +127,15 @@ func (d *Dataset) feed(part int, sink func(Row)) {
 }
 
 // force runs the pending fused chain (in parallel over the worker pool) and
-// caches the materialized partitions in place. Idempotent; a dataset with no
-// pending stages is already materialized.
-func (d *Dataset) force() {
+// caches the materialized partitions in place, returning (and recording) the
+// first failure. Idempotent; a dataset with no pending stages is already
+// materialized.
+func (d *Dataset) force() error {
 	if len(d.stages) == 0 {
-		return
+		return d.err
 	}
 	parts := make([][]Row, len(d.parts))
-	_ = d.ctx.runParts(len(d.parts), func(i int) error {
+	err := d.ctx.runParts(len(d.parts), func(i int) error {
 		var out []Row
 		d.feed(i, func(r Row) { out = append(out, r) })
 		parts[i] = out
@@ -137,16 +143,24 @@ func (d *Dataset) force() {
 	})
 	d.parts = parts
 	d.stages = nil
+	if err != nil && d.err == nil {
+		d.err = err
+	}
+	return d.err
 }
 
 // Force materializes any pending fused stages in place and returns d. Wide
 // operators and actions force automatically; callers that publish a dataset
 // to concurrent readers, or that time a run, force explicitly first so no
-// deferred work escapes them.
+// deferred work escapes them. Check Err afterwards: a recovered partition
+// panic or memory-cap hit poisons the dataset instead of crashing.
 func (d *Dataset) Force() *Dataset {
 	d.force()
 	return d
 }
+
+// Err reports the failure that poisoned the dataset, if any.
+func (d *Dataset) Err() error { return d.err }
 
 // Count returns the total number of rows, materializing pending stages.
 func (d *Dataset) Count() int64 {
@@ -284,7 +298,7 @@ func (d *Dataset) Union(o *Dataset) *Dataset {
 		}
 		parts[i] = p
 	}
-	return &Dataset{ctx: d.ctx, parts: parts}
+	return &Dataset{ctx: d.ctx, parts: parts, err: errors.Join(d.err, o.err)}
 }
 
 // CheckMemory materializes pending stages and enforces the per-partition
@@ -293,7 +307,9 @@ func (d *Dataset) Union(o *Dataset) *Dataset {
 // pressure outside shuffle boundaries.
 func (d *Dataset) CheckMemory(stage string) error {
 	return d.ctx.timeStage(stage, func() error {
-		d.force()
+		if err := d.force(); err != nil {
+			return err
+		}
 		return d.ctx.checkPartitions(stage, d.parts)
 	})
 }

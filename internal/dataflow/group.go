@@ -20,7 +20,7 @@ func (d *Dataset) GroupReduce(stage string, cols []int, reduce func(rows []Row) 
 	}
 	start := time.Now()
 	parts := make([][]Row, len(sh.parts))
-	_ = d.ctx.runParts(len(sh.parts), func(i int) error {
+	reduceErr := d.ctx.runParts(len(sh.parts), func(i int) error {
 		groups := make(map[string][]Row)
 		order := make([]string, 0, 64)
 		sh.feed(i, func(r Row) {
@@ -38,6 +38,9 @@ func (d *Dataset) GroupReduce(stage string, cols []int, reduce func(rows []Row) 
 		return nil
 	})
 	d.ctx.Metrics.AddStageWall(stage+"/reduce", time.Since(start))
+	if reduceErr != nil {
+		return nil, reduceErr
+	}
 	if err := d.ctx.checkPartitions(stage+"/reduce", parts); err != nil {
 		return nil, err
 	}
@@ -56,7 +59,9 @@ func (d *Dataset) WithPartitioner(cols []int) *Dataset {
 // dedup over flat bags: one shuffle, then per-partition elimination. Pending
 // stages are materialized first because the key spans every output column.
 func (d *Dataset) Distinct(stage string) (*Dataset, error) {
-	d.force()
+	if err := d.force(); err != nil {
+		return nil, err
+	}
 	width := 0
 	for _, p := range d.parts {
 		if len(p) > 0 {

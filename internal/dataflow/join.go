@@ -30,7 +30,7 @@ func (d *Dataset) Join(stage string, right *Dataset, lcols, rcols []int, rightWi
 	}
 	start := time.Now()
 	parts := make([][]Row, len(ls.parts))
-	_ = d.ctx.runParts(len(ls.parts), func(i int) error {
+	joinErr := d.ctx.runParts(len(ls.parts), func(i int) error {
 		var build map[string][]Row
 		if i < len(rs.parts) {
 			build = buildJoinMap(rs, i, rcols)
@@ -43,6 +43,9 @@ func (d *Dataset) Join(stage string, right *Dataset, lcols, rcols []int, rightWi
 		return nil
 	})
 	d.ctx.Metrics.AddStageWall(stage, time.Since(start))
+	if joinErr != nil {
+		return nil, joinErr
+	}
 	if err := d.ctx.checkPartitions(stage+"/out", parts); err != nil {
 		return nil, err
 	}
@@ -58,12 +61,18 @@ func (d *Dataset) Join(stage string, right *Dataset, lcols, rcols []int, rightWi
 // partitioning guarantee is preserved — the property the skew-aware join of
 // paper Figure 6 relies on to leave heavy keys where they are.
 func (d *Dataset) BroadcastJoin(stage string, right *Dataset, lcols, rcols []int, rightWidth int, leftOuter bool) (*Dataset, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
 	rrows := right.Collect()
+	if right.err != nil {
+		return nil, right.err
+	}
 	d.ctx.Metrics.BroadcastBytes.Add(value.SizeRows(rrows) * int64(d.ctx.Parallelism))
 	start := time.Now()
 	build := buildJoinMapRows(rrows, rcols)
 	parts := make([][]Row, len(d.parts))
-	_ = d.ctx.runParts(len(d.parts), func(i int) error {
+	joinErr := d.ctx.runParts(len(d.parts), func(i int) error {
 		var out []Row
 		d.feed(i, func(l Row) {
 			probeJoin(l, build, lcols, rightWidth, leftOuter, func(r Row) { out = append(out, r) })
@@ -72,6 +81,9 @@ func (d *Dataset) BroadcastJoin(stage string, right *Dataset, lcols, rcols []int
 		return nil
 	})
 	d.ctx.Metrics.AddStageWall(stage, time.Since(start))
+	if joinErr != nil {
+		return nil, joinErr
+	}
 	if err := d.ctx.checkPartitions(stage+"/out", parts); err != nil {
 		return nil, err
 	}
@@ -160,7 +172,7 @@ func (d *Dataset) CoGroup(stage string, right *Dataset, lcols, rcols []int, fn f
 	}
 	start := time.Now()
 	parts := make([][]Row, len(ls.parts))
-	_ = d.ctx.runParts(len(ls.parts), func(i int) error {
+	cgErr := d.ctx.runParts(len(ls.parts), func(i int) error {
 		lgroups := make(map[string][]Row)
 		order := make([]string, 0, 64)
 		ls.feed(i, func(r Row) {
@@ -188,6 +200,9 @@ func (d *Dataset) CoGroup(stage string, right *Dataset, lcols, rcols []int, fn f
 		return nil
 	})
 	d.ctx.Metrics.AddStageWall(stage, time.Since(start))
+	if cgErr != nil {
+		return nil, cgErr
+	}
 	if err := d.ctx.checkPartitions(stage+"/out", parts); err != nil {
 		return nil, err
 	}

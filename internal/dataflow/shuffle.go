@@ -11,6 +11,9 @@ import (
 // skipped entirely — this is how partitioning guarantees cut data movement
 // (paper Section 3). Every row moved through the shuffle is metered.
 func (d *Dataset) RepartitionBy(stage string, cols []int) (*Dataset, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
 	want := &Partitioner{Cols: cols}
 	if !d.ctx.DisableGuarantees && d.partitioner.equal(want) && len(d.parts) == d.ctx.Parallelism {
 		d.ctx.Metrics.SkippedShuffles.Add(1)
@@ -42,9 +45,13 @@ func (d *Dataset) shuffle(stage string, hashFor func(part int) func(Row) uint64)
 	c.Metrics.Stages.Add(1)
 	start := time.Now()
 
+	if d.err != nil {
+		return nil, d.err
+	}
+
 	// Map side: source partition i streams into buckets[i][t] for target t.
 	buckets := make([][][]Row, len(d.parts))
-	_ = c.runParts(len(d.parts), func(i int) error {
+	mapErr := c.runParts(len(d.parts), func(i int) error {
 		local := make([][]Row, p)
 		hash := hashFor(i)
 		var bytes, recs int64
@@ -59,10 +66,14 @@ func (d *Dataset) shuffle(stage string, hashFor func(part int) func(Row) uint64)
 		c.Metrics.ShuffleRecords.Add(recs)
 		return nil
 	})
+	if mapErr != nil {
+		c.Metrics.AddStageWall(stage, time.Since(start))
+		return nil, mapErr
+	}
 
 	// Reduce side: each target partition concatenates its buffers.
 	parts := make([][]Row, p)
-	_ = c.runParts(p, func(t int) error {
+	reduceErr := c.runParts(p, func(t int) error {
 		var n int
 		for i := range buckets {
 			n += len(buckets[i][t])
@@ -74,6 +85,10 @@ func (d *Dataset) shuffle(stage string, hashFor func(part int) func(Row) uint64)
 		parts[t] = rows
 		return nil
 	})
+	if reduceErr != nil {
+		c.Metrics.AddStageWall(stage, time.Since(start))
+		return nil, reduceErr
+	}
 
 	c.Metrics.AddStageWall(stage, time.Since(start))
 	if err := c.checkPartitions(stage, parts); err != nil {

@@ -13,6 +13,7 @@ package exec
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"github.com/trance-go/trance/internal/core"
 	"github.com/trance-go/trance/internal/dataflow"
@@ -52,8 +53,17 @@ func (ex *Executor) nextStage(kind string) string {
 	return fmt.Sprintf("%s#%d", kind, ex.stage)
 }
 
-// Run evaluates a plan and returns the resulting dataset.
-func (ex *Executor) Run(op plan.Op) (*dataflow.Dataset, error) {
+// Run evaluates a plan and returns the resulting dataset. Driver-side panics
+// (malformed plans, type confusion while building operators) are converted
+// into errors; panics inside partition tasks are already converted by the
+// dataflow layer, so no query can crash the process through this entry
+// point.
+func (ex *Executor) Run(op plan.Op) (d *dataflow.Dataset, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d, err = nil, fmt.Errorf("exec: panic evaluating plan: %v\n%s", r, debug.Stack())
+		}
+	}()
 	if ex.SkewAware {
 		st, err := ex.runSkew(op)
 		if err != nil {
@@ -70,10 +80,13 @@ func (ex *Executor) RunProgram(stmts []core.CompiledStmt) (map[string]*dataflow.
 	out := map[string]*dataflow.Dataset{}
 	for _, st := range stmts {
 		d, err := ex.Run(st.Plan)
+		if err == nil {
+			ex.Bind(st.Name, d)
+			err = d.Err() // Bind forces; surface a poisoned dataset now
+		}
 		if err != nil {
 			return nil, fmt.Errorf("assignment %s: %w", st.Name, err)
 		}
-		ex.Bind(st.Name, d)
 		out[st.Name] = d
 	}
 	return out, nil

@@ -94,15 +94,29 @@ func withBound(bound map[string]bool, name string, fn func()) {
 	bound[name] = old
 }
 
-// Copy deep-copies an expression tree (types are dropped; re-Check after
-// structural rewrites).
+// Copy deep-copies an expression tree. Types stored on the source nodes are
+// carried over; structural rewrites that change typing must re-Check.
 func Copy(e Expr) Expr {
 	return Substitute(e, nil)
 }
 
 // Substitute returns a copy of e with free occurrences of each variable in
 // subst replaced by (a copy of) its expression. Binders shadow as expected.
+// Each copied node inherits the source node's stored type (when the copy has
+// none of its own), so compiler stages that read types off rewritten
+// fragments — e.g. the materializer flattening a tuple-typed head — keep
+// working; a re-Check overrides them wherever the rewrite changed typing.
 func Substitute(e Expr, subst map[string]Expr) Expr {
+	out := substitute(e, subst)
+	if out != nil && out.Type() == nil {
+		if t := e.Type(); t != nil {
+			SetType(out, t)
+		}
+	}
+	return out
+}
+
+func substitute(e Expr, subst map[string]Expr) Expr {
 	if e == nil {
 		return nil
 	}

@@ -39,13 +39,7 @@ func (r *PipelineResult) Failed() bool { return r.Err != nil }
 // RunPipeline executes the steps in order under one strategy, binding each
 // step's output as an input of later steps.
 func RunPipeline(steps []PipelineStep, env nrc.Env, inputs map[string]value.Bag, strat Strategy, cfg Config) *PipelineResult {
-	ctx := dataflow.NewContext(cfg.Parallelism)
-	ctx.Workers = cfg.Workers
-	ctx.MaxPartitionBytes = cfg.MaxPartitionBytes
-	ctx.BroadcastLimit = cfg.BroadcastLimit
-	if strat == SparkSQLStyle {
-		ctx.DisableGuarantees = true
-	}
+	ctx := NewRunContext(cfg, strat)
 	res := &PipelineResult{Strategy: strat, FailedStep: -1}
 
 	// Accumulate step output types.

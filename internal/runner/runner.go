@@ -5,14 +5,11 @@
 package runner
 
 import (
-	"fmt"
+	"context"
 	"time"
 
-	"github.com/trance-go/trance/internal/core"
 	"github.com/trance-go/trance/internal/dataflow"
-	"github.com/trance-go/trance/internal/exec"
 	"github.com/trance-go/trance/internal/nrc"
-	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/shred"
 	"github.com/trance-go/trance/internal/value"
 )
@@ -83,6 +80,47 @@ func (s Strategy) unshreds() bool {
 	return s == ShredUnshred || s == ShredUnshredSkew
 }
 
+// SkewAware reports whether the strategy uses the skew-resilient operators
+// of paper Section 5.
+func (s Strategy) SkewAware() bool { return s.skewAware() }
+
+// AllStrategies lists every strategy in presentation order.
+func AllStrategies() []Strategy {
+	return []Strategy{Standard, SparkSQLStyle, Shred, ShredUnshred, StandardSkew, ShredSkew, ShredUnshredSkew}
+}
+
+// CLIName returns the lowercase name CLIs and HTTP APIs use for the
+// strategy (ParseStrategy's inverse).
+func (s Strategy) CLIName() string {
+	switch s {
+	case Standard:
+		return "standard"
+	case SparkSQLStyle:
+		return "sparksql"
+	case Shred:
+		return "shred"
+	case ShredUnshred:
+		return "shred+unshred"
+	case StandardSkew:
+		return "standard-skew"
+	case ShredSkew:
+		return "shred-skew"
+	case ShredUnshredSkew:
+		return "shred+unshred-skew"
+	}
+	return "?"
+}
+
+// ParseStrategy resolves a CLI/HTTP strategy name.
+func ParseStrategy(name string) (Strategy, bool) {
+	for _, s := range AllStrategies() {
+		if s.CLIName() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // Config sizes the simulated cluster.
 type Config struct {
 	// Parallelism is the partition count used by shuffles.
@@ -142,145 +180,15 @@ type Result struct {
 // Failed reports whether the run crashed.
 func (r *Result) Failed() bool { return r.Err != nil }
 
-// Run executes the job under the given strategy.
+// Run executes the job under the given strategy: one-shot compile + execute.
+// Serving paths that evaluate the same query repeatedly should Compile once
+// and Execute per request instead (the root package's Prepare API does).
 func Run(job Job, strat Strategy, cfg Config) *Result {
-	ctx := dataflow.NewContext(cfg.Parallelism)
-	ctx.Workers = cfg.Workers
-	ctx.MaxPartitionBytes = cfg.MaxPartitionBytes
-	ctx.BroadcastLimit = cfg.BroadcastLimit
-	if strat == SparkSQLStyle {
-		ctx.DisableGuarantees = true
-	}
-	res := &Result{Strategy: strat}
-
-	if strat.IsShredded() {
-		runShredded(job, strat, cfg, ctx, res)
-	} else {
-		runStandard(job, strat, cfg, ctx, res)
-	}
-	res.Metrics = ctx.Metrics.Snapshot()
-	return res
-}
-
-func runStandard(job Job, strat Strategy, cfg Config, ctx *dataflow.Context, res *Result) {
-	if _, err := nrc.Check(job.Query, job.Env); err != nil {
-		res.Err = err
-		return
-	}
-	c, err := core.NewCompiler(job.Env)
+	cq, err := Compile(job.Query, job.Env, strat, cfg)
 	if err != nil {
-		res.Err = err
-		return
+		return &Result{Strategy: strat, Err: err}
 	}
-	c.NoPrune = cfg.NoColumnPruning
-	op, err := c.Compile(job.Query)
-	if err != nil {
-		res.Err = fmt.Errorf("compile: %w", err)
-		return
-	}
-	ex := exec.New(ctx)
-	ex.SkewAware = strat.skewAware()
-	for name, b := range job.Inputs {
-		ex.BindRows(name, rowsOf(b))
-	}
-
-	start := time.Now()
-	out, err := ex.Run(op)
-	if err == nil {
-		out.Force() // charge trailing fused narrow work to the timed region
-	}
-	res.Elapsed = time.Since(start)
-	if err != nil {
-		res.Err = err
-		return
-	}
-	res.Output = out
-}
-
-func runShredded(job Job, strat Strategy, cfg Config, ctx *dataflow.Context, res *Result) {
-	mat, err := shred.ShredQuery(job.Query, job.Env, "Q", shred.Options{DomainElimination: cfg.DomainElimination})
-	if err != nil {
-		res.Err = fmt.Errorf("shredding: %w", err)
-		return
-	}
-	res.Mat = mat
-
-	// Compiler environment: shredded components of every input.
-	cenv := nrc.Env{}
-	for name, t := range job.Env {
-		b, ok := t.(nrc.BagType)
-		if !ok {
-			res.Err = fmt.Errorf("input %s is not a bag", name)
-			return
-		}
-		ienv, err := shred.InputEnv(name, b)
-		if err != nil {
-			res.Err = err
-			return
-		}
-		for k, v := range ienv {
-			cenv[k] = v
-		}
-	}
-	c, err := core.NewCompiler(cenv)
-	if err != nil {
-		res.Err = err
-		return
-	}
-	c.NoPrune = cfg.NoColumnPruning
-	stmts, err := c.CompileProgram(mat.Program)
-	if err != nil {
-		res.Err = fmt.Errorf("compile shredded: %w", err)
-		return
-	}
-
-	// Value-shred the inputs (input preparation, outside the timer).
-	ex := exec.New(ctx)
-	ex.SkewAware = strat.skewAware()
-	for name, b := range job.Inputs {
-		si, err := shred.ShredInput(name, b, job.Env[name].(nrc.BagType))
-		if err != nil {
-			res.Err = err
-			return
-		}
-		for comp, rows := range si.Rows {
-			ex.BindRows(comp, tuplesToRows(rows))
-		}
-	}
-
-	start := time.Now()
-	outs, err := ex.RunProgram(stmts)
-	if err != nil {
-		res.Elapsed = time.Since(start)
-		res.Err = err
-		return
-	}
-	res.Shredded = outs
-	res.Output = outs[mat.TopName]
-
-	if strat.unshreds() {
-		uplan, err := shred.BuildUnshredPlan(mat)
-		if err != nil {
-			res.Elapsed = time.Since(start)
-			res.Err = err
-			return
-		}
-		if !cfg.NoColumnPruning {
-			uplan = plan.Prune(uplan)
-		}
-		out, err := ex.Run(uplan)
-		if err == nil {
-			out.Force()
-		}
-		res.Elapsed = time.Since(start)
-		if err != nil {
-			res.Err = err
-			return
-		}
-		res.Output = out
-		return
-	}
-	res.Elapsed = time.Since(start)
+	return cq.Execute(context.Background(), job.Inputs, NewRunContext(cfg, strat))
 }
 
 func rowsOf(b value.Bag) []dataflow.Row {

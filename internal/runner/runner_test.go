@@ -1,8 +1,12 @@
 package runner
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 
+	"github.com/trance-go/trance/internal/dataflow"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/testdata"
 	"github.com/trance-go/trance/internal/value"
@@ -98,5 +102,73 @@ func TestNoColumnPruningStillCorrect(t *testing.T) {
 	}
 	if a.Metrics.ShuffleBytes < b.Metrics.ShuffleBytes {
 		t.Fatal("pruning should not increase shuffle volume")
+	}
+}
+
+// Compile once, execute twice (different contexts): results must match the
+// one-shot Run and each other, proving compiled artifacts carry no per-run
+// state.
+func TestCompileOnceExecuteMany(t *testing.T) {
+	inputs := map[string]value.Bag{"COP": testdata.SmallCOP(), "Part": testdata.SmallPart()}
+	cfg := DefaultConfig()
+	for _, strat := range []Strategy{Standard, ShredUnshred} {
+		cq, err := Compile(testdata.RunningExample(), testdata.Env(), strat, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		want := Run(Job{Query: testdata.RunningExample(), Env: testdata.Env(), Inputs: inputs}, strat, cfg)
+		if want.Failed() {
+			t.Fatalf("%s run: %v", strat, want.Err)
+		}
+		for i := 0; i < 2; i++ {
+			res := cq.Execute(context.Background(), inputs, NewRunContext(cfg, strat))
+			if res.Failed() {
+				t.Fatalf("%s execute %d: %v", strat, i, res.Err)
+			}
+			if got, exp := bagOfRows(res.Output.Collect()), bagOfRows(want.Output.Collect()); !value.Equal(got, exp) {
+				t.Fatalf("%s execute %d differs from Run:\n got %s\nwant %s",
+					strat, i, value.Format(got), value.Format(exp))
+			}
+		}
+	}
+}
+
+func bagOfRows(rows []dataflow.Row) value.Bag {
+	out := make(value.Bag, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, value.Tuple(r))
+	}
+	return out
+}
+
+// Malformed input data (a raw Go int is not a value-model scalar) used to
+// panic a partition task and kill the process; it must now degrade to
+// Result.Err.
+func TestExecutePanicBecomesError(t *testing.T) {
+	env := nrc.Env{"R": nrc.BagOf(nrc.Tup("a", nrc.IntT))}
+	q := nrc.ForIn("x", nrc.V("R"),
+		nrc.SingOf(nrc.Record("b", nrc.AddOf(nrc.P(nrc.V("x"), "a"), nrc.C(int64(1))))))
+	bad := map[string]value.Bag{"R": {value.Tuple{int(7)}}}
+	res := Run(Job{Query: q, Env: env, Inputs: bad}, Standard, DefaultConfig())
+	if !res.Failed() {
+		t.Fatal("malformed input data must fail the run, not crash or succeed")
+	}
+	if !strings.Contains(res.Err.Error(), "panic") {
+		t.Fatalf("error should mention the recovered panic: %v", res.Err)
+	}
+}
+
+// Cancelling the context aborts a shredded execution between statements.
+func TestExecuteHonorsCancellation(t *testing.T) {
+	inputs := map[string]value.Bag{"COP": testdata.SmallCOP(), "Part": testdata.SmallPart()}
+	cq, err := Compile(testdata.RunningExample(), testdata.Env(), Shred, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := cq.Execute(ctx, inputs, NewRunContext(DefaultConfig(), Shred))
+	if !res.Failed() || !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", res.Err)
 	}
 }

@@ -254,6 +254,22 @@ func addLabelToHead(e nrc.Expr, label nrc.Expr) (nrc.Expr, error) {
 			fields := append([]nrc.NamedExpr{{Name: "label", Expr: label}}, tc.Fields...)
 			return &nrc.Sing{Elem: &nrc.TupleCtor{Fields: fields}}, nil
 		}
+		// A tuple-typed element that is not a constructor (e.g. the head of
+		// "if p then {o}" for a bound variable o) must still flatten to one
+		// column per field: the dictionary's (label, field…) encoding — and
+		// unshredding, which reads it back per field — is derived from the
+		// element type, so collapsing the tuple into a single _value column
+		// would desynchronize the materialized schema from its consumers.
+		if tt, ok := x.Elem.Type().(nrc.TupleType); ok {
+			fields := make([]nrc.NamedExpr, 0, len(tt.Fields)+1)
+			fields = append(fields, nrc.NamedExpr{Name: "label", Expr: label})
+			for _, f := range tt.Fields {
+				p := &nrc.Proj{Tuple: x.Elem, Field: f.Name}
+				nrc.SetType(p, f.Type)
+				fields = append(fields, nrc.NamedExpr{Name: f.Name, Expr: p})
+			}
+			return &nrc.Sing{Elem: &nrc.TupleCtor{Fields: fields}}, nil
+		}
 		return &nrc.Sing{Elem: &nrc.TupleCtor{Fields: []nrc.NamedExpr{
 			{Name: "label", Expr: label},
 			{Name: "_value", Expr: x.Elem},
@@ -306,6 +322,14 @@ func (m *materializer) elemNamesOf(e nrc.Expr) ([]string, error) {
 		if tc, ok := x.Elem.(*nrc.TupleCtor); ok {
 			names := make([]string, len(tc.Fields))
 			for i, f := range tc.Fields {
+				names[i] = f.Name
+			}
+			return names, nil
+		}
+		// Mirror addLabelToHead: tuple-typed elements flatten per field.
+		if tt, ok := x.Elem.Type().(nrc.TupleType); ok {
+			names := make([]string, len(tt.Fields))
+			for i, f := range tt.Fields {
 				names[i] = f.Name
 			}
 			return names, nil

@@ -435,10 +435,23 @@ func withShadow(shadow map[string]bool, name string) map[string]bool {
 }
 
 // replaceCaptures substitutes capture source expressions by their parameter
-// variables inside the dictionary body.
+// variables inside the dictionary body. Rewritten nodes keep the source
+// node's stored type (a parameter variable stands for the very value it
+// replaces), so later stages — domain-elimination rewrites, the
+// materializer's head flattening — can still read element types off the
+// body.
 func replaceCaptures(body nrc.Expr, caps []capture) nrc.Expr {
-	var rewrite func(e nrc.Expr, shadow map[string]bool) nrc.Expr
-	rewrite = func(e nrc.Expr, shadow map[string]bool) nrc.Expr {
+	var rewriteNode func(e nrc.Expr, shadow map[string]bool) nrc.Expr
+	rewrite := func(e nrc.Expr, shadow map[string]bool) nrc.Expr {
+		out := rewriteNode(e, shadow)
+		if out != nil && out.Type() == nil {
+			if t := e.Type(); t != nil {
+				nrc.SetType(out, t)
+			}
+		}
+		return out
+	}
+	rewriteNode = func(e nrc.Expr, shadow map[string]bool) nrc.Expr {
 		switch x := e.(type) {
 		case nil:
 			return nil

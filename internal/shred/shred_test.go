@@ -349,3 +349,71 @@ func TestShredShufflesLessThanStandard(t *testing.T) {
 			shr.Metrics.ShuffleBytes, std.Metrics.ShuffleBytes)
 	}
 }
+
+// Regression: a non-equality IfThen predicate (e.g. Gt) directly inside an
+// inner ForIn whose head is the whole loop variable — {o | o ∈ c.items,
+// o.qty > 10} — used to materialize the dictionary with a single _value
+// column while unshredding expected one column per element field, crashing
+// exec's nest with an index out of range on the shredded routes.
+func tupleVarHeadQuery() nrc.Expr {
+	return nrc.ForIn("c", nrc.V("R"),
+		nrc.SingOf(nrc.Record(
+			"name", nrc.P(nrc.V("c"), "name"),
+			"big", nrc.ForIn("o", nrc.P(nrc.V("c"), "items"),
+				nrc.IfThen(nrc.GtOf(nrc.P(nrc.V("o"), "qty"), nrc.C(int64(10))),
+					nrc.SingOf(nrc.V("o")))),
+		)))
+}
+
+func tupleVarHeadEnv() nrc.Env {
+	return nrc.Env{"R": nrc.BagOf(nrc.Tup(
+		"name", nrc.StringT,
+		"items", nrc.BagOf(nrc.Tup("qty", nrc.IntT, "sku", nrc.StringT)),
+	))}
+}
+
+func tupleVarHeadInputs() map[string]value.Bag {
+	return map[string]value.Bag{"R": {
+		value.Tuple{"a", value.Bag{value.Tuple{int64(5), "x"}, value.Tuple{int64(20), "y"}}},
+		value.Tuple{"b", value.Bag{value.Tuple{int64(30), "z"}}},
+		value.Tuple{"c", value.Bag{}},
+	}}
+}
+
+func TestShredUnshredTupleVarHeadNonEqualityFilter(t *testing.T) {
+	assertShredMatchesOracle(t, tupleVarHeadQuery(), tupleVarHeadEnv(), tupleVarHeadInputs(),
+		runner.ShredUnshred, runner.DefaultConfig())
+	// Baseline materialization exercises the label-domain route through the
+	// same head-flattening code.
+	cfg := runner.DefaultConfig()
+	cfg.DomainElimination = false
+	assertShredMatchesOracle(t, tupleVarHeadQuery(), tupleVarHeadEnv(), tupleVarHeadInputs(),
+		runner.ShredUnshred, cfg)
+}
+
+func TestShredTupleVarHeadDictionarySchema(t *testing.T) {
+	res := runner.Run(runner.Job{Query: tupleVarHeadQuery(), Env: tupleVarHeadEnv(), Inputs: tupleVarHeadInputs()},
+		runner.Shred, runner.DefaultConfig())
+	if res.Failed() {
+		t.Fatalf("shred route failed: %v", res.Err)
+	}
+	if len(res.Mat.Dicts) != 1 {
+		t.Fatalf("want one output dictionary, got %+v", res.Mat.Dicts)
+	}
+	dict := res.Shredded[res.Mat.Dicts[0].Name]
+	if dict == nil {
+		t.Fatalf("dictionary %s not materialized", res.Mat.Dicts[0].Name)
+	}
+	rows := dict.Collect()
+	if len(rows) != 2 {
+		t.Fatalf("want 2 filtered dictionary rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// Flattened encoding: ⟨label, qty, sku⟩ — one column per element
+		// field, not a collapsed _value tuple.
+		if len(r) != 3 {
+			t.Fatalf("dictionary row has %d columns, want 3 (label, qty, sku): %s",
+				len(r), value.Format(value.Tuple(r)))
+		}
+	}
+}

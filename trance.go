@@ -21,6 +21,13 @@
 //	res := trance.Run(trance.Job{Query: q, Env: env, Inputs: inputs},
 //	        trance.Standard, trance.DefaultConfig())
 //
+// Serving processes compile once and run many times instead: Prepare caches
+// each (query, strategy) compilation in a thread-safe fingerprint-keyed
+// cache, and PreparedQuery.Run evaluates the cached plans from any number
+// of goroutines over different datasets on one shared bounded worker pool,
+// with panics converted to errors at the compile and exec boundaries (see
+// ExamplePrepare, docs/SERVING.md, and the cmd/tranced HTTP service).
+//
 // See examples/ for complete programs, README.md for a quickstart,
 // docs/ARCHITECTURE.md for the architecture and paper-to-package map, and
 // bench_test.go for the reproduction of the paper's evaluation.
@@ -151,6 +158,14 @@ const (
 	ShredSkew        = runner.ShredSkew
 	ShredUnshredSkew = runner.ShredUnshredSkew
 )
+
+// AllStrategies lists every strategy in presentation order.
+func AllStrategies() []Strategy { return runner.AllStrategies() }
+
+// ParseStrategy resolves a CLI/HTTP strategy name (Strategy.CLIName's
+// inverse): standard | sparksql | shred | shred+unshred | standard-skew |
+// shred-skew | shred+unshred-skew.
+func ParseStrategy(name string) (Strategy, bool) { return runner.ParseStrategy(name) }
 
 // Execution configuration and results.
 type (
