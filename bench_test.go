@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"github.com/trance-go/trance"
@@ -462,5 +463,79 @@ func BenchmarkPreparedVsUnprepared(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPreparedPipelineVsUnprepared measures what trance.PreparePipeline
+// amortizes over the five-step biomedical pipeline: the unprepared path
+// typechecks and compiles every step on every evaluation, the prepared path
+// compiles each step once into the plan cache (with env-aware fingerprints
+// covering prior steps' output types) and only executes. Compare the
+// sub-benchmarks with benchstat.
+func BenchmarkPreparedPipelineVsUnprepared(b *testing.B) {
+	cfg := biomed.SmallConfig()
+	cfg.Samples = scaled(10)
+	cfg.Genes = scaled(30)
+	inputs := biomed.Generate(cfg)
+	rcfg := runner.DefaultConfig()
+
+	for _, strat := range []runner.Strategy{runner.Standard, runner.Shred} {
+		b.Run("unprepared/"+strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// runner.RunPipeline compiles per call (fresh step ASTs, no
+				// cache) — the pre-catalog behavior of this library.
+				res := runner.RunPipeline(biomed.Steps(), biomed.Env(), inputs, strat, rcfg)
+				if res.Failed() {
+					b.Fatal(res.Err)
+				}
+			}
+		})
+		b.Run("prepared/"+strat.String(), func(b *testing.B) {
+			pp, err := trance.PreparePipeline(biomed.Steps(), trance.PrepareOptions{
+				Name: "bench/biomed-e2e", Env: biomed.Env(), Config: &rcfg,
+				Strategies: []trance.Strategy{strat},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pp.Run(context.Background(), inputs, strat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJSONIngest measures NDJSON ingestion with nested schema inference
+// (catalog RegisterJSON): decode, infer the unified type across all rows,
+// convert to engine values. Reported as bytes/s over a two-level nested
+// dataset.
+func BenchmarkJSONIngest(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < scaled(2000); i++ {
+		fmt.Fprintf(&sb, `{"cust": "c%04d", "region": %d, "orders": [`, i, i%7)
+		for o := 0; o < 3; o++ {
+			if o > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, `{"odate": "2020-%02d-%02d", "items": [{"pid": %d, "qty": %d.5}, {"pid": %d, "qty": %d}]}`,
+				o+1, i%27+1, i%100, o+1, (i+13)%100, o+2)
+		}
+		sb.WriteString("]}\n")
+	}
+	data := sb.String()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat := trance.NewCatalog()
+		info, err := cat.RegisterJSON("R", strings.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info.Rows != scaled(2000) {
+			b.Fatalf("rows: %d", info.Rows)
+		}
 	}
 }

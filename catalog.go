@@ -1,0 +1,405 @@
+package trance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/trance-go/trance/internal/ingest"
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Catalog is a registry of named, typed nested datasets — the serving-side
+// answer to hand-assembling Env + input maps: data is registered once (from
+// Go values or straight from JSON, with the schema inferred), and sessions
+// resolve queries' free variables against it. All methods are safe for
+// concurrent use; datasets are immutable once registered (Register captures
+// the bag by reference — do not mutate it afterwards).
+type Catalog struct {
+	mu      sync.RWMutex
+	entries map[string]*catalogEntry
+	order   []string
+}
+
+type catalogEntry struct {
+	info DatasetInfo
+	bag  Bag
+}
+
+// DatasetInfo describes one catalog entry.
+type DatasetInfo struct {
+	// Name is the catalog key (and the variable name queries use, unless a
+	// session rebinds it).
+	Name string
+	// Type is the dataset's bag type — declared at Register, inferred at
+	// RegisterJSON.
+	Type Type
+	// Rows is the top-level element count.
+	Rows int
+	// Bytes is the approximate in-memory footprint (value.Size).
+	Bytes int64
+	// Source records how the dataset was registered: "go" or "json".
+	Source string
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{entries: map[string]*catalogEntry{}}
+}
+
+// Register adds a dataset under name with an explicit bag type. The values
+// are structurally validated against the type up front, so a mismatch is a
+// registration error here rather than an engine failure at query time.
+func (c *Catalog) Register(name string, t Type, b Bag) error {
+	bt, ok := t.(nrc.BagType)
+	if !ok {
+		return fmt.Errorf("catalog: dataset %s: type must be a bag, got %s", name, t)
+	}
+	if err := conforms(b, bt); err != nil {
+		return fmt.Errorf("catalog: dataset %s: %w", name, err)
+	}
+	_, err := c.add(name, bt, b, "go")
+	return err
+}
+
+// RegisterJSON ingests a dataset from JSON — NDJSON (one value per row) or a
+// single JSON array — inferring its nested type: objects become tuples,
+// arrays become bags, with null and int→real widening across rows and
+// yyyy-mm-dd strings read as dates (see internal/ingest). Irreconcilable
+// rows yield a descriptive error naming the JSON path.
+func (c *Catalog) RegisterJSON(name string, r io.Reader) (DatasetInfo, error) {
+	ds, err := ingest.ReadJSON(r)
+	if err != nil {
+		return DatasetInfo{}, fmt.Errorf("catalog: dataset %s: %w", name, err)
+	}
+	return c.add(name, ds.Type, ds.Bag, "json")
+}
+
+// ErrDatasetExists reports a Register/RegisterJSON collision with an
+// existing dataset (check with errors.Is; Drop first to replace).
+var ErrDatasetExists = errors.New("dataset already registered")
+
+func (c *Catalog) add(name string, t nrc.BagType, b Bag, source string) (DatasetInfo, error) {
+	if name == "" {
+		return DatasetInfo{}, fmt.Errorf("catalog: dataset name must not be empty")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[name]; dup {
+		return DatasetInfo{}, fmt.Errorf("catalog: dataset %s: %w", name, ErrDatasetExists)
+	}
+	info := DatasetInfo{Name: name, Type: t, Rows: len(b), Bytes: value.Size(b), Source: source}
+	c.entries[name] = &catalogEntry{info: info, bag: b}
+	c.order = append(c.order, name)
+	return info, nil
+}
+
+// Drop removes a dataset. Sessions and queries prepared before the Drop keep
+// serving their snapshot of the data.
+func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[name]; !ok {
+		return false
+	}
+	delete(c.entries, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Names lists the registered datasets in registration order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.order...)
+}
+
+// List returns every dataset's info in registration order.
+func (c *Catalog) List() []DatasetInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.entries[n].info)
+	}
+	return out
+}
+
+// Info returns one dataset's info.
+func (c *Catalog) Info(name string) (DatasetInfo, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return DatasetInfo{}, false
+	}
+	return e.info, true
+}
+
+// Data returns a dataset's values and type. The bag is shared, not copied —
+// treat it as read-only.
+func (c *Catalog) Data(name string) (Bag, Type, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, nil, false
+	}
+	return e.bag, e.info.Type, true
+}
+
+// Env returns the environment of every registered dataset — what
+// trance.Check needs to typecheck a query against the whole catalog.
+func (c *Catalog) Env() Env {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	env := Env{}
+	for n, e := range c.entries {
+		env[n] = e.info.Type
+	}
+	return env
+}
+
+// resolve snapshots the env and data for the given variable names, applying
+// the session's bindings.
+func (c *Catalog) resolve(vars []string, bindings map[string]string) (Env, map[string]Bag, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	env := Env{}
+	inputs := map[string]Bag{}
+	for _, v := range vars {
+		ds := v
+		if b, ok := bindings[v]; ok {
+			ds = b
+		}
+		e, ok := c.entries[ds]
+		if !ok {
+			return nil, nil, fmt.Errorf("catalog: query references %s, but no dataset %q is registered (have: %v)",
+				v, ds, c.order)
+		}
+		env[v] = e.info.Type
+		inputs[v] = e.bag
+	}
+	return env, inputs, nil
+}
+
+// conforms structurally validates a value against a type. NULL conforms to
+// everything (the engine's outer joins introduce it freely).
+func conforms(v Value, t Type) error {
+	if v == nil {
+		return nil
+	}
+	switch tt := t.(type) {
+	case nrc.BagType:
+		b, ok := v.(Bag)
+		if !ok {
+			return fmt.Errorf("expected bag for %s, got %T", tt, v)
+		}
+		for i, e := range b {
+			if err := conforms(e, tt.Elem); err != nil {
+				return fmt.Errorf("element %d: %w", i, err)
+			}
+		}
+		return nil
+	case nrc.TupleType:
+		tp, ok := v.(Tuple)
+		if !ok {
+			return fmt.Errorf("expected tuple for %s, got %T", tt, v)
+		}
+		if len(tp) != len(tt.Fields) {
+			return fmt.Errorf("tuple has %d fields, type %s has %d", len(tp), tt, len(tt.Fields))
+		}
+		for i, f := range tt.Fields {
+			if err := conforms(tp[i], f.Type); err != nil {
+				return fmt.Errorf("field %s: %w", f.Name, err)
+			}
+		}
+		return nil
+	case nrc.ScalarType:
+		ok := false
+		switch tt.Kind {
+		case nrc.Int:
+			_, ok = v.(int64)
+		case nrc.Real:
+			_, ok = v.(float64)
+		case nrc.String:
+			_, ok = v.(string)
+		case nrc.Bool:
+			_, ok = v.(bool)
+		case nrc.DateK:
+			_, ok = v.(Date)
+		}
+		if !ok {
+			return fmt.Errorf("expected %s, got %T", tt, v)
+		}
+		return nil
+	case nrc.LabelType:
+		if _, ok := v.(Label); !ok {
+			return fmt.Errorf("expected label, got %T", v)
+		}
+		return nil
+	}
+	return fmt.Errorf("unsupported type %s", t)
+}
+
+// SessionOptions configures a catalog session.
+type SessionOptions struct {
+	// Config sizes the simulated cluster; nil means DefaultConfig().
+	Config *Config
+	// Pool overrides the worker pool the session's queries run on. Nil uses
+	// a pool sized by Config.Workers when set, else the process default.
+	Pool *Pool
+	// Bindings maps query variable names to catalog dataset names when they
+	// differ (e.g. a query over "NDB" served from the dataset "tpch/ndb-l2").
+	// Unlisted variables resolve to the dataset of the same name.
+	Bindings map[string]string
+}
+
+// Session prepares and runs queries whose free variables resolve against a
+// catalog. Prepare snapshots the referenced datasets, so a session query
+// keeps serving consistent data even if the catalog changes afterwards.
+// Sessions are safe for concurrent use.
+type Session struct {
+	cat  *Catalog
+	cfg  Config
+	pool *Pool
+	bind map[string]string
+}
+
+// NewSession creates a session over the catalog.
+func (c *Catalog) NewSession(opts SessionOptions) *Session {
+	cfg := DefaultConfig()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	pool := poolFor(cfg, opts.Pool)
+	bind := map[string]string{}
+	for k, v := range opts.Bindings {
+		bind[k] = v
+	}
+	return &Session{cat: c, cfg: cfg, pool: pool, bind: bind}
+}
+
+// Prepare resolves the query's free variables against the catalog,
+// typechecks and sets up compile-once evaluation (see Prepare), and binds
+// the resolved datasets for repeated runs (see PreparedQuery.BindData). The
+// session takes ownership of the query's AST.
+func (s *Session) Prepare(q Expr) (*SessionQuery, error) { return s.PrepareNamed("", q) }
+
+// PrepareNamed is Prepare with a label used in errors and metrics.
+func (s *Session) PrepareNamed(name string, q Expr) (*SessionQuery, error) {
+	vars := sortedVars(nrc.FreeVars(q))
+	env, inputs, err := s.cat.resolve(vars, s.bind)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := Prepare(q, PrepareOptions{Name: name, Env: env, Config: &s.cfg, Pool: s.pool})
+	if err != nil {
+		return nil, err
+	}
+	return &SessionQuery{pq: pq, data: pq.BindData(inputs)}, nil
+}
+
+// PreparePipeline resolves the steps' free variables (outputs of earlier
+// steps are not free) against the catalog and sets up compile-once
+// evaluation of the whole pipeline (see PreparePipeline): repeated runs hit
+// the plan cache for every step.
+func (s *Session) PreparePipeline(steps []PipelineStep) (*SessionPipeline, error) {
+	asg := make([]nrc.Assignment, len(steps))
+	for i, st := range steps {
+		asg[i] = nrc.Assignment{Name: st.Name, Expr: st.Query}
+	}
+	vars := sortedVars(nrc.FreeVarsProgram(asg))
+	env, inputs, err := s.cat.resolve(vars, s.bind)
+	if err != nil {
+		return nil, err
+	}
+	pp, err := PreparePipeline(steps, PrepareOptions{Env: env, Config: &s.cfg, Pool: s.pool})
+	if err != nil {
+		return nil, err
+	}
+	return &SessionPipeline{pp: pp, data: pp.BindData(inputs)}, nil
+}
+
+func sortedVars(set map[string]bool) []string {
+	vars := make([]string, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// SessionQuery is a query prepared against a catalog: compiled plans come
+// from the process-wide plan cache, input conversion is cached per route,
+// and any number of goroutines may Run concurrently.
+type SessionQuery struct {
+	pq   *PreparedQuery
+	data *PreparedData
+}
+
+// Prepared exposes the underlying prepared query (output types, columns,
+// fingerprint).
+func (sq *SessionQuery) Prepared() *PreparedQuery { return sq.pq }
+
+// Run evaluates the query under the strategy over the datasets snapshotted
+// at Prepare time.
+func (sq *SessionQuery) Run(ctx context.Context, strat Strategy) (*Result, error) {
+	return sq.pq.RunBound(ctx, sq.data, strat)
+}
+
+// RunJSON is Run plus JSON encoding: the result rows rendered as objects
+// using the strategy's output schema — the query half of the catalog's
+// JSON-in → query → JSON-out round trip. Rows come back in the engine's
+// canonical sorted order, so output is deterministic.
+func (sq *SessionQuery) RunJSON(ctx context.Context, strat Strategy) ([]map[string]any, error) {
+	cols, err := sq.pq.OutputSchema(strat)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sq.Run(ctx, strat)
+	if err != nil {
+		return nil, err
+	}
+	fields := make([]nrc.Field, len(cols))
+	for i, c := range cols {
+		fields[i] = nrc.Field{Name: c.Name, Type: c.Type}
+	}
+	rows := res.Output.CollectSorted()
+	tuples := make([]value.Tuple, len(rows))
+	for i, r := range rows {
+		tuples[i] = value.Tuple(r)
+	}
+	return ingest.EncodeRows(tuples, fields), nil
+}
+
+// SessionPipeline is a pipeline prepared against a catalog: compiled step
+// plans come from the process-wide plan cache and input conversion is
+// cached per route.
+type SessionPipeline struct {
+	pp   *PreparedPipeline
+	data *PreparedData
+}
+
+// Prepared exposes the underlying prepared pipeline.
+func (sp *SessionPipeline) Prepared() *PreparedPipeline { return sp.pp }
+
+// Run executes the pipeline under the strategy over the datasets
+// snapshotted (and bound once per route) at PreparePipeline time.
+func (sp *SessionPipeline) Run(ctx context.Context, strat Strategy) (*PipelineResult, error) {
+	return sp.pp.RunBound(ctx, sp.data, strat)
+}
+
+// ToJSON renders a runtime value as a json.Marshal-able Go value guided by
+// its static type: tuples become objects, bags arrays, dates yyyy-mm-dd
+// strings, NULL null — the inverse of Catalog.RegisterJSON's conversion.
+func ToJSON(v Value, t Type) any { return ingest.Encode(v, t) }

@@ -1,0 +1,326 @@
+package trance_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/trance-go/trance"
+)
+
+func TestCatalogRegisterAndResolve(t *testing.T) {
+	cat := trance.NewCatalog()
+	if err := cat.Register("R", prepEnv()["R"], prepInputs(0)["R"]); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := cat.Info("R")
+	if !ok || info.Rows != 3 || info.Source != "go" || info.Bytes <= 0 {
+		t.Fatalf("info: %+v", info)
+	}
+	sq, err := cat.NewSession(trance.SessionOptions{}).Prepare(prepQuery(8001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sq.Run(context.Background(), trance.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Count() != 3 {
+		t.Fatalf("want 3 rows, got %d", res.Output.Count())
+	}
+}
+
+func TestCatalogRegisterValidates(t *testing.T) {
+	cat := trance.NewCatalog()
+	// Non-bag type.
+	if err := cat.Register("X", trance.IntT, nil); err == nil {
+		t.Fatal("non-bag type must be rejected")
+	}
+	// Value/type mismatch: int where string declared.
+	bad := trance.Bag{trance.Tuple{int64(7)}}
+	err := cat.Register("Y", trance.BagOf(trance.Tup("s", trance.StringT)), bad)
+	if err == nil || !strings.Contains(err.Error(), "field s") {
+		t.Fatalf("mismatch should name the field: %v", err)
+	}
+	// Duplicate name.
+	good := trance.BagOf(trance.Tup("a", trance.IntT))
+	if err := cat.Register("Z", good, trance.Bag{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("Z", good, trance.Bag{}); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if !cat.Drop("Z") || cat.Drop("Z") {
+		t.Fatal("Drop should remove exactly once")
+	}
+	if err := cat.Register("Z", good, trance.Bag{}); err != nil {
+		t.Fatalf("re-register after Drop: %v", err)
+	}
+}
+
+func TestSessionPrepareUnknownDataset(t *testing.T) {
+	cat := trance.NewCatalog()
+	_, err := cat.NewSession(trance.SessionOptions{}).Prepare(prepQuery(8002))
+	if err == nil || !strings.Contains(err.Error(), "no dataset") {
+		t.Fatalf("missing dataset must be a descriptive error: %v", err)
+	}
+}
+
+// A session binding maps a query variable to a differently named dataset.
+func TestSessionBindings(t *testing.T) {
+	cat := trance.NewCatalog()
+	if err := cat.Register("warehouse/r-v2", prepEnv()["R"], prepInputs(0)["R"]); err != nil {
+		t.Fatal(err)
+	}
+	s := cat.NewSession(trance.SessionOptions{Bindings: map[string]string{"R": "warehouse/r-v2"}})
+	sq, err := s.Prepare(prepQuery(8003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sq.Run(context.Background(), trance.ShredUnshred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output.Count() != 3 {
+		t.Fatalf("want 3 rows, got %d", res.Output.Count())
+	}
+}
+
+// JSON-in → query → JSON-out: ingest NDJSON, query it through standard and
+// shredded routes, and get the same JSON rows back.
+func TestCatalogJSONEndToEnd(t *testing.T) {
+	const ndjson = `
+{"k": 1, "items": [{"v": 5}, {"v": 20}, {"v": 35}]}
+{"k": 2, "items": [{"v": 50}]}
+{"k": 3, "items": []}
+`
+	cat := trance.NewCatalog()
+	info, err := cat.RegisterJSON("R", strings.NewReader(ndjson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trance.BagOf(trance.Tup("items", trance.BagOf(trance.Tup("v", trance.IntT)), "k", trance.IntT))
+	if info.Type.String() != want.String() {
+		t.Fatalf("inferred %s, want %s", info.Type, want)
+	}
+	// The inferred schema must agree with trance.Check on the identity query.
+	q := trance.ForIn("x", trance.V("R"), trance.SingOf(trance.V("x")))
+	ct, err := trance.Check(q, cat.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.String() != info.Type.String() {
+		t.Fatalf("Check says %s, catalog says %s", ct, info.Type)
+	}
+
+	sq, err := cat.NewSession(trance.SessionOptions{}).PrepareNamed("identity", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blobs []string
+	for _, strat := range []trance.Strategy{trance.Standard, trance.SparkSQLStyle, trance.ShredUnshred, trance.StandardSkew, trance.ShredUnshredSkew} {
+		rows, err := sq.RunJSON(context.Background(), strat)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		b, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, string(b))
+	}
+	for i := 1; i < len(blobs); i++ {
+		if blobs[i] != blobs[0] {
+			t.Fatalf("strategies disagree on JSON output:\n%s\nvs\n%s", blobs[0], blobs[i])
+		}
+	}
+	if !strings.Contains(blobs[0], `"items":[{"v":5},{"v":20},{"v":35}]`) {
+		t.Fatalf("unexpected JSON: %s", blobs[0])
+	}
+}
+
+// Sessions snapshot data at Prepare time: dropping and re-registering a
+// dataset does not change what an existing prepared query serves.
+func TestSessionSnapshotSurvivesDrop(t *testing.T) {
+	cat := trance.NewCatalog()
+	if err := cat.Register("R", prepEnv()["R"], prepInputs(0)["R"]); err != nil {
+		t.Fatal(err)
+	}
+	sq, err := cat.NewSession(trance.SessionOptions{}).Prepare(prepQuery(8004))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := sq.Run(context.Background(), trance.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Drop("R")
+	if err := cat.Register("R", prepEnv()["R"], trance.Bag{}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sq.Run(context.Background(), trance.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trance.ValuesEqual(collectBag(before), collectBag(after)) {
+		t.Fatal("prepared query must keep serving its snapshot")
+	}
+}
+
+func pipelineSteps(lo int64) []trance.PipelineStep {
+	// Step 1 filters the nested items; step 2 consumes step 1's output.
+	return []trance.PipelineStep{
+		{Name: "Big", Query: prepQuery(lo)},
+		{Name: "Out", Query: trance.ForIn("b", trance.V("Big"),
+			trance.SingOf(trance.Record(
+				"k2", trance.P(trance.V("b"), "k"),
+				"big2", trance.P(trance.V("b"), "big"))))},
+	}
+}
+
+// The PR-2 rough edge, fixed: a repeated pipeline compiles each step exactly
+// once — later runs hit the plan cache for every step under every strategy.
+func TestRunPipelineReusesPlanCache(t *testing.T) {
+	env := prepEnv()
+	inputs := prepInputs(8100)
+	strategies := []trance.Strategy{trance.Standard, trance.Shred, trance.ShredUnshred}
+
+	var want trance.Bag
+	before := trance.PlanCacheStats()
+	for round := 0; round < 4; round++ {
+		for _, strat := range strategies {
+			res := trance.RunPipeline(pipelineSteps(8101), env, inputs, strat, trance.DefaultConfig())
+			if res.Failed() {
+				t.Fatalf("round %d %v: %v", round, strat, res.Err)
+			}
+			if len(res.StepElapsed) != 2 {
+				t.Fatalf("want 2 timed steps, got %v", res.StepElapsed)
+			}
+			if strat == trance.Shred {
+				continue // shredded top output is not comparable to nested
+			}
+			got := collectPipelineBag(res)
+			if want == nil {
+				want = got
+			} else if !trance.ValuesEqual(got, want) {
+				t.Fatalf("round %d %v: pipeline output drifted: %s vs %s",
+					round, strat, trance.FormatValue(got), trance.FormatValue(want))
+			}
+		}
+	}
+	after := trance.PlanCacheStats()
+	// Standard: 2 steps. Shred: 2 steps. ShredUnshred: final step only (its
+	// intermediate step shares the Shred slot). 4 rounds never recompile.
+	wantCompiles := int64(5)
+	if got := after.Compiles - before.Compiles; got != wantCompiles {
+		t.Fatalf("want exactly %d step compilations across 12 pipeline runs, got %d", wantCompiles, got)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatal("repeated pipelines should hit the plan cache")
+	}
+}
+
+func collectPipelineBag(res *trance.PipelineResult) trance.Bag {
+	out := make(trance.Bag, 0)
+	for _, r := range res.Output.CollectSorted() {
+		out = append(out, trance.Tuple(r))
+	}
+	return out
+}
+
+// Env-aware fingerprints: pipelines whose step queries print identically but
+// consume differently typed prior outputs must not share compiled plans.
+func TestPipelineFingerprintsAreEnvAware(t *testing.T) {
+	// Same second step ("for b in Big union {⟨x := b.k⟩}"), but Big's type
+	// differs: k is int in one pipeline, string in the other.
+	mkSecond := func() trance.Expr {
+		return trance.ForIn("b", trance.V("Big"),
+			trance.SingOf(trance.Record("x", trance.P(trance.V("b"), "k"))))
+	}
+	intSteps := []trance.PipelineStep{
+		{Name: "Big", Query: trance.ForIn("r", trance.V("RI"), trance.SingOf(trance.V("r")))},
+		{Name: "Out", Query: mkSecond()},
+	}
+	strSteps := []trance.PipelineStep{
+		{Name: "Big", Query: trance.ForIn("r", trance.V("RS"), trance.SingOf(trance.V("r")))},
+		{Name: "Out", Query: mkSecond()},
+	}
+	envI := trance.Env{"RI": trance.BagOf(trance.Tup("k", trance.IntT))}
+	envS := trance.Env{"RS": trance.BagOf(trance.Tup("k", trance.StringT))}
+
+	ppI, err := trance.PreparePipeline(intSteps, trance.PrepareOptions{Env: envI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ppS, err := trance.PreparePipeline(strSteps, trance.PrepareOptions{Env: envS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := ppI.Run(context.Background(), map[string]trance.Bag{"RI": {trance.Tuple{int64(7)}}}, trance.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ppS.Run(context.Background(), map[string]trance.Bag{"RS": {trance.Tuple{"seven"}}}, trance.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectPipelineBag(ri); !trance.ValuesEqual(got, trance.Bag{trance.Tuple{int64(7)}}) {
+		t.Fatalf("int pipeline: %s", trance.FormatValue(got))
+	}
+	if got := collectPipelineBag(rs); !trance.ValuesEqual(got, trance.Bag{trance.Tuple{"seven"}}) {
+		t.Fatalf("string pipeline: %s", trance.FormatValue(got))
+	}
+	if ot, want := ppI.OutType(1).String(), "Bag(⟨x: int⟩)"; ot != want {
+		t.Fatalf("int pipeline out type %s, want %s", ot, want)
+	}
+	if ot, want := ppS.OutType(1).String(), "Bag(⟨x: string⟩)"; ot != want {
+		t.Fatalf("string pipeline out type %s, want %s", ot, want)
+	}
+}
+
+// Session pipelines resolve free variables (not step outputs) against the
+// catalog and reuse the plan cache across sessions.
+func TestSessionPreparePipeline(t *testing.T) {
+	cat := trance.NewCatalog()
+	if err := cat.Register("R", prepEnv()["R"], prepInputs(0)["R"]); err != nil {
+		t.Fatal(err)
+	}
+	s := cat.NewSession(trance.SessionOptions{})
+	sp, err := s.PreparePipeline(pipelineSteps(8201))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := sp.Run(context.Background(), trance.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectPipelineBag(seq)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			strat := []trance.Strategy{trance.Standard, trance.ShredUnshred}[g%2]
+			res, err := sp.Run(context.Background(), strat)
+			if err != nil {
+				errs <- fmt.Errorf("goroutine %d (%v): %w", g, strat, err)
+				return
+			}
+			if got := collectPipelineBag(res); !trance.ValuesEqual(got, want) {
+				errs <- fmt.Errorf("goroutine %d (%v): got %s want %s",
+					g, strat, trance.FormatValue(got), trance.FormatValue(want))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,17 +1,21 @@
 // Command trance is the CLI of the library: it prints the standard plan and
-// the shredded program of built-in benchmark queries and runs them under any
-// strategy.
+// the shredded program of built-in benchmark queries, runs them under any
+// strategy, and queries ad-hoc JSON datasets with inferred nested schemas.
 //
 // Usage:
 //
 //	trance explain  -class nested-to-nested -level 2
 //	trance run      -class nested-to-flat   -level 2 -strategy shred
+//	trance query    -input data.json -strategy shred+unshred
 //	trance biomed   -full
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -31,6 +35,8 @@ func main() {
 		cmdExplain(os.Args[2:])
 	case "run":
 		cmdRun(os.Args[2:])
+	case "query":
+		cmdQuery(os.Args[2:])
 	case "biomed":
 		cmdBiomed(os.Args[2:])
 	default:
@@ -42,10 +48,15 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   trance explain -class <class> -level <0-4> [-wide]
   trance run     -class <class> -level <0-4> [-wide] -strategy <name> [-skew 0-4]
+  trance query   -input <data.json|-> [-name R] [-strategy <name>] [-show N]
   trance biomed  [-full] [-strategy <name>]
 
 classes:    flat-to-nested | nested-to-nested | nested-to-flat
-strategies: standard | sparksql | shred | shred+unshred | standard-skew | shred-skew`)
+strategies: standard | sparksql | shred | shred+unshred | standard-skew | shred-skew
+
+query ingests NDJSON or a JSON array (objects become tuples, arrays become
+bags, schema inferred with null/numeric widening), registers it in a catalog,
+and scans it under the chosen strategy, printing NDJSON rows to stdout.`)
 	os.Exit(2)
 }
 
@@ -143,6 +154,60 @@ func cmdRun(args []string) {
 		}
 		fmt.Println("  ", value.Format(value.Tuple(row)))
 	}
+}
+
+// cmdQuery is the JSON-in → query → JSON-out path: ingest a JSON dataset
+// into a catalog (schema inferred), prepare an identity scan through a
+// session, run it under the chosen strategy, and print the rows back as
+// NDJSON. Schema and timing go to stderr so stdout stays pipeable.
+func cmdQuery(args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	input := fs.String("input", "", "JSON input: NDJSON or a JSON array; a file path or - for stdin (required)")
+	name := fs.String("name", "R", "dataset (and query variable) name")
+	strategy := fs.String("strategy", "standard", "evaluation strategy")
+	show := fs.Int("show", 0, "result rows to print (0 = all)")
+	_ = fs.Parse(args)
+
+	if *input == "" {
+		log.Fatal("query: -input is required (a file path, or - for stdin)")
+	}
+	var src io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	cat := trance.NewCatalog()
+	info, err := cat.RegisterJSON(*name, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dataset %s: %d rows, %d bytes\nschema: %s\n", info.Name, info.Rows, info.Bytes, info.Type)
+
+	sq, err := cat.NewSession(trance.SessionOptions{}).PrepareNamed(*name, trance.ForIn("x", trance.V(*name), trance.SingOf(trance.V("x"))))
+	if err != nil {
+		log.Fatal(err)
+	}
+	strat := parseStrategy(*strategy)
+	rows, err := sq.RunJSON(context.Background(), strat)
+	if err != nil {
+		log.Fatalf("query failed: %v", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for i, row := range rows {
+		if *show > 0 && i >= *show {
+			fmt.Fprintf(os.Stderr, "… %d more rows (-show 0 for all)\n", len(rows)-i)
+			break
+		}
+		if err := enc.Encode(row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d rows\n", strat, len(rows))
 }
 
 func cmdBiomed(args []string) {

@@ -1,20 +1,26 @@
-// Command tranced serves the library's prepared benchmark queries over HTTP:
-// compile-once/run-many evaluation of TPC-H and biomedical workloads on a
-// shared bounded worker pool, with per-stage engine metrics.
+// Command tranced serves nested-data queries over HTTP: a catalog of named,
+// typed datasets (TPC-H and biomedical preloads registered at startup,
+// ad-hoc JSON uploads at runtime with inferred schemas) and compile-once/
+// run-many prepared queries over them, on a shared bounded worker pool with
+// per-stage engine metrics.
 //
 // Endpoints:
 //
-//	GET /                 catalog of preloaded queries and endpoints
-//	GET /query            name + level + strategy → JSON result rows
-//	GET /strategies       the paper's evaluation strategies
-//	GET /metrics          serving counters, plan cache, per-stage wall times
-//	GET /healthz          liveness
+//	GET  /                 catalog of servable queries and endpoints
+//	GET  /query            name + level + strategy → JSON result rows
+//	GET  /datasets         every dataset: name, schema, rows, bytes, source
+//	POST /datasets?name=X  upload NDJSON or a JSON array; schema is inferred
+//	                       and the dataset becomes queryable immediately
+//	GET  /strategies       the paper's evaluation strategies
+//	GET  /metrics          serving counters, plan cache, per-stage wall times
+//	GET  /healthz          liveness
 //
 // Example:
 //
 //	tranced -addr :8080 &
 //	curl 'localhost:8080/query?name=tpch/nested-to-nested&level=2&strategy=shred&limit=3'
-//	curl 'localhost:8080/metrics'
+//	curl -X POST --data-binary @rows.ndjson 'localhost:8080/datasets?name=mine'
+//	curl 'localhost:8080/query?name=datasets/mine&strategy=shred%2Bunshred'
 //
 // See docs/SERVING.md for the full reference.
 package main
@@ -40,6 +46,9 @@ func main() {
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "shared worker pool size (0 = NumCPU)")
 	flag.IntVar(&cfg.MaxLevel, "max-level", cfg.MaxLevel, "highest TPC-H nesting level to preload (0-4)")
 	flag.BoolVar(&cfg.BiomedFull, "biomed-full", cfg.BiomedFull, "use the full-size biomedical dataset")
+	flag.Int64Var(&cfg.MaxUploadBytes, "max-upload", cfg.MaxUploadBytes, "POST /datasets body size limit in bytes")
+	flag.IntVar(&cfg.MaxDatasets, "max-datasets", cfg.MaxDatasets, "uploaded datasets held at once")
+	flag.Int64Var(&cfg.MaxDatasetBytes, "max-dataset-bytes", cfg.MaxDatasetBytes, "total resident bytes of uploaded datasets")
 	flag.Parse()
 
 	start := time.Now()

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -186,5 +187,157 @@ func TestIndexAndHealth(t *testing.T) {
 	h := getJSON(t, ts, "/healthz", http.StatusOK)
 	if h["status"] != "ok" {
 		t.Fatalf("health: %v", h)
+	}
+}
+
+// Upload an ad-hoc NDJSON dataset, list it, and query it through every
+// strategy: the inferred schema and the rows must agree across routes — the
+// dataset was never seen at compile time.
+func TestDatasetUploadAndQuery(t *testing.T) {
+	ts := httptest.NewServer(smallServer(t))
+	defer ts.Close()
+
+	ndjson := `{"cust": "alice", "orders": [{"pid": 1, "qty": 2.5}, {"pid": 2, "qty": 4}]}
+{"cust": "bob", "orders": []}
+{"cust": "carol", "orders": [{"pid": 3, "qty": 1}]}`
+	resp, err := http.Post(ts.URL+"/datasets?name=adhoc-orders", "application/x-ndjson", strings.NewReader(ndjson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, body)
+	}
+	var up map[string]any
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+	if up["rows"].(float64) != 3 {
+		t.Fatalf("want 3 rows, got %v", up)
+	}
+	wantType := "Bag(⟨cust: string, orders: Bag(⟨pid: int, qty: real⟩)⟩)"
+	if up["type"] != wantType {
+		t.Fatalf("inferred type %q, want %q", up["type"], wantType)
+	}
+
+	// The dataset shows up in the listing, marked queryable.
+	list := getJSON(t, ts, "/datasets", http.StatusOK)
+	found := false
+	for _, d := range list["datasets"].([]any) {
+		dm := d.(map[string]any)
+		if dm["name"] == "datasets/adhoc-orders" {
+			found = true
+			if dm["source"] != "json" || dm["query"] != "datasets/adhoc-orders" {
+				t.Fatalf("listing entry: %v", dm)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("uploaded dataset missing from listing: %v", list)
+	}
+
+	// Queryable through every strategy, with identical JSON results.
+	var blobs []string
+	for _, strat := range []string{"standard", "sparksql", "shred%2Bunshred", "standard-skew", "shred%2Bunshred-skew"} {
+		out := getJSON(t, ts, "/query?name=datasets/adhoc-orders&strategy="+strat, http.StatusOK)
+		if out["rows"].(float64) != 3 {
+			t.Fatalf("%s: want 3 rows: %v", strat, out)
+		}
+		b, _ := json.Marshal(out["results"])
+		blobs = append(blobs, string(b))
+	}
+	for i := 1; i < len(blobs); i++ {
+		if blobs[i] != blobs[0] {
+			t.Fatalf("strategies disagree on uploaded data:\n%s\nvs\n%s", blobs[0], blobs[i])
+		}
+	}
+	if !strings.Contains(blobs[0], `"cust":"alice"`) || !strings.Contains(blobs[0], `"qty":2.5`) {
+		t.Fatalf("unexpected results: %s", blobs[0])
+	}
+	// The pure-shred route serves the label-bearing top bag.
+	out := getJSON(t, ts, "/query?name=datasets/adhoc-orders&strategy=shred", http.StatusOK)
+	if out["rows"].(float64) != 3 {
+		t.Fatalf("shred: %v", out)
+	}
+}
+
+func TestDatasetUploadRejectsBadInput(t *testing.T) {
+	ts := httptest.NewServer(smallServer(t))
+	defer ts.Close()
+
+	post := func(path, body string) (int, string) {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Missing/invalid name.
+	if code, _ := post("/datasets", `{"a":1}`); code != http.StatusBadRequest {
+		t.Fatalf("missing name: %d", code)
+	}
+	if code, _ := post("/datasets?name=bad/slash", `{"a":1}`); code != http.StatusBadRequest {
+		t.Fatalf("bad name: %d", code)
+	}
+	// Malformed JSON.
+	if code, _ := post("/datasets?name=broken1", `{"a": `); code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d", code)
+	}
+	// Irreconcilable schema: descriptive 400, not a crash.
+	code, body := post("/datasets?name=broken2", "{\"a\": 1}\n{\"a\": \"x\"}")
+	if code != http.StatusBadRequest || !strings.Contains(body, "cannot reconcile") {
+		t.Fatalf("irreconcilable: %d %s", code, body)
+	}
+	// Empty body: 400, and the name is not squatted — a retry with data works.
+	if code, body := post("/datasets?name=emptyfirst", ""); code != http.StatusBadRequest || !strings.Contains(body, "no rows") {
+		t.Fatalf("empty upload: %d %s", code, body)
+	}
+	if code, _ := post("/datasets?name=emptyfirst", `{"a":1}`); code != http.StatusCreated {
+		t.Fatalf("retry after empty upload should succeed: %d", code)
+	}
+	// Duplicate name: 409.
+	if code, _ := post("/datasets?name=dup1", `{"a":1}`); code != http.StatusCreated {
+		t.Fatalf("first upload: %d", code)
+	}
+	if code, _ := post("/datasets?name=dup1", `{"a":2}`); code != http.StatusConflict {
+		t.Fatalf("duplicate upload: %d", code)
+	}
+	// Failed ingestion must not register a queryable dataset.
+	if out := getJSON(t, ts, "/query?name=datasets/broken2", http.StatusBadRequest); out["error"] == nil {
+		t.Fatalf("broken dataset should not be queryable: %v", out)
+	}
+}
+
+// The server bounds uploaded-dataset count/bytes: past the cap, uploads get
+// 507 instead of growing memory without limit.
+func TestDatasetUploadBounded(t *testing.T) {
+	cfg := defaultServerConfig()
+	cfg.Customers = 5
+	cfg.MaxLevel = 0
+	cfg.MaxDatasets = 1
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(name string) int {
+		resp, err := http.Post(ts.URL+"/datasets?name="+name, "application/json", strings.NewReader(`{"a":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("first"); code != http.StatusCreated {
+		t.Fatalf("first upload: %d", code)
+	}
+	if code := post("second"); code != http.StatusInsufficientStorage {
+		t.Fatalf("over-cap upload should be 507, got %d", code)
 	}
 }

@@ -1,17 +1,22 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"regexp"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/trance-go/trance"
 	"github.com/trance-go/trance/internal/biomed"
+	"github.com/trance-go/trance/internal/ingest"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/tpch"
 	"github.com/trance-go/trance/internal/value"
@@ -25,22 +30,28 @@ type serverConfig struct {
 	Parallelism int
 	Workers     int
 	MaxLevel    int
+	// MaxUploadBytes bounds POST /datasets request bodies.
+	MaxUploadBytes int64
+	// MaxDatasets and MaxDatasetBytes bound how many uploaded datasets (and
+	// how much decoded data) the server holds at once, so an upload loop
+	// cannot grow server memory without limit.
+	MaxDatasets     int
+	MaxDatasetBytes int64
 }
 
 func defaultServerConfig() serverConfig {
-	return serverConfig{Customers: 100, Parallelism: 8, MaxLevel: 2}
+	return serverConfig{
+		Customers: 100, Parallelism: 8, MaxLevel: 2,
+		MaxUploadBytes: 32 << 20, MaxDatasets: 100, MaxDatasetBytes: 256 << 20,
+	}
 }
 
-// queryEntry is one preloaded query family: a prepared query and its fixed
-// input dataset per nesting level.
+// queryEntry is one servable query family: a session-prepared query per
+// nesting level over catalog datasets.
 type queryEntry struct {
-	name     string
-	levels   []int
-	prepared map[int]*trance.PreparedQuery
-	// data holds each level's dataset bound once at startup, so requests
-	// reuse the converted (and, on shredded routes, value-shredded) rows
-	// instead of re-preparing the fixed inputs per request.
-	data map[int]*trance.PreparedData
+	name    string
+	levels  []int
+	queries map[int]*trance.SessionQuery
 }
 
 // routeStats accumulates per-(query, level, strategy) serving metrics.
@@ -54,34 +65,50 @@ type routeStats struct {
 	stageOrder   []string
 }
 
-// server is the tranced HTTP service: prepared queries over preloaded
-// datasets, served concurrently on one shared worker pool.
+// server is the tranced HTTP service: a catalog of named nested datasets
+// (TPC-H and biomedical preloads registered at startup, ad-hoc JSON uploads
+// at runtime) and session-prepared queries over them, served concurrently on
+// one shared worker pool.
 type server struct {
 	mux      *http.ServeMux
-	queries  map[string]*queryEntry
-	order    []string
+	catalog  *trance.Catalog
+	cfg      serverConfig
+	runCfg   trance.Config
 	pool     *trance.Pool
 	started  time.Time
 	requests atomic.Int64
+
+	// qmu guards queries/order: uploads add servable entries at runtime.
+	qmu     sync.RWMutex
+	queries map[string]*queryEntry
+	order   []string
+
+	// upMu serializes dataset uploads so the capacity admission (count and
+	// resident bytes vs MaxDatasets/MaxDatasetBytes) is atomic with
+	// registration — concurrent uploads cannot all pass the check and
+	// overshoot the bound together. Reads (queries, lists) are unaffected.
+	upMu sync.Mutex
 
 	mu    sync.Mutex
 	stats map[string]*routeStats
 }
 
-
-// newServer generates the datasets, prepares every query family, and wires
-// the HTTP routes. Strategies compile lazily, exactly once each, on first
-// request.
+// newServer generates the preloaded datasets, registers them in the catalog,
+// prepares every query family through catalog sessions, and wires the HTTP
+// routes. Strategies compile lazily, exactly once each, on first request.
 func newServer(cfg serverConfig) (*server, error) {
-	s := &server{
-		mux:     http.NewServeMux(),
-		queries: map[string]*queryEntry{},
-		pool:    trance.NewPool(cfg.Workers),
-		started: time.Now(),
-		stats:   map[string]*routeStats{},
-	}
 	runCfg := trance.DefaultConfig()
 	runCfg.Parallelism = cfg.Parallelism
+	s := &server{
+		mux:     http.NewServeMux(),
+		catalog: trance.NewCatalog(),
+		cfg:     cfg,
+		runCfg:  runCfg,
+		pool:    trance.NewPool(cfg.Workers),
+		started: time.Now(),
+		queries: map[string]*queryEntry{},
+		stats:   map[string]*routeStats{},
+	}
 
 	if err := tpch.ValidateLevel(cfg.MaxLevel); err != nil {
 		return nil, err
@@ -90,60 +117,75 @@ func newServer(cfg serverConfig) (*server, error) {
 		Customers: cfg.Customers, OrdersPerCustomer: 6, LinesPerOrder: 4,
 		Parts: 100, SkewFactor: cfg.SkewFactor, Seed: 1,
 	})
+
+	// The preloaded data is nothing special: it lands in the same catalog
+	// uploads do, under namespaced names, and queries resolve it through
+	// session bindings.
+	flatEnv := tpch.Env(tpch.FlatToNested, 0, false)
+	for name, bag := range tables.Inputs() {
+		if err := s.catalog.Register("tpch/"+strings.ToLower(name), flatEnv[name], bag); err != nil {
+			return nil, err
+		}
+	}
+	for level := 0; level <= cfg.MaxLevel; level++ {
+		nenv := tpch.Env(tpch.NestedToNested, level, false)
+		name := fmt.Sprintf("tpch/ndb-l%d", level)
+		if err := s.catalog.Register(name, nenv["NDB"], tpch.BuildNested(tables, level, true)); err != nil {
+			return nil, err
+		}
+	}
+	bioCfg := biomed.SmallConfig()
+	if cfg.BiomedFull {
+		bioCfg = biomed.FullConfig()
+	}
+	bioEnv := biomed.Env()
+	for name, bag := range biomed.Generate(bioCfg) {
+		if err := s.catalog.Register("biomed/"+strings.ToLower(name), bioEnv[name], bag); err != nil {
+			return nil, err
+		}
+	}
+
+	// Prepare the query families over the catalog.
 	classes := []tpch.QueryClass{tpch.FlatToNested, tpch.NestedToNested, tpch.NestedToFlat}
 	for _, qc := range classes {
-		entry := &queryEntry{
-			name:     "tpch/" + qc.String(),
-			prepared: map[int]*trance.PreparedQuery{},
-			data:     map[int]*trance.PreparedData{},
-		}
+		entry := &queryEntry{name: "tpch/" + qc.String(), queries: map[int]*trance.SessionQuery{}}
 		for level := 0; level <= cfg.MaxLevel; level++ {
-			pq, err := trance.Prepare(tpch.Query(qc, level, false), trance.PrepareOptions{
-				Name:   fmt.Sprintf("%s/L%d", entry.name, level),
-				Env:    tpch.Env(qc, level, false),
-				Config: &runCfg,
-				Pool:   s.pool,
+			bindings := map[string]string{}
+			for varName := range tpch.Env(qc, level, false) {
+				if varName == "NDB" {
+					bindings[varName] = fmt.Sprintf("tpch/ndb-l%d", level)
+				} else {
+					bindings[varName] = "tpch/" + strings.ToLower(varName)
+				}
+			}
+			sess := s.catalog.NewSession(trance.SessionOptions{
+				Config: &s.runCfg, Pool: s.pool, Bindings: bindings,
 			})
+			sq, err := sess.PrepareNamed(fmt.Sprintf("%s/L%d", entry.name, level), tpch.Query(qc, level, false))
 			if err != nil {
 				return nil, fmt.Errorf("prepare %s L%d: %w", entry.name, level, err)
 			}
-			inputs := map[string]trance.Bag{}
-			if qc == tpch.FlatToNested {
-				for k, v := range tables.Inputs() {
-					inputs[k] = v
-				}
-			} else {
-				inputs["NDB"] = tpch.BuildNested(tables, level, true)
-				inputs["Part"] = tables.Part
-			}
-			entry.prepared[level] = pq
-			entry.data[level] = pq.BindData(inputs)
+			entry.queries[level] = sq
 			entry.levels = append(entry.levels, level)
 		}
 		s.queries[entry.name] = entry
 		s.order = append(s.order, entry.name)
 	}
 
-	bioCfg := biomed.SmallConfig()
-	if cfg.BiomedFull {
-		bioCfg = biomed.FullConfig()
+	bioBindings := map[string]string{}
+	for varName := range bioEnv {
+		bioBindings[varName] = "biomed/" + strings.ToLower(varName)
 	}
-	bioInputs := biomed.Generate(bioCfg)
-	step1 := biomed.Steps()[0]
-	bpq, err := trance.Prepare(step1.Query, trance.PrepareOptions{
-		Name:   "biomed/step1",
-		Env:    biomed.Env(),
-		Config: &runCfg,
-		Pool:   s.pool,
+	bioSess := s.catalog.NewSession(trance.SessionOptions{
+		Config: &s.runCfg, Pool: s.pool, Bindings: bioBindings,
 	})
+	bsq, err := bioSess.PrepareNamed("biomed/step1", biomed.Steps()[0].Query)
 	if err != nil {
 		return nil, fmt.Errorf("prepare biomed/step1: %w", err)
 	}
 	s.queries["biomed/step1"] = &queryEntry{
-		name:     "biomed/step1",
-		levels:   []int{0},
-		prepared: map[int]*trance.PreparedQuery{0: bpq},
-		data:     map[int]*trance.PreparedData{0: bpq.BindData(bioInputs)},
+		name: "biomed/step1", levels: []int{0},
+		queries: map[int]*trance.SessionQuery{0: bsq},
 	}
 	s.order = append(s.order, "biomed/step1")
 
@@ -152,6 +194,8 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("GET /strategies", s.handleStrategies)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /datasets", s.handleDatasetsList)
+	s.mux.HandleFunc("POST /datasets", s.handleDatasetUpload)
 	return s, nil
 }
 
@@ -172,6 +216,13 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
 }
 
+func (s *server) lookupQuery(name string) (*queryEntry, bool) {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	e, ok := s.queries[name]
+	return e, ok
+}
+
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		httpError(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
@@ -182,13 +233,19 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		Levels []int  `json:"levels"`
 	}
 	var qs []qinfo
+	s.qmu.RLock()
 	for _, name := range s.order {
 		qs = append(qs, qinfo{Name: name, Levels: s.queries[name].levels})
 	}
+	s.qmu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"service":   "tranced",
-		"endpoints": []string{"/query?name=&level=&strategy=&limit=", "/strategies", "/metrics", "/healthz"},
-		"queries":   qs,
+		"service": "tranced",
+		"endpoints": []string{
+			"/query?name=&level=&strategy=&limit=",
+			"/datasets (GET list, POST ?name= upload NDJSON/JSON)",
+			"/strategies", "/metrics", "/healthz",
+		},
+		"queries": qs,
 	})
 }
 
@@ -215,13 +272,130 @@ func (s *server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"strategies": out})
 }
 
+// handleDatasetsList reports every catalog dataset: the preloads and
+// anything uploaded since startup.
+func (s *server) handleDatasetsList(w http.ResponseWriter, r *http.Request) {
+	type dinfo struct {
+		Name   string `json:"name"`
+		Type   string `json:"type"`
+		Rows   int    `json:"rows"`
+		Bytes  int64  `json:"bytes"`
+		Source string `json:"source"`
+		// Query names the /query entry that scans the dataset, when one
+		// exists (every uploaded dataset gets one).
+		Query string `json:"query,omitempty"`
+	}
+	var out []dinfo
+	for _, info := range s.catalog.List() {
+		d := dinfo{
+			Name: info.Name, Type: info.Type.String(),
+			Rows: info.Rows, Bytes: info.Bytes, Source: info.Source,
+		}
+		if _, ok := s.lookupQuery(info.Name); ok {
+			d.Query = info.Name
+		}
+		out = append(out, d)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+var datasetNameRe = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
+
+// uploadedFootprint counts the uploaded (source "json") datasets and their
+// resident decoded bytes.
+func (s *server) uploadedFootprint() (count int, bytes int64) {
+	for _, info := range s.catalog.List() {
+		if info.Source == "json" {
+			count++
+			bytes += info.Bytes
+		}
+	}
+	return count, bytes
+}
+
+// handleDatasetUpload ingests an ad-hoc JSON dataset: the body is NDJSON or
+// a JSON array, the nested schema is inferred (objects→tuples, arrays→bags,
+// null/numeric widening), and the dataset becomes immediately queryable
+// under datasets/<name> through every strategy via a prepared identity scan.
+func (s *server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if !datasetNameRe.MatchString(name) {
+		httpError(w, http.StatusBadRequest, "dataset name must match %s (got %q)", datasetNameRe, name)
+		return
+	}
+	qname := "datasets/" + name
+	// Read the (bounded) body before taking the upload lock, so a slow
+	// client cannot hold every other upload hostage on its connection.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "read upload %s: %v", qname, err)
+		return
+	}
+	s.upMu.Lock()
+	defer s.upMu.Unlock()
+	if count, bytes := s.uploadedFootprint(); count >= s.cfg.MaxDatasets || bytes >= s.cfg.MaxDatasetBytes {
+		httpError(w, http.StatusInsufficientStorage,
+			"upload limit reached (%d datasets, %d bytes resident; bounds %d / %d)",
+			count, bytes, s.cfg.MaxDatasets, s.cfg.MaxDatasetBytes)
+		return
+	}
+	info, err := s.catalog.RegisterJSON(qname, bytes.NewReader(body))
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, trance.ErrDatasetExists) {
+			// The catalog's registration is the authoritative (race-free)
+			// duplicate check.
+			status = http.StatusConflict
+		}
+		httpError(w, status, "ingest %s: %v", qname, err)
+		return
+	}
+	if info.Rows == 0 {
+		// An empty upload is almost always a truncated pipe or the wrong
+		// file; registering it would squat the name (there is no DELETE).
+		s.catalog.Drop(qname)
+		httpError(w, http.StatusBadRequest, "ingest %s: upload contains no rows", qname)
+		return
+	}
+	// Prepare the identity scan over the new dataset so /query serves it
+	// through every strategy (shredded routes value-shred the uploaded data
+	// once, on first use per route).
+	sess := s.catalog.NewSession(trance.SessionOptions{
+		Config: &s.runCfg, Pool: s.pool,
+		Bindings: map[string]string{"ds": qname},
+	})
+	scan := trance.ForIn("x", trance.V("ds"), trance.SingOf(trance.V("x")))
+	sq, err := sess.PrepareNamed(qname, scan)
+	if err != nil {
+		s.catalog.Drop(qname)
+		httpError(w, http.StatusBadRequest, "prepare %s: %v", qname, err)
+		return
+	}
+	s.qmu.Lock()
+	s.queries[qname] = &queryEntry{name: qname, levels: []int{0}, queries: map[int]*trance.SessionQuery{0: sq}}
+	s.order = append(s.order, qname)
+	s.qmu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":  qname,
+		"type":  info.Type.String(),
+		"rows":  info.Rows,
+		"bytes": info.Bytes,
+		"query": fmt.Sprintf("/query?name=%s", qname),
+	})
+}
+
 // handleQuery evaluates one prepared query: name + level + strategy → JSON
 // rows. Bad requests (unknown query/level/strategy, compile failures) are
 // 4xx; engine failures are 5xx; neither can crash the process.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	name := q.Get("name")
-	entry, ok := s.queries[name]
+	entry, ok := s.lookupQuery(name)
 	if !ok {
 		httpError(w, http.StatusBadRequest, "unknown query %q (see / for the catalog)", name)
 		return
@@ -235,7 +409,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	pq, ok := entry.prepared[level]
+	sq, ok := entry.queries[level]
 	if !ok {
 		httpError(w, http.StatusBadRequest, "query %s has no level %d (levels %v)", name, level, entry.levels)
 		return
@@ -259,7 +433,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	cols, err := pq.OutputColumns(strat)
+	cols, err := sq.Prepared().OutputSchema(strat)
 	if err != nil {
 		// Compilation failed: the query/strategy combination is unservable —
 		// a client-side problem, reported without crashing anything.
@@ -267,7 +441,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "compile %s (%s): %v", name, stratName, err)
 		return
 	}
-	res, err := pq.RunBound(r.Context(), entry.data[level], strat)
+	res, err := sq.Run(r.Context(), strat)
 	if err != nil {
 		s.record(name, level, stratName, res, true)
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
@@ -285,16 +459,15 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		rows = rows[:limit]
 		truncated = true
 	}
-	results := make([]map[string]any, len(rows))
-	for i, row := range rows {
-		m := make(map[string]any, len(cols))
-		for ci, c := range cols {
-			if ci < len(row) {
-				m[c.Name] = valueJSON(row[ci], c.Type)
-			}
-		}
-		results[i] = m
+	fields := make([]nrc.Field, len(cols))
+	for i, c := range cols {
+		fields[i] = nrc.Field{Name: c.Name, Type: c.Type}
 	}
+	tuples := make([]value.Tuple, len(rows))
+	for i, row := range rows {
+		tuples[i] = value.Tuple(row)
+	}
+	results := ingest.EncodeRows(tuples, fields)
 	type colInfo struct {
 		Name string `json:"name"`
 		Type string `json:"type"`
@@ -382,6 +555,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"uptime_s": time.Since(s.started).Seconds(),
 		"requests": s.requests.Load(),
 		"workers":  s.pool.Workers(),
+		"datasets": len(s.catalog.Names()),
 		"plan_cache": map[string]any{
 			"entries":   cache.Entries,
 			"compiles":  cache.Compiles,
@@ -390,43 +564,4 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		},
 		"routes": routes,
 	})
-}
-
-// valueJSON renders a runtime value as JSON guided by its static type:
-// tuples become objects (field names come from the type), bags become
-// arrays, labels and dates render in the value model's textual form.
-func valueJSON(v value.Value, t nrc.Type) any {
-	if v == nil {
-		return nil
-	}
-	switch tt := t.(type) {
-	case nrc.BagType:
-		b, ok := v.(value.Bag)
-		if !ok {
-			return value.Format(v)
-		}
-		out := make([]any, len(b))
-		for i, e := range b {
-			out[i] = valueJSON(e, tt.Elem)
-		}
-		return out
-	case nrc.TupleType:
-		tp, ok := v.(value.Tuple)
-		if !ok {
-			return value.Format(v)
-		}
-		m := make(map[string]any, len(tt.Fields))
-		for i, f := range tt.Fields {
-			if i < len(tp) {
-				m[f.Name] = valueJSON(tp[i], f.Type)
-			}
-		}
-		return m
-	}
-	switch x := v.(type) {
-	case int64, float64, string, bool:
-		return x
-	default:
-		return value.Format(v)
-	}
 }

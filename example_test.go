@@ -2,7 +2,9 @@ package trance_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"strings"
 
 	"github.com/trance-go/trance"
 )
@@ -94,6 +96,56 @@ func ExamplePrint() {
 	//   { ⟨
 	//     b := x.a
 	//   ⟩ }
+}
+
+// ExampleCatalog is the JSON-in → query → JSON-out round trip: a nested
+// dataset arrives as NDJSON, the catalog infers its schema (objects become
+// tuples, arrays become bags, ints widen to reals where rows mix them), a
+// session resolves the query's free variable R against the catalog, and the
+// result comes back as JSON — here through the shredded route with
+// unshredding, exercising value shredding of data no query was compiled for.
+func ExampleCatalog() {
+	const ndjson = `
+{"cname": "alice", "orders": [{"item": "bolt", "qty": 5}, {"item": "nut", "qty": 12.5}]}
+{"cname": "bob",   "orders": [{"item": "washer", "qty": 40}]}
+{"cname": "carol", "orders": []}
+`
+	cat := trance.NewCatalog()
+	info, err := cat.RegisterJSON("R", strings.NewReader(ndjson))
+	if err != nil {
+		fmt.Println("ingest failed:", err)
+		return
+	}
+	fmt.Println("schema:", info.Type)
+
+	// Per customer, keep only the big orders (qty > 10).
+	q := trance.ForIn("r", trance.V("R"),
+		trance.SingOf(trance.Record(
+			"cname", trance.P(trance.V("r"), "cname"),
+			"big", trance.ForIn("o", trance.P(trance.V("r"), "orders"),
+				trance.IfThen(trance.GtOf(trance.P(trance.V("o"), "qty"), trance.C(10.0)),
+					trance.SingOf(trance.V("o")))),
+		)))
+
+	sq, err := cat.NewSession(trance.SessionOptions{}).PrepareNamed("big-orders", q)
+	if err != nil {
+		fmt.Println("prepare failed:", err)
+		return
+	}
+	rows, err := sq.RunJSON(context.Background(), trance.ShredUnshred)
+	if err != nil {
+		fmt.Println("run failed:", err)
+		return
+	}
+	for _, row := range rows {
+		b, _ := json.Marshal(row)
+		fmt.Println(string(b))
+	}
+	// Output:
+	// schema: Bag(⟨cname: string, orders: Bag(⟨item: string, qty: real⟩)⟩)
+	// {"big":[{"item":"nut","qty":12.5}],"cname":"alice"}
+	// {"big":[{"item":"washer","qty":40}],"cname":"bob"}
+	// {"big":[],"cname":"carol"}
 }
 
 // ExamplePrepare compiles a query once and evaluates it many times — across

@@ -1,40 +1,46 @@
 // Command quickstart runs the paper's Example 1 (the COP/Part query) end to
-// end: it prints the query, the standard algebraic plan, the shredded flat
-// program, and the results of the standard and shredded+unshredded routes.
-// Both routes execute on the parallel pipelined dataflow engine — fused
-// narrow operators, goroutine-per-partition on a bounded worker pool, and
-// metered shuffles (see docs/ARCHITECTURE.md).
+// end on the Catalog/Session API: the nested input arrives as JSON (NDJSON,
+// schema inferred — objects become tuples, arrays become bags, yyyy-mm-dd
+// strings become dates), the query is prepared once against the catalog, and
+// both the standard and the shredded+unshredded routes evaluate it on the
+// parallel pipelined dataflow engine, returning JSON. Along the way it
+// prints the NRC query, the standard algebraic plan, and the shredded flat
+// program (see docs/ARCHITECTURE.md).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"strings"
 
 	"github.com/trance-go/trance"
 )
 
-func main() {
-	// The nested input COP: customers → orders → purchased parts.
-	opart := trance.Tup("pid", trance.IntT, "qty", trance.RealT)
-	corder := trance.Tup("odate", trance.DateT, "oparts", trance.BagOf(opart))
-	env := trance.Env{
-		"COP":  trance.BagOf(trance.Tup("cname", trance.StringT, "corders", trance.BagOf(corder))),
-		"Part": trance.BagOf(trance.Tup("pid", trance.IntT, "pname", trance.StringT, "price", trance.RealT)),
-	}
+// The nested input COP (customers → orders → purchased parts) and the flat
+// Part relation, as they would arrive over the wire: newline-delimited JSON.
+const copJSON = `
+{"cname": "alice", "corders": [
+  {"odate": "2020-01-15", "oparts": [{"pid": 1, "qty": 2.0}, {"pid": 2, "qty": 4.0}]}
+]}
+{"cname": "bob", "corders": []}
+`
 
-	inputs := map[string]trance.Bag{
-		"COP": {
-			trance.Tuple{"alice", trance.Bag{
-				trance.Tuple{trance.MakeDate(2020, 1, 15), trance.Bag{
-					trance.Tuple{int64(1), 2.0}, trance.Tuple{int64(2), 4.0},
-				}},
-			}},
-			trance.Tuple{"bob", trance.Bag{}},
-		},
-		"Part": {
-			trance.Tuple{int64(1), "bolt", 2.0},
-			trance.Tuple{int64(2), "nut", 1.5},
-		},
+const partJSON = `
+{"pid": 1, "pname": "bolt", "price": 2.0}
+{"pid": 2, "pname": "nut", "price": 1.5}
+`
+
+func main() {
+	// Ingest both datasets; the nested types are inferred from the JSON.
+	cat := trance.NewCatalog()
+	for name, src := range map[string]string{"COP": copJSON, "Part": partJSON} {
+		info, err := cat.RegisterJSON(name, strings.NewReader(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ingested %s: %d rows, schema %s\n", info.Name, info.Rows, info.Type)
 	}
 
 	// The running example: per customer and order, total spent per part name.
@@ -57,9 +63,10 @@ func main() {
 				))),
 		)))
 
-	fmt.Println("=== NRC query (paper Example 1) ===")
+	fmt.Println("\n=== NRC query (paper Example 1) ===")
 	fmt.Println(trance.Print(q))
 
+	env := cat.Env()
 	plan, err := trance.ExplainStandard(q, env)
 	if err != nil {
 		log.Fatal(err)
@@ -74,15 +81,22 @@ func main() {
 	fmt.Println("=== Shredded route: materialized flat program (paper Example 6) ===")
 	fmt.Println(prog)
 
-	cfg := trance.DefaultConfig()
+	// Prepare once against the catalog (free variables COP and Part resolve
+	// to the ingested datasets), then run under both routes: compiled plans
+	// land in the process-wide cache, results come back as JSON.
+	sq, err := cat.NewSession(trance.SessionOptions{}).PrepareNamed("example1", q)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, strat := range []trance.Strategy{trance.Standard, trance.ShredUnshred} {
-		res := trance.Run(trance.Job{Query: q, Env: env, Inputs: inputs}, strat, cfg)
-		if res.Failed() {
-			log.Fatalf("%s failed: %v", strat, res.Err)
+		rows, err := sq.RunJSON(context.Background(), strat)
+		if err != nil {
+			log.Fatalf("%s failed: %v", strat, err)
 		}
-		fmt.Printf("=== %s result (%v, %s) ===\n", strat, res.Elapsed, res.Metrics)
-		for _, row := range res.Output.CollectSorted() {
-			fmt.Println("  ", trance.FormatValue(trance.Tuple(row)))
+		fmt.Printf("=== %s result (JSON) ===\n", strat)
+		for _, row := range rows {
+			b, _ := json.Marshal(row)
+			fmt.Println("  ", string(b))
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,66 @@
+package ingest
+
+import (
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Encode renders a runtime value as a json.Marshal-able Go value guided by
+// its static type: tuples become objects (field names come from the type),
+// bags become arrays, dates render as yyyy-mm-dd strings, labels in their
+// textual form, NULL as null. It is the inverse of ReadJSON's conversion, so
+// ingested data round-trips (modulo bag order, which is unspecified).
+func Encode(v value.Value, t nrc.Type) any {
+	if v == nil {
+		return nil
+	}
+	switch tt := t.(type) {
+	case nrc.BagType:
+		b, ok := v.(value.Bag)
+		if !ok {
+			return value.Format(v)
+		}
+		out := make([]any, len(b))
+		for i, e := range b {
+			out[i] = Encode(e, tt.Elem)
+		}
+		return out
+	case nrc.TupleType:
+		tp, ok := v.(value.Tuple)
+		if !ok {
+			return value.Format(v)
+		}
+		m := make(map[string]any, len(tt.Fields))
+		for i, f := range tt.Fields {
+			if i < len(tp) {
+				m[f.Name] = Encode(tp[i], f.Type)
+			}
+		}
+		return m
+	}
+	switch x := v.(type) {
+	case int64, float64, string, bool:
+		return x
+	case value.Date:
+		return x.String()
+	default:
+		return value.Format(v) // labels and anything exotic
+	}
+}
+
+// EncodeRows renders a flat result dataset — rows plus their column schema —
+// as a slice of JSON objects, one per row. This is the shape the HTTP service
+// returns and the CLI prints.
+func EncodeRows(rows []value.Tuple, cols []nrc.Field) []map[string]any {
+	out := make([]map[string]any, len(rows))
+	for i, row := range rows {
+		m := make(map[string]any, len(cols))
+		for ci, c := range cols {
+			if ci < len(row) {
+				m[c.Name] = Encode(row[ci], c.Type)
+			}
+		}
+		out[i] = m
+	}
+	return out
+}

@@ -1,0 +1,450 @@
+// Package ingest turns external JSON into the engine's typed nested values:
+// it decodes NDJSON streams or JSON arrays, infers a nested NRC type for the
+// whole collection (objects become tuples, arrays become bags, with
+// null/numeric widening across rows), and converts the decoded rows into a
+// value.Bag conforming to the inferred type. The inverse direction — encoding
+// runtime values back to JSON guided by their static type — lives in
+// encode.go, so a service can round-trip nested data JSON-in → query →
+// JSON-out.
+//
+// Inference rules (applied pointwise and unified across all rows):
+//
+//   - JSON objects become tuple types; fields order lexicographically within
+//     a row (JSON member order is not observable through encoding/json), with
+//     fields first seen in later rows appended, and a field missing from some
+//     objects is treated as null there.
+//   - JSON arrays become bag types; element types unify across all elements
+//     of all rows (an everywhere-empty array defaults to Bag(string)).
+//   - JSON numbers become int when every occurrence is integral, real
+//     otherwise (int widens to real, never the reverse at runtime).
+//   - Strings in exact yyyy-mm-dd form become dates; mixing a date with any
+//     other string widens back to string.
+//   - null unifies with anything (the value stays NULL); a field that is
+//     null in every row defaults to string.
+//   - Any other mix (e.g. int with string, object with array) is
+//     irreconcilable and yields a descriptive error naming the path.
+package ingest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Dataset is the result of ingesting one JSON collection: the inferred bag
+// type and the converted values.
+type Dataset struct {
+	// Type is the inferred type of the whole collection.
+	Type nrc.BagType
+	// Bag holds the converted rows.
+	Bag value.Bag
+}
+
+// ReadJSON ingests a JSON collection from r: either NDJSON (a stream of
+// whitespace-separated JSON values, one row each) or a single JSON array
+// whose elements are the rows. The two-pass design — decode everything,
+// infer the unified type, then convert — means later rows can widen the
+// types of earlier ones (int→real, date→string, null→anything).
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	rows, err := decodeRows(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromDecoded(rows)
+}
+
+// FromDecoded builds a Dataset from already-decoded JSON rows (the result of
+// json.Unmarshal with UseNumber). Exposed for callers that receive JSON
+// through another channel (an HTTP body already parsed, a message queue).
+func FromDecoded(rows []any) (*Dataset, error) {
+	sch := unknownSchema()
+	for i, row := range rows {
+		obs, err := observe(row, rootPath)
+		if err == nil {
+			sch, err = unify(sch, obs, rootPath)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ingest: row %d: %w", i+1, err)
+		}
+	}
+	t := sch.resolve()
+	bag := make(value.Bag, len(rows))
+	for i, row := range rows {
+		v, err := convert(row, t)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: row %d: %w", i+1, err)
+		}
+		bag[i] = v
+	}
+	return &Dataset{Type: nrc.BagType{Elem: t}, Bag: bag}, nil
+}
+
+const rootPath = "$"
+
+// decodeRows streams JSON values out of r. A leading '[' means one array of
+// rows; anything else is treated as NDJSON (a bare stream of values, which
+// json.Decoder handles regardless of line breaks).
+func decodeRows(r io.Reader) ([]any, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if errors.Is(err, io.EOF) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	if d, ok := tok.(json.Delim); ok && d == '[' {
+		var rows []any
+		for dec.More() {
+			var row any
+			if err := dec.Decode(&row); err != nil {
+				return nil, fmt.Errorf("ingest: array element %d: %w", len(rows)+1, err)
+			}
+			rows = append(rows, row)
+		}
+		if _, err := dec.Token(); err != nil {
+			return nil, fmt.Errorf("ingest: %w", err)
+		}
+		if tok, err := dec.Token(); !errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("ingest: trailing content after JSON array: %v", tok)
+		}
+		return rows, nil
+	}
+	// NDJSON: re-decode from the first token onward. The first value has
+	// already been partially consumed, so reconstruct it via the buffered
+	// remainder: simplest is to re-read using a fresh decoder over the
+	// original token plus the rest of the stream. Because json.Decoder gives
+	// no pushback, handle the first value from the token we hold.
+	first, err := valueFromToken(tok, dec)
+	if err != nil {
+		return nil, err
+	}
+	rows := []any{first}
+	for {
+		var row any
+		if err := dec.Decode(&row); errors.Is(err, io.EOF) {
+			return rows, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("ingest: row %d: %w", len(rows)+1, err)
+		}
+		rows = append(rows, row)
+	}
+}
+
+// valueFromToken rebuilds the first NDJSON value after its opening token was
+// consumed to sniff for '['.
+func valueFromToken(tok json.Token, dec *json.Decoder) (any, error) {
+	switch t := tok.(type) {
+	case json.Delim: // '{' — an object row; read members until the matching '}'
+		if t != '{' {
+			return nil, fmt.Errorf("ingest: unexpected %v at start of input", t)
+		}
+		obj := map[string]any{}
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				return nil, fmt.Errorf("ingest: row 1: %w", err)
+			}
+			key, ok := keyTok.(string)
+			if !ok {
+				return nil, fmt.Errorf("ingest: row 1: bad object key %v", keyTok)
+			}
+			var v any
+			if err := dec.Decode(&v); err != nil {
+				return nil, fmt.Errorf("ingest: row 1, key %q: %w", key, err)
+			}
+			obj[key] = v
+		}
+		if _, err := dec.Token(); err != nil { // consume '}'
+			return nil, fmt.Errorf("ingest: row 1: %w", err)
+		}
+		return obj, nil
+	default: // scalar row (number, string, bool, null)
+		return t, nil
+	}
+}
+
+// kind discriminates inferred schema shapes before they resolve to nrc types.
+type kind int
+
+const (
+	kUnknown kind = iota // only nulls (or nothing) seen so far
+	kInt
+	kReal
+	kBool
+	kString
+	kDate
+	kTuple
+	kBag
+)
+
+func (k kind) String() string {
+	return [...]string{"null", "int", "real", "bool", "string", "date", "object", "array"}[k]
+}
+
+// schema is the mutable inference state for one position in the nested type.
+type schema struct {
+	k      kind
+	fields []*fieldSchema // kTuple
+	elem   *schema        // kBag
+}
+
+type fieldSchema struct {
+	name string
+	s    *schema
+}
+
+func unknownSchema() *schema { return &schema{k: kUnknown} }
+
+func (s *schema) field(name string) *fieldSchema {
+	for _, f := range s.fields {
+		if f.name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// observe maps one decoded JSON value at path to a fresh schema describing
+// it. Heterogeneous elements inside a single array already conflict here;
+// cross-row conflicts surface later, in unify.
+func observe(v any, path string) (*schema, error) {
+	switch x := v.(type) {
+	case nil:
+		return unknownSchema(), nil
+	case bool:
+		return &schema{k: kBool}, nil
+	case json.Number:
+		if isIntegral(x) {
+			return &schema{k: kInt}, nil
+		}
+		return &schema{k: kReal}, nil
+	case float64: // pre-decoded rows (FromDecoded without UseNumber)
+		if x == float64(int64(x)) {
+			return &schema{k: kInt}, nil
+		}
+		return &schema{k: kReal}, nil
+	case string:
+		if _, ok := value.ParseDate(x); ok {
+			return &schema{k: kDate}, nil
+		}
+		return &schema{k: kString}, nil
+	case map[string]any:
+		t := &schema{k: kTuple}
+		for _, name := range sortedKeys(x) {
+			fs, err := observe(x[name], path+"."+name)
+			if err != nil {
+				return nil, err
+			}
+			t.fields = append(t.fields, &fieldSchema{name: name, s: fs})
+		}
+		return t, nil
+	case []any:
+		b := &schema{k: kBag, elem: unknownSchema()}
+		for _, e := range x {
+			es, err := observe(e, path+"[]")
+			if err != nil {
+				return nil, err
+			}
+			if b.elem, err = unify(b.elem, es, path+"[]"); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	default:
+		// json.Unmarshal never produces other types; guard anyway.
+		return &schema{k: kString}, nil
+	}
+}
+
+func isIntegral(n json.Number) bool {
+	s := n.String()
+	return !strings.ContainsAny(s, ".eE")
+}
+
+// sortedKeys gives object rows a deterministic field order: JSON member
+// order is not observable through encoding/json, so fields sort
+// lexicographically.
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unify merges two observations of the same position. path names the
+// position in error messages ("$.items[].qty").
+func unify(a, b *schema, path string) (*schema, error) {
+	switch {
+	case a.k == kUnknown:
+		return b, nil
+	case b.k == kUnknown:
+		return a, nil
+	case a.k == b.k:
+		switch a.k {
+		case kTuple:
+			return unifyTuples(a, b, path)
+		case kBag:
+			e, err := unify(a.elem, b.elem, path+"[]")
+			if err != nil {
+				return nil, err
+			}
+			return &schema{k: kBag, elem: e}, nil
+		default:
+			return a, nil
+		}
+	// Numeric widening: int ∪ real = real.
+	case a.k == kInt && b.k == kReal, a.k == kReal && b.k == kInt:
+		return &schema{k: kReal}, nil
+	// Date/string widening: a yyyy-mm-dd string next to a free-form string
+	// is just a string column.
+	case a.k == kDate && b.k == kString, a.k == kString && b.k == kDate:
+		return &schema{k: kString}, nil
+	default:
+		return nil, fmt.Errorf("%s: cannot reconcile %s with %s", path, a.k, b.k)
+	}
+}
+
+func unifyTuples(a, b *schema, path string) (*schema, error) {
+	out := &schema{k: kTuple}
+	// Keep a's field order, then append b's new fields: first-seen order.
+	for _, fa := range a.fields {
+		fb := b.field(fa.name)
+		if fb == nil {
+			out.fields = append(out.fields, fa)
+			continue
+		}
+		u, err := unify(fa.s, fb.s, path+"."+fa.name)
+		if err != nil {
+			return nil, err
+		}
+		out.fields = append(out.fields, &fieldSchema{name: fa.name, s: u})
+	}
+	for _, fb := range b.fields {
+		if out.field(fb.name) == nil {
+			out.fields = append(out.fields, fb)
+		}
+	}
+	return out, nil
+}
+
+// resolve turns the inference state into a concrete nrc type. Positions that
+// only ever saw null (or an everywhere-empty array's elements) default to
+// string — the widest scalar, and the one JSON can always round-trip.
+func (s *schema) resolve() nrc.Type {
+	switch s.k {
+	case kUnknown:
+		return nrc.StringT
+	case kInt:
+		return nrc.IntT
+	case kReal:
+		return nrc.RealT
+	case kBool:
+		return nrc.BoolT
+	case kString:
+		return nrc.StringT
+	case kDate:
+		return nrc.DateT
+	case kTuple:
+		fs := make([]nrc.Field, len(s.fields))
+		for i, f := range s.fields {
+			fs[i] = nrc.Field{Name: f.name, Type: f.s.resolve()}
+		}
+		return nrc.TupleType{Fields: fs}
+	case kBag:
+		return nrc.BagType{Elem: s.elem.resolve()}
+	}
+	return nrc.StringT
+}
+
+// convert maps one decoded JSON value onto the resolved type. The type is
+// the unified schema of all rows, so every row converts cleanly; residual
+// mismatches (only possible via FromDecoded with hand-built rows) error out
+// rather than panic.
+func convert(v any, t nrc.Type) (value.Value, error) {
+	if v == nil {
+		return nil, nil // JSON null is the engine's NULL
+	}
+	switch tt := t.(type) {
+	case nrc.ScalarType:
+		return convertScalar(v, tt)
+	case nrc.TupleType:
+		obj, ok := v.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("expected object for %s, got %T", tt, v)
+		}
+		out := make(value.Tuple, len(tt.Fields))
+		for i, f := range tt.Fields {
+			fv, present := obj[f.Name]
+			if !present {
+				out[i] = nil // missing field ≡ null
+				continue
+			}
+			cv, err := convert(fv, f.Type)
+			if err != nil {
+				return nil, fmt.Errorf("field %s: %w", f.Name, err)
+			}
+			out[i] = cv
+		}
+		return out, nil
+	case nrc.BagType:
+		arr, ok := v.([]any)
+		if !ok {
+			return nil, fmt.Errorf("expected array for %s, got %T", tt, v)
+		}
+		out := make(value.Bag, len(arr))
+		for i, e := range arr {
+			cv, err := convert(e, tt.Elem)
+			if err != nil {
+				return nil, fmt.Errorf("element %d: %w", i, err)
+			}
+			out[i] = cv
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unsupported target type %s", t)
+}
+
+func convertScalar(v any, t nrc.ScalarType) (value.Value, error) {
+	switch t.Kind {
+	case nrc.Int:
+		switch x := v.(type) {
+		case json.Number:
+			return x.Int64()
+		case float64:
+			return int64(x), nil
+		}
+	case nrc.Real:
+		switch x := v.(type) {
+		case json.Number:
+			return x.Float64()
+		case float64:
+			return x, nil
+		}
+	case nrc.Bool:
+		if x, ok := v.(bool); ok {
+			return x, nil
+		}
+	case nrc.String:
+		if x, ok := v.(string); ok {
+			return x, nil
+		}
+	case nrc.DateK:
+		if x, ok := v.(string); ok {
+			if d, ok := value.ParseDate(x); ok {
+				return d, nil
+			}
+			return nil, fmt.Errorf("%q is not a yyyy-mm-dd date", x)
+		}
+	}
+	return nil, fmt.Errorf("expected %s, got %T", t, v)
+}

@@ -1,0 +1,230 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/value"
+)
+
+func ingestString(t *testing.T, src string) *Dataset {
+	t.Helper()
+	ds, err := ReadJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	return ds
+}
+
+func wantType(t *testing.T, got nrc.Type, want nrc.Type) {
+	t.Helper()
+	if !nrc.TypesEqual(got, want) {
+		t.Fatalf("inferred %s, want %s", got, want)
+	}
+}
+
+func TestInferFlatNDJSON(t *testing.T) {
+	ds := ingestString(t, `
+{"a": 1, "b": "x"}
+{"a": 2, "b": "y"}
+`)
+	wantType(t, ds.Type, nrc.BagOf(nrc.Tup("a", nrc.IntT, "b", nrc.StringT)))
+	if len(ds.Bag) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(ds.Bag))
+	}
+	if got := ds.Bag[0].(value.Tuple)[0]; got != int64(1) {
+		t.Fatalf("a = %v (%T), want int64 1", got, got)
+	}
+}
+
+func TestInferJSONArrayEqualsNDJSON(t *testing.T) {
+	arr := ingestString(t, `[{"a": 1}, {"a": 2}]`)
+	nd := ingestString(t, "{\"a\": 1}\n{\"a\": 2}")
+	wantType(t, arr.Type, nd.Type)
+	if !value.Equal(arr.Bag, nd.Bag) {
+		t.Fatalf("array and NDJSON ingestion disagree: %s vs %s",
+			value.Format(arr.Bag), value.Format(nd.Bag))
+	}
+}
+
+// Int and real occurrences of one field widen to real, and already-converted
+// integral values come back as float64.
+func TestInferNumericWidening(t *testing.T) {
+	ds := ingestString(t, `
+{"x": 1}
+{"x": 2.5}
+{"x": 3}
+`)
+	wantType(t, ds.Type, nrc.BagOf(nrc.Tup("x", nrc.RealT)))
+	for i, row := range ds.Bag {
+		if _, ok := row.(value.Tuple)[0].(float64); !ok {
+			t.Fatalf("row %d: x should be float64 after widening, got %T", i, row.(value.Tuple)[0])
+		}
+	}
+}
+
+// Nulls unify with any later type; a field that stays null everywhere
+// defaults to string, and null values stay NULL.
+func TestInferNullFields(t *testing.T) {
+	ds := ingestString(t, `
+{"a": null, "b": null}
+{"a": 7, "b": null}
+`)
+	wantType(t, ds.Type, nrc.BagOf(nrc.Tup("a", nrc.IntT, "b", nrc.StringT)))
+	r0 := ds.Bag[0].(value.Tuple)
+	if r0[0] != nil || r0[1] != nil {
+		t.Fatalf("nulls must stay NULL: %s", value.Format(r0))
+	}
+}
+
+// A field missing from some rows is treated as null there, and fields first
+// seen in later rows are appended to the tuple type.
+func TestInferMissingFields(t *testing.T) {
+	ds := ingestString(t, `
+{"a": 1}
+{"a": 2, "c": true}
+`)
+	wantType(t, ds.Type, nrc.BagOf(nrc.Tup("a", nrc.IntT, "c", nrc.BoolT)))
+	r0 := ds.Bag[0].(value.Tuple)
+	if r0[1] != nil {
+		t.Fatalf("missing field must be NULL, got %v", r0[1])
+	}
+}
+
+// Empty bags: an array empty in one row takes its element type from other
+// rows; an array empty in every row defaults to Bag(string).
+func TestInferEmptyBags(t *testing.T) {
+	ds := ingestString(t, `
+{"xs": [], "ys": []}
+{"xs": [{"v": 1}], "ys": []}
+`)
+	wantType(t, ds.Type, nrc.BagOf(nrc.Tup(
+		"xs", nrc.BagOf(nrc.Tup("v", nrc.IntT)),
+		"ys", nrc.BagOf(nrc.StringT),
+	)))
+	r0 := ds.Bag[0].(value.Tuple)
+	if len(r0[0].(value.Bag)) != 0 || len(r0[1].(value.Bag)) != 0 {
+		t.Fatalf("empty arrays must convert to empty bags: %s", value.Format(r0))
+	}
+}
+
+// An entirely empty input yields an empty bag of strings — usable, if dull.
+func TestInferEmptyInput(t *testing.T) {
+	ds := ingestString(t, ``)
+	wantType(t, ds.Type, nrc.BagOf(nrc.StringT))
+	if len(ds.Bag) != 0 {
+		t.Fatalf("want empty bag, got %s", value.Format(ds.Bag))
+	}
+}
+
+// Deeply nested arrays-of-objects infer level by level, with widening applied
+// at depth (the inner qty mixes int and real across rows).
+func TestInferDeepNesting(t *testing.T) {
+	ds := ingestString(t, `
+{"name": "alice", "orders": [{"date": "2020-01-15", "items": [{"pid": 1, "qty": 2}]}]}
+{"name": "bob",   "orders": [{"date": "2020-02-20", "items": [{"pid": 2, "qty": 4.5}, {"pid": 3, "qty": 1}]}, {"date": "2020-03-01", "items": []}]}
+`)
+	wantType(t, ds.Type, nrc.BagOf(nrc.Tup(
+		"name", nrc.StringT,
+		"orders", nrc.BagOf(nrc.Tup(
+			"date", nrc.DateT,
+			"items", nrc.BagOf(nrc.Tup("pid", nrc.IntT, "qty", nrc.RealT)),
+		)),
+	)))
+	// The date strings became real Date values.
+	alice := ds.Bag[0].(value.Tuple)
+	order := alice[1].(value.Bag)[0].(value.Tuple)
+	if d, ok := order[0].(value.Date); !ok || d != value.MakeDate(2020, 1, 15) {
+		t.Fatalf("date not parsed: %v (%T)", order[0], order[0])
+	}
+}
+
+// Dates mixed with non-date strings widen back to string.
+func TestInferDateStringWidening(t *testing.T) {
+	ds := ingestString(t, `
+{"d": "2020-01-15"}
+{"d": "not a date"}
+`)
+	wantType(t, ds.Type, nrc.BagOf(nrc.Tup("d", nrc.StringT)))
+	if got := ds.Bag[0].(value.Tuple)[0]; got != "2020-01-15" {
+		t.Fatalf("widened date should stay a string: %v", got)
+	}
+}
+
+// Scalar rows (NDJSON of bare values) make a bag of scalars.
+func TestInferScalarRows(t *testing.T) {
+	ds := ingestString(t, "1\n2\n3")
+	wantType(t, ds.Type, nrc.BagOf(nrc.IntT))
+	if !value.Equal(ds.Bag, value.Bag{int64(1), int64(2), int64(3)}) {
+		t.Fatalf("got %s", value.Format(ds.Bag))
+	}
+}
+
+// Irreconcilable types produce a descriptive error naming the path — never a
+// panic.
+func TestInferIrreconcilable(t *testing.T) {
+	cases := []struct {
+		name, src, wantPath string
+	}{
+		{"scalar-vs-string", "{\"a\": 1}\n{\"a\": \"x\"}", "$.a"},
+		{"object-vs-array", "{\"a\": {\"b\": 1}}\n{\"a\": [1]}", "$.a"},
+		{"nested-field", "{\"a\": [{\"b\": 1}]}\n{\"a\": [{\"b\": true}]}", "$.a[].b"},
+		{"hetero-array-one-row", `{"a": [1, "x"]}`, "$.a[]"},
+		{"bool-vs-int", "true\n1", "$"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadJSON(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.wantPath) || !strings.Contains(err.Error(), "cannot reconcile") {
+				t.Fatalf("error should name path %s and say 'cannot reconcile': %v", tc.wantPath, err)
+			}
+		})
+	}
+}
+
+// Malformed JSON errors out with the row position.
+func TestMalformedJSON(t *testing.T) {
+	for _, src := range []string{`{"a": `, `[{"a": 1},`, `[1, 2] trailing`} {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Fatalf("want error for %q", src)
+		}
+	}
+}
+
+// Encode is the inverse of ingestion: JSON in, values out, JSON back.
+func TestEncodeRoundTrip(t *testing.T) {
+	ds := ingestString(t, `{"name": "alice", "tags": ["x", "y"], "score": 1.5, "when": "2021-06-30", "ok": true, "gone": null}`)
+	enc := Encode(ds.Bag[0], ds.Type.Elem).(map[string]any)
+	if enc["name"] != "alice" || enc["score"] != 1.5 || enc["ok"] != true || enc["when"] != "2021-06-30" {
+		t.Fatalf("bad encode: %v", enc)
+	}
+	if enc["gone"] != nil {
+		t.Fatalf("null must encode as nil: %v", enc["gone"])
+	}
+	tags := enc["tags"].([]any)
+	if len(tags) != 2 || tags[0] != "x" {
+		t.Fatalf("bad tags: %v", tags)
+	}
+}
+
+// The inferred type always typechecks against the converted values via the
+// identity query — the catalog's invariant.
+func TestInferredTypeChecks(t *testing.T) {
+	ds := ingestString(t, `
+{"k": 1, "items": [{"v": 2}, {"v": 3}]}
+{"k": 2, "items": []}
+`)
+	env := nrc.Env{"R": ds.Type}
+	q := nrc.ForIn("x", nrc.V("R"), nrc.SingOf(nrc.V("x")))
+	got, err := nrc.Check(q, env)
+	if err != nil {
+		t.Fatalf("identity query must typecheck over inferred env: %v", err)
+	}
+	if !nrc.TypesEqual(got, ds.Type) {
+		t.Fatalf("identity output %s != inferred %s", got, ds.Type)
+	}
+}

@@ -1,0 +1,19 @@
+package nrc
+
+// FreeVarsProgram returns the free variables of a multi-step pipeline — the
+// inputs it needs from the environment. Each step may consume the outputs of
+// earlier steps; those names are not free. The catalog layer uses it to
+// resolve a pipeline's datasets by name.
+func FreeVarsProgram(steps []Assignment) map[string]bool {
+	out := map[string]bool{}
+	bound := map[string]bool{}
+	for _, st := range steps {
+		for v := range FreeVars(st.Expr) {
+			if !bound[v] {
+				out[v] = true
+			}
+		}
+		bound[st.Name] = true
+	}
+	return out
+}

@@ -407,3 +407,16 @@ func TestQuickGroupByPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFreeVarsProgram(t *testing.T) {
+	// Later steps consuming earlier outputs add no free variables.
+	steps := []nrc.Assignment{
+		{Name: "A", Expr: nrc.ForIn("x", nrc.V("R"), nrc.SingOf(nrc.V("x")))},
+		{Name: "B", Expr: nrc.ForIn("x", nrc.V("A"),
+			nrc.ForIn("y", nrc.V("S"), nrc.SingOf(nrc.V("y"))))},
+	}
+	got := nrc.FreeVarsProgram(steps)
+	if len(got) != 2 || !got["R"] || !got["S"] {
+		t.Fatalf("FreeVarsProgram = %v, want {R, S}", got)
+	}
+}

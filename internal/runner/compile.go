@@ -55,14 +55,22 @@ func recoverTo(err *error, what string) {
 // Compile the same expression tree from several goroutines concurrently —
 // the prepared-query layer serializes its per-strategy compilations for
 // this reason.
-func Compile(q nrc.Expr, env nrc.Env, strat Strategy, cfg Config) (cq *Compiled, err error) {
+func Compile(q nrc.Expr, env nrc.Env, strat Strategy, cfg Config) (*Compiled, error) {
+	return CompileStep(q, env, strat, cfg, "Q")
+}
+
+// CompileStep is Compile with an explicit materialization name for the
+// shredded route. Pipeline steps need it: a step's materialized components
+// are bound under topName (the step name), so later steps — compiled against
+// shred.InputEnv(topName, …) — resolve them.
+func CompileStep(q nrc.Expr, env nrc.Env, strat Strategy, cfg Config, topName string) (cq *Compiled, err error) {
 	defer recoverTo(&err, "compile")
 	if _, cerr := nrc.Check(q, env); cerr != nil {
 		return nil, cerr
 	}
 	cq = &Compiled{Strategy: strat, Cfg: cfg, Env: env}
 	if strat.IsShredded() {
-		if err := cq.compileShredded(q); err != nil {
+		if err := cq.compileShredded(q, topName); err != nil {
 			return nil, err
 		}
 		return cq, nil
@@ -87,8 +95,8 @@ func (cq *Compiled) compileStandard(q nrc.Expr) error {
 	return nil
 }
 
-func (cq *Compiled) compileShredded(q nrc.Expr) error {
-	mat, err := shred.ShredQuery(q, cq.Env, "Q", shred.Options{DomainElimination: cq.Cfg.DomainElimination})
+func (cq *Compiled) compileShredded(q nrc.Expr, topName string) error {
+	mat, err := shred.ShredQuery(q, cq.Env, topName, shred.Options{DomainElimination: cq.Cfg.DomainElimination})
 	if err != nil {
 		return fmt.Errorf("shredding: %w", err)
 	}
@@ -211,14 +219,21 @@ func (cq *Compiled) ExecuteRows(ctx context.Context, rows map[string][]dataflow.
 		for name, r := range rows {
 			ex.BindRows(name, r)
 		}
-		if cq.Strategy.IsShredded() {
-			cq.executeShredded(ctx, ex, res)
-		} else {
-			cq.executeStandard(ctx, ex, res)
-		}
+		cq.runOn(ctx, ex, res)
 	}()
 	res.Metrics = dctx.Metrics.Snapshot()
 	return res
+}
+
+// runOn evaluates the compiled plans on an existing executor. Pipelines use
+// it to share one executor (and therefore the bindings of prior steps'
+// outputs) across the steps of a run.
+func (cq *Compiled) runOn(ctx context.Context, ex *exec.Executor, res *Result) {
+	if cq.Strategy.IsShredded() {
+		cq.executeShredded(ctx, ex, res)
+	} else {
+		cq.executeStandard(ctx, ex, res)
+	}
 }
 
 func (cq *Compiled) executeStandard(ctx context.Context, ex *exec.Executor, res *Result) {

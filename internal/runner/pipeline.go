@@ -1,10 +1,10 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"github.com/trance-go/trance/internal/core"
 	"github.com/trance-go/trance/internal/dataflow"
 	"github.com/trance-go/trance/internal/exec"
 	"github.com/trance-go/trance/internal/nrc"
@@ -22,152 +22,206 @@ type PipelineStep struct {
 // PipelineResult reports a pipeline run: per-step runtimes and the first
 // failure, if any. In shredded strategies intermediate results stay shredded
 // between steps (paper Section 4: shredded output feeds the next constituent
-// query without reconstruction).
+// query without reconstruction); only the final step unshreds under the
+// unshredding strategies. The whole pipeline typechecks and compiles before
+// any step executes, so a malformed step fails the run with an empty
+// StepElapsed rather than after earlier steps have burned time.
 type PipelineResult struct {
 	Strategy    Strategy
 	StepElapsed []time.Duration
 	FailedStep  int // -1 when every step completed
 	Err         error
 	Metrics     dataflow.Snapshot
-	// Output is the final step's result dataset (top bag when shredded).
+	// Output is the final step's result dataset (top bag when shredded
+	// without unshredding).
 	Output *dataflow.Dataset
 }
 
 // Failed reports whether any step crashed.
 func (r *PipelineResult) Failed() bool { return r.Err != nil }
 
-// RunPipeline executes the steps in order under one strategy, binding each
-// step's output as an input of later steps.
-func RunPipeline(steps []PipelineStep, env nrc.Env, inputs map[string]value.Bag, strat Strategy, cfg Config) *PipelineResult {
-	ctx := NewRunContext(cfg, strat)
-	res := &PipelineResult{Strategy: strat, FailedStep: -1}
+func (r *PipelineResult) fail(step int, err error) {
+	r.FailedStep = step
+	r.Err = err
+}
 
-	// Accumulate step output types.
+// StepError tags a pipeline typecheck/compile failure with the step it
+// occurred in, so callers can report "step 2 of 5" without parsing messages.
+type StepError struct {
+	Step int
+	Name string
+	Err  error
+}
+
+func (e *StepError) Error() string {
+	return fmt.Sprintf("step %s (#%d): %v", e.Name, e.Step+1, e.Err)
+}
+
+func (e *StepError) Unwrap() error { return e.Err }
+
+// ResolveSteps typechecks the steps in order against the base environment
+// and returns, per step, the environment the step compiles against (the base
+// env plus the output types of every prior step) and the step's checked
+// output type. These per-step environments are what makes prepared-pipeline
+// fingerprints env-aware: a step's cache key covers the resolved types of the
+// outputs it consumes.
+func ResolveSteps(steps []PipelineStep, env nrc.Env) (envs []nrc.Env, outs []nrc.Type, err error) {
+	if len(steps) == 0 {
+		return nil, nil, fmt.Errorf("pipeline has no steps")
+	}
 	scope := nrc.Env{}
 	for k, v := range env {
 		scope[k] = v
 	}
-
-	ex := exec.New(ctx)
-	ex.SkewAware = strat.skewAware()
-
-	if strat.IsShredded() {
-		runPipelineShredded(steps, scope, inputs, ex, cfg, res)
-	} else {
-		runPipelineStandard(steps, scope, inputs, ex, cfg, res)
+	for i, st := range steps {
+		if st.Name == "" {
+			return nil, nil, &StepError{Step: i, Name: "?", Err: fmt.Errorf("step has no name")}
+		}
+		if _, dup := scope[st.Name]; dup {
+			return nil, nil, &StepError{Step: i, Name: st.Name, Err: fmt.Errorf("name already bound")}
+		}
+		t, err := nrc.Check(st.Query, scope)
+		if err != nil {
+			return nil, nil, &StepError{Step: i, Name: st.Name, Err: err}
+		}
+		stepEnv := nrc.Env{}
+		for k, v := range scope {
+			stepEnv[k] = v
+		}
+		envs = append(envs, stepEnv)
+		outs = append(outs, t)
+		scope[st.Name] = t
 	}
-	res.Metrics = ctx.Metrics.Snapshot()
+	return envs, outs, nil
+}
+
+// StepStrategy is the effective strategy for one step: intermediate steps of
+// an unshredding pipeline stay shredded (their consumers read the shredded
+// components directly), only the last step pays for unshredding.
+func StepStrategy(strat Strategy, last bool) Strategy {
+	if last || !strat.unshreds() {
+		return strat
+	}
+	if strat == ShredUnshredSkew {
+		return ShredSkew
+	}
+	return Shred
+}
+
+// CompiledStep is one compiled constituent of a CompiledPipeline.
+type CompiledStep struct {
+	Name string
+	// Out is the step's checked (nested) output type.
+	Out nrc.Type
+	// CQ is the step's compiled artifact under the step's effective strategy.
+	CQ *Compiled
+}
+
+// CompiledPipeline holds the per-step compiled artifacts of a pipeline. Like
+// Compiled, it is immutable after construction and safe to Execute from many
+// goroutines at once over different inputs.
+type CompiledPipeline struct {
+	Strategy Strategy
+	Cfg      Config
+	Steps    []CompiledStep
+}
+
+// CompilePipeline typechecks and compiles every step up front (each against
+// the base env extended with prior outputs). Serving paths that run the same
+// pipeline repeatedly should compile the steps through a plan cache instead
+// and assemble the CompiledPipeline themselves — the root package's
+// PreparePipeline does.
+func CompilePipeline(steps []PipelineStep, env nrc.Env, strat Strategy, cfg Config) (*CompiledPipeline, error) {
+	envs, outs, err := ResolveSteps(steps, env)
+	if err != nil {
+		return nil, err
+	}
+	cp := &CompiledPipeline{Strategy: strat, Cfg: cfg}
+	for i, st := range steps {
+		eff := StepStrategy(strat, i == len(steps)-1)
+		cq, err := CompileStep(st.Query, envs[i], eff, cfg, st.Name)
+		if err != nil {
+			return nil, &StepError{Step: i, Name: st.Name, Err: err}
+		}
+		cp.Steps = append(cp.Steps, CompiledStep{Name: st.Name, Out: outs[i], CQ: cq})
+	}
+	return cp, nil
+}
+
+// Execute runs the compiled steps in order over one set of inputs on the
+// given dataflow context: InputRows + ExecuteRows. All steps share one
+// executor, so each step's output — the nested dataset on standard routes,
+// the materialized shredded components on shredded routes — is visible to
+// later steps without re-conversion. Input preparation stays outside the
+// timed region.
+func (cp *CompiledPipeline) Execute(ctx context.Context, inputs map[string]value.Bag, dctx *dataflow.Context) *PipelineResult {
+	rows, err := cp.Steps[0].CQ.InputRows(inputs)
+	if err != nil {
+		return &PipelineResult{Strategy: cp.Strategy, FailedStep: 0, Err: err, Metrics: dctx.Metrics.Snapshot()}
+	}
+	return cp.ExecuteRows(ctx, rows, dctx)
+}
+
+// ExecuteRows is Execute over pre-converted input rows (the first step's
+// Compiled.InputRows); serving paths evaluating a fixed dataset repeatedly
+// compute the conversion once and pass it here.
+func (cp *CompiledPipeline) ExecuteRows(ctx context.Context, rows map[string][]dataflow.Row, dctx *dataflow.Context) *PipelineResult {
+	res := &PipelineResult{Strategy: cp.Strategy, FailedStep: -1}
+	func() {
+		var err error
+		step := 0
+		defer func() {
+			if err != nil && res.Err == nil {
+				res.fail(step, err)
+			}
+		}()
+		defer recoverTo(&err, "pipeline execute")
+
+		ex := exec.New(dctx)
+		ex.SkewAware = cp.Strategy.skewAware()
+		for name, r := range rows {
+			ex.BindRows(name, r)
+		}
+		for i, st := range cp.Steps {
+			step = i
+			sres := &Result{Strategy: st.CQ.Strategy, Mat: st.CQ.Mat}
+			st.CQ.runOn(ctx, ex, sres)
+			res.StepElapsed = append(res.StepElapsed, sres.Elapsed)
+			if sres.Err != nil {
+				err = fmt.Errorf("step %s: %w", st.Name, sres.Err)
+				return
+			}
+			res.Output = sres.Output
+			if i == len(cp.Steps)-1 {
+				break
+			}
+			// Bind the step's output as an input of later steps: the nested
+			// dataset under the step name, or the shredded top bag under the
+			// MatName convention (the step's dictionaries were already bound
+			// per materialized assignment by the shredded executor).
+			if st.CQ.Strategy.IsShredded() {
+				ex.Bind(shred.MatName(st.Name, nil), sres.Shredded[st.CQ.Mat.TopName])
+			} else {
+				ex.Bind(st.Name, sres.Output)
+			}
+		}
+	}()
+	res.Metrics = dctx.Metrics.Snapshot()
 	return res
 }
 
-func runPipelineStandard(steps []PipelineStep, scope nrc.Env, inputs map[string]value.Bag, ex *exec.Executor, cfg Config, res *PipelineResult) {
-	for name, b := range inputs {
-		ex.BindRows(name, rowsOf(b))
+// RunPipeline executes the steps in order under one strategy, binding each
+// step's output as an input of later steps: one-shot compile + execute.
+// Serving paths should use the root package's PreparePipeline, which reuses
+// the process-wide plan cache across calls.
+func RunPipeline(steps []PipelineStep, env nrc.Env, inputs map[string]value.Bag, strat Strategy, cfg Config) *PipelineResult {
+	cp, err := CompilePipeline(steps, env, strat, cfg)
+	if err != nil {
+		res := &PipelineResult{Strategy: strat, FailedStep: 0, Err: err}
+		if se, ok := err.(*StepError); ok {
+			res.FailedStep = se.Step
+		}
+		return res
 	}
-	for i, st := range steps {
-		t, err := nrc.Check(st.Query, scope)
-		if err != nil {
-			res.fail(i, fmt.Errorf("step %s: %w", st.Name, err))
-			return
-		}
-		c, err := core.NewCompiler(scope)
-		if err != nil {
-			res.fail(i, err)
-			return
-		}
-		c.NoPrune = cfg.NoColumnPruning
-		op, err := c.Compile(st.Query)
-		if err != nil {
-			res.fail(i, fmt.Errorf("step %s compile: %w", st.Name, err))
-			return
-		}
-		start := time.Now()
-		out, err := ex.Run(op)
-		if err == nil {
-			out.Force() // charge trailing fused narrow work to this step
-		}
-		res.StepElapsed = append(res.StepElapsed, time.Since(start))
-		if err != nil {
-			res.fail(i, fmt.Errorf("step %s: %w", st.Name, err))
-			return
-		}
-		ex.Bind(st.Name, out)
-		scope[st.Name] = t
-		res.Output = out
-	}
-}
-
-func runPipelineShredded(steps []PipelineStep, scope nrc.Env, inputs map[string]value.Bag, ex *exec.Executor, cfg Config, res *PipelineResult) {
-	// Value-shred the base inputs (input preparation, untimed).
-	for name, b := range inputs {
-		bt, ok := scope[name].(nrc.BagType)
-		if !ok {
-			res.fail(0, fmt.Errorf("input %s is not a bag", name))
-			return
-		}
-		si, err := shred.ShredInput(name, b, bt)
-		if err != nil {
-			res.fail(0, err)
-			return
-		}
-		for comp, rows := range si.Rows {
-			ex.BindRows(comp, tuplesToRows(rows))
-		}
-	}
-
-	for i, st := range steps {
-		t, err := nrc.Check(st.Query, scope)
-		if err != nil {
-			res.fail(i, fmt.Errorf("step %s: %w", st.Name, err))
-			return
-		}
-		mat, err := shred.ShredQuery(st.Query, scope, st.Name, shred.Options{DomainElimination: cfg.DomainElimination})
-		if err != nil {
-			res.fail(i, fmt.Errorf("step %s shredding: %w", st.Name, err))
-			return
-		}
-		cenv := nrc.Env{}
-		for name, it := range scope {
-			b, ok := it.(nrc.BagType)
-			if !ok {
-				continue
-			}
-			ienv, err := shred.InputEnv(name, b)
-			if err != nil {
-				res.fail(i, err)
-				return
-			}
-			for k, v := range ienv {
-				cenv[k] = v
-			}
-		}
-		c, err := core.NewCompiler(cenv)
-		if err != nil {
-			res.fail(i, err)
-			return
-		}
-		c.NoPrune = cfg.NoColumnPruning
-		stmts, err := c.CompileProgram(mat.Program)
-		if err != nil {
-			res.fail(i, fmt.Errorf("step %s compile: %w", st.Name, err))
-			return
-		}
-		start := time.Now()
-		outs, err := ex.RunProgram(stmts)
-		res.StepElapsed = append(res.StepElapsed, time.Since(start))
-		if err != nil {
-			res.fail(i, fmt.Errorf("step %s: %w", st.Name, err))
-			return
-		}
-		// Register the step's shredded output as an input of later steps
-		// under the MatName convention.
-		ex.Bind(shred.MatName(st.Name, nil), outs[mat.TopName])
-		scope[st.Name] = t
-		res.Output = outs[mat.TopName]
-	}
-}
-
-func (r *PipelineResult) fail(step int, err error) {
-	r.FailedStep = step
-	r.Err = err
+	return cp.Execute(context.Background(), inputs, NewRunContext(cfg, strat))
 }

@@ -75,8 +75,65 @@ func TestPipelineFailurePropagates(t *testing.T) {
 	if !res.Failed() || res.FailedStep != 1 {
 		t.Fatalf("expected failure at step 1, got %d / %v", res.FailedStep, res.Err)
 	}
-	if len(res.StepElapsed) != 1 {
-		t.Fatalf("step timings: %v", res.StepElapsed)
+	// The whole pipeline compiles before anything executes, so a malformed
+	// later step fails the run without burning time on earlier steps.
+	if len(res.StepElapsed) != 0 {
+		t.Fatalf("no step should have executed: %v", res.StepElapsed)
+	}
+}
+
+func TestPipelineDuplicateStepName(t *testing.T) {
+	mk := func() nrc.Expr {
+		return nrc.ForIn("x", nrc.V("R"), nrc.SingOf(nrc.Record("a", nrc.P(nrc.V("x"), "a"))))
+	}
+	steps := []PipelineStep{{Name: "S1", Query: mk()}, {Name: "S1", Query: mk()}}
+	env := nrc.Env{"R": nrc.BagOf(nrc.Tup("a", nrc.IntT))}
+	res := RunPipeline(steps, env, map[string]value.Bag{"R": {}}, Standard, DefaultConfig())
+	if !res.Failed() || res.FailedStep != 1 {
+		t.Fatalf("duplicate step name must fail at step 1: %d / %v", res.FailedStep, res.Err)
+	}
+}
+
+// A pipeline under an unshredding strategy keeps intermediate results
+// shredded and unshreds only the final output, which must agree with the
+// standard route.
+func TestPipelineShredUnshredFinalStep(t *testing.T) {
+	env := nrc.Env{"R": nrc.BagOf(nrc.Tup(
+		"k", nrc.IntT,
+		"items", nrc.BagOf(nrc.Tup("v", nrc.IntT)),
+	))}
+	inputs := map[string]value.Bag{"R": {
+		value.Tuple{int64(1), value.Bag{value.Tuple{int64(10)}, value.Tuple{int64(3)}}},
+		value.Tuple{int64(2), value.Bag{}},
+	}}
+	mkSteps := func() []PipelineStep {
+		return []PipelineStep{
+			{Name: "Big", Query: nrc.ForIn("r", nrc.V("R"),
+				nrc.SingOf(nrc.Record(
+					"k", nrc.P(nrc.V("r"), "k"),
+					"big", nrc.ForIn("it", nrc.P(nrc.V("r"), "items"),
+						nrc.IfThen(nrc.GtOf(nrc.P(nrc.V("it"), "v"), nrc.C(int64(5))),
+							nrc.SingOf(nrc.V("it")))))))},
+			{Name: "Out", Query: nrc.ForIn("b", nrc.V("Big"),
+				nrc.SingOf(nrc.Record(
+					"k2", nrc.P(nrc.V("b"), "k"),
+					"big2", nrc.P(nrc.V("b"), "big"))))},
+		}
+	}
+	std := RunPipeline(mkSteps(), env, inputs, Standard, DefaultConfig())
+	shr := RunPipeline(mkSteps(), env, inputs, ShredUnshred, DefaultConfig())
+	if std.Failed() || shr.Failed() {
+		t.Fatalf("std=%v shr=%v", std.Err, shr.Err)
+	}
+	var a, b value.Bag
+	for _, r := range std.Output.CollectSorted() {
+		a = append(a, value.Tuple(r))
+	}
+	for _, r := range shr.Output.CollectSorted() {
+		b = append(b, value.Tuple(r))
+	}
+	if !value.Equal(a, b) {
+		t.Fatalf("unshredded pipeline output differs:\n got %s\nwant %s", value.Format(b), value.Format(a))
 	}
 }
 

@@ -40,6 +40,31 @@ func (d Date) String() string {
 	return fmt.Sprintf("%04d-%02d-%02d", d.Year(), d.Month(), d.Day())
 }
 
+// ParseDate parses a yyyy-mm-dd string (Date.String's inverse). It accepts
+// only the exact 10-character form with plausible month/day components, so
+// JSON schema inference can distinguish dates from free-form strings without
+// false positives.
+func ParseDate(s string) (Date, bool) {
+	if len(s) != 10 || s[4] != '-' || s[7] != '-' {
+		return 0, false
+	}
+	n := 0
+	for i, c := range []byte(s) {
+		if i == 4 || i == 7 {
+			continue
+		}
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	d := Date(n)
+	if d.Month() < 1 || d.Month() > 12 || d.Day() < 1 || d.Day() > 31 {
+		return 0, false
+	}
+	return d, true
+}
+
 // Tuple is an ordered sequence of field values. Field names live in the
 // schema (the type), not in the value, exactly like engine rows.
 type Tuple []Value

@@ -241,3 +241,18 @@ func TestQuickCloneEqual(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParseDate(t *testing.T) {
+	d, ok := ParseDate("2020-01-15")
+	if !ok || d != MakeDate(2020, 1, 15) {
+		t.Fatalf("ParseDate: %v %v", d, ok)
+	}
+	if d.String() != "2020-01-15" {
+		t.Fatalf("round trip: %s", d.String())
+	}
+	for _, bad := range []string{"", "2020-1-15", "2020/01/15", "2020-13-01", "2020-01-32", "2020-00-10", "not-a-date!", "20200115x-"} {
+		if _, ok := ParseDate(bad); ok {
+			t.Fatalf("ParseDate(%q) should fail", bad)
+		}
+	}
+}

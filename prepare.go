@@ -29,6 +29,19 @@ func NewPool(workers int) *Pool { return dataflow.NewPool(workers) }
 // machine by default.
 var defaultPool = dataflow.NewPool(0)
 
+// poolFor resolves the worker pool for a prepared query, pipeline or
+// session: the explicit override, else a private pool sized by
+// Config.Workers when set, else the process-wide default.
+func poolFor(cfg Config, override *Pool) *Pool {
+	if override != nil {
+		return override
+	}
+	if cfg.Workers > 0 {
+		return NewPool(cfg.Workers)
+	}
+	return defaultPool
+}
+
 // PrepareOptions configures Prepare.
 type PrepareOptions struct {
 	// Name labels the prepared query in errors and service metrics.
@@ -92,21 +105,13 @@ func Prepare(query Expr, opts PrepareOptions) (*PreparedQuery, error) {
 		}
 		return nil, err
 	}
-	pool := opts.Pool
-	if pool == nil {
-		if cfg.Workers > 0 {
-			pool = NewPool(cfg.Workers)
-		} else {
-			pool = defaultPool
-		}
-	}
 	pq := &PreparedQuery{
 		name:    opts.Name,
 		query:   query,
 		env:     opts.Env,
 		cfg:     cfg,
 		outType: t,
-		pool:    pool,
+		pool:    poolFor(cfg, opts.Pool),
 		fp:      fingerprint(query, opts.Env, cfg),
 	}
 	for _, s := range opts.Strategies {
@@ -165,6 +170,37 @@ func (pq *PreparedQuery) OutputColumns(strat Strategy) ([]OutputColumn, error) {
 	return cols, nil
 }
 
+// OutputSchema is OutputColumns with the query's own field names: when the
+// strategy's output is the nested value (standard routes and unshredding
+// routes), the columns carry the checked output type's names and types
+// instead of the plan's internal column labels (which prefix nested fields
+// with compiler variables, e.g. "co.odate"). For Shred the materialized
+// top-bag columns are returned unchanged. JSON encoders should prefer this.
+func (pq *PreparedQuery) OutputSchema(strat Strategy) ([]OutputColumn, error) {
+	cols, err := pq.OutputColumns(strat)
+	if err != nil {
+		return nil, err
+	}
+	if strat.IsShredded() && !(strat == ShredUnshred || strat == ShredUnshredSkew) {
+		return cols, nil
+	}
+	bt, ok := pq.outType.(nrc.BagType)
+	if !ok {
+		return cols, nil
+	}
+	if tt, ok := bt.Elem.(nrc.TupleType); ok && len(tt.Fields) == len(cols) {
+		out := make([]OutputColumn, len(tt.Fields))
+		for i, f := range tt.Fields {
+			out[i] = OutputColumn{Name: f.Name, Type: f.Type}
+		}
+		return out, nil
+	}
+	if len(cols) == 1 {
+		return []OutputColumn{{Name: cols[0].Name, Type: bt.Elem}}, nil
+	}
+	return cols, nil
+}
+
 // Run evaluates the prepared query under the strategy over one set of
 // inputs. The compiled plans are looked up in the compilation cache (and
 // compiled on first use); execution runs on a fresh dataflow context drawing
@@ -219,6 +255,10 @@ type preparedRows struct {
 // evaluation. The input bags are captured by reference and must not be
 // mutated afterwards.
 func (pq *PreparedQuery) BindData(inputs map[string]Bag) *PreparedData {
+	return newPreparedData(inputs)
+}
+
+func newPreparedData(inputs map[string]Bag) *PreparedData {
 	return &PreparedData{raw: inputs, byRoute: map[bool]*preparedRows{}}
 }
 

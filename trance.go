@@ -13,19 +13,24 @@
 // per-stage wall time, and peak partition sizes while emulating per-worker
 // memory limits.
 //
-// Quick start:
+// Quick start — data goes into a Catalog (from Go values or straight from
+// JSON with the nested schema inferred), and a Session resolves a query's
+// free variables against it:
 //
-//	env := trance.Env{"R": trance.BagOf(trance.Tup("a", trance.IntT))}
+//	cat := trance.NewCatalog()
+//	info, _ := cat.RegisterJSON("R", jsonReader)   // objects→tuples, arrays→bags
 //	q := trance.ForIn("x", trance.V("R"),
 //	        trance.SingOf(trance.Record("b", trance.AddOf(trance.P(trance.V("x"), "a"), trance.C(1)))))
-//	res := trance.Run(trance.Job{Query: q, Env: env, Inputs: inputs},
-//	        trance.Standard, trance.DefaultConfig())
+//	sq, _ := cat.NewSession(trance.SessionOptions{}).Prepare(q)
+//	rows, _ := sq.RunJSON(ctx, trance.ShredUnshred) // JSON in, JSON out
 //
-// Serving processes compile once and run many times instead: Prepare caches
-// each (query, strategy) compilation in a thread-safe fingerprint-keyed
-// cache, and PreparedQuery.Run evaluates the cached plans from any number
-// of goroutines over different datasets on one shared bounded worker pool,
-// with panics converted to errors at the compile and exec boundaries (see
+// One-shot evaluation over explicit inputs is Run (see ExampleRun); Prepare
+// and PreparePipeline are the lower-level compile-once APIs: each
+// (query, strategy) — and each pipeline step, under env-aware fingerprints —
+// compiles exactly once into a thread-safe process-wide cache, and the
+// cached plans evaluate from any number of goroutines over different
+// datasets on one shared bounded worker pool, with panics converted to
+// errors at the compile and exec boundaries (see ExampleCatalog,
 // ExamplePrepare, docs/SERVING.md, and the cmd/tranced HTTP service).
 //
 // See examples/ for complete programs, README.md for a quickstart,
@@ -189,14 +194,11 @@ type (
 // DefaultConfig is a laptop-scale stand-in for the paper's cluster.
 func DefaultConfig() Config { return runner.DefaultConfig() }
 
-// Run executes a job under a strategy.
+// Run executes a job under a strategy: one-shot compile + execute. Serving
+// paths should Prepare (or use a Catalog/Session) instead; RunPipeline in
+// prepared_pipeline.go is the multi-step equivalent and reuses the plan
+// cache.
 func Run(job Job, strat Strategy, cfg Config) *Result { return runner.Run(job, strat, cfg) }
-
-// RunPipeline executes a multi-step pipeline; shredded strategies keep
-// intermediate results shredded between steps.
-func RunPipeline(steps []PipelineStep, env Env, inputs map[string]Bag, strat Strategy, cfg Config) *PipelineResult {
-	return runner.RunPipeline(steps, env, inputs, strat, cfg)
-}
 
 // ExplainStandard compiles a query through the standard route and renders the
 // algebraic plan (paper Figure 3 style).
