@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -459,6 +460,88 @@ func BenchmarkPreparedVsUnprepared(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := pq.Run(context.Background(), inputs, strat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParse measures the textual query parser (internal/parse) on the
+// largest TPC-H text fixture — the cost a serving process pays before the
+// plan cache takes over. Parsing sits at microseconds per query, noise next
+// to compilation (compare BenchmarkTextQueryEndToEnd's first-run column).
+func BenchmarkParse(b *testing.B) {
+	matches, err := filepath.Glob(filepath.Join("internal", "parse", "testdata", "tpch-*.nrc"))
+	if err != nil || len(matches) == 0 {
+		b.Fatalf("no fixtures: %v", err)
+	}
+	var src, name string
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data) > len(src) {
+			src, name = string(data), filepath.Base(m)
+		}
+	}
+	b.Logf("largest fixture %s: %d bytes", name, len(src))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trance.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTextQueryEndToEnd compares serving a query from its text form
+// against the builder-AST prepared path. "text" re-parses and re-prepares
+// the text per request — the plan cache dedupes compilation and the session
+// shares input conversion, so the delta over "builder" is parse + catalog
+// resolve, which a server amortizes away by caching the prepared text as
+// tranced does; "builder" is the existing prepared hot path — binding data
+// once and only executing — which must be unchanged by the parser
+// subsystem. Compare with benchstat.
+func BenchmarkTextQueryEndToEnd(b *testing.B) {
+	tables := tpch.Generate(tpch.Config{
+		Customers: scaled(20), OrdersPerCustomer: 6, LinesPerOrder: 4,
+		Parts: scaled(50), Seed: 1,
+	})
+	const level = 1
+	cfg := runner.DefaultConfig()
+	cat := trance.NewCatalog()
+	nenv := tpch.Env(tpch.NestedToNested, level, false)
+	if err := cat.Register("NDB", nenv["NDB"], tpch.BuildNested(tables, level, true)); err != nil {
+		b.Fatal(err)
+	}
+	if err := cat.Register("Part", nenv["Part"], tables.Part); err != nil {
+		b.Fatal(err)
+	}
+	sess := cat.NewSession(trance.SessionOptions{Config: &cfg})
+	text := trance.Print(tpch.Query(tpch.NestedToNested, level, false))
+
+	for _, strat := range []runner.Strategy{runner.Standard, runner.ShredUnshred} {
+		b.Run("text/"+strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sq, err := sess.PrepareText("bench/text", text)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sq.Run(context.Background(), strat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("builder/"+strat.String(), func(b *testing.B) {
+			sq, err := sess.PrepareNamed("bench/builder", tpch.Query(tpch.NestedToNested, level, false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sq.Run(context.Background(), strat); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -8,8 +8,11 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/trance-go/trance/internal/dataflow"
 	"github.com/trance-go/trance/internal/ingest"
 	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/parse"
+	"github.com/trance-go/trance/internal/runner"
 	"github.com/trance-go/trance/internal/value"
 )
 
@@ -23,11 +26,16 @@ type Catalog struct {
 	mu      sync.RWMutex
 	entries map[string]*catalogEntry
 	order   []string
+	nextGen int64
 }
 
 type catalogEntry struct {
 	info DatasetInfo
 	bag  Bag
+	// gen distinguishes re-registrations of the same name (Drop + Register):
+	// session row caches key on it, so a replaced dataset never serves stale
+	// converted rows.
+	gen int64
 }
 
 // DatasetInfo describes one catalog entry.
@@ -93,7 +101,8 @@ func (c *Catalog) add(name string, t nrc.BagType, b Bag, source string) (Dataset
 		return DatasetInfo{}, fmt.Errorf("catalog: dataset %s: %w", name, ErrDatasetExists)
 	}
 	info := DatasetInfo{Name: name, Type: t, Rows: len(b), Bytes: value.Size(b), Source: source}
-	c.entries[name] = &catalogEntry{info: info, bag: b}
+	c.nextGen++
+	c.entries[name] = &catalogEntry{info: info, bag: b, gen: c.nextGen}
 	c.order = append(c.order, name)
 	return info, nil
 }
@@ -169,13 +178,32 @@ func (c *Catalog) Env() Env {
 	return env
 }
 
-// resolve snapshots the env and data for the given variable names, applying
-// the session's bindings.
-func (c *Catalog) resolve(vars []string, bindings map[string]string) (Env, map[string]Bag, error) {
+// UnknownDatasetError reports a query variable that resolved to no catalog
+// dataset. Layers that parsed the query from text use Var to point a caret
+// at the unresolved reference.
+type UnknownDatasetError struct {
+	// Var is the variable name the query used.
+	Var string
+	// Dataset is the catalog name it resolved to (differs from Var only
+	// under session bindings).
+	Dataset string
+	// Have lists the registered dataset names.
+	Have []string
+}
+
+func (e *UnknownDatasetError) Error() string {
+	return fmt.Sprintf("catalog: query references %s, but no dataset %q is registered (have: %v)",
+		e.Var, e.Dataset, e.Have)
+}
+
+// resolve snapshots the env, data, and entry generations for the given
+// variable names, applying the session's bindings.
+func (c *Catalog) resolve(vars []string, bindings map[string]string) (Env, map[string]Bag, map[string]int64, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	env := Env{}
 	inputs := map[string]Bag{}
+	gens := map[string]int64{}
 	for _, v := range vars {
 		ds := v
 		if b, ok := bindings[v]; ok {
@@ -183,13 +211,13 @@ func (c *Catalog) resolve(vars []string, bindings map[string]string) (Env, map[s
 		}
 		e, ok := c.entries[ds]
 		if !ok {
-			return nil, nil, fmt.Errorf("catalog: query references %s, but no dataset %q is registered (have: %v)",
-				v, ds, c.order)
+			return nil, nil, nil, &UnknownDatasetError{Var: v, Dataset: ds, Have: append([]string(nil), c.order...)}
 		}
 		env[v] = e.info.Type
 		inputs[v] = e.bag
+		gens[v] = e.gen
 	}
-	return env, inputs, nil
+	return env, inputs, gens, nil
 }
 
 // conforms structurally validates a value against a type. NULL conforms to
@@ -268,11 +296,28 @@ type SessionOptions struct {
 // catalog. Prepare snapshots the referenced datasets, so a session query
 // keeps serving consistent data even if the catalog changes afterwards.
 // Sessions are safe for concurrent use.
+//
+// A session shares converted input rows across everything it prepares: the
+// nested→engine-row conversion (value shredding on shredded routes) of each
+// (variable, dataset, route) happens once per session, no matter how many
+// queries reference the dataset — so a service preparing many ad-hoc text
+// queries over one dataset holds one converted copy, not one per query.
 type Session struct {
 	cat  *Catalog
 	cfg  Config
 	pool *Pool
 	bind map[string]string
+
+	rowMu    sync.Mutex
+	rowCache map[string]*sharedRows
+}
+
+// sharedRows is one (variable, dataset generation, route) conversion slot;
+// once guarantees a single conversion under concurrent first use.
+type sharedRows struct {
+	once sync.Once
+	rows map[string][]dataflow.Row
+	err  error
 }
 
 // NewSession creates a session over the catalog.
@@ -286,7 +331,27 @@ func (c *Catalog) NewSession(opts SessionOptions) *Session {
 	for k, v := range opts.Bindings {
 		bind[k] = v
 	}
-	return &Session{cat: c, cfg: cfg, pool: pool, bind: bind}
+	return &Session{cat: c, cfg: cfg, pool: pool, bind: bind, rowCache: map[string]*sharedRows{}}
+}
+
+// converter builds the per-input conversion hook installed on the prepared
+// data of every query this session prepares: rows convert once per
+// (variable, dataset generation, route kind) and are shared session-wide.
+func (s *Session) converter(gens map[string]int64) func(cq *runner.Compiled, name string, b Bag) (map[string][]dataflow.Row, error) {
+	return func(cq *runner.Compiled, name string, b Bag) (map[string][]dataflow.Row, error) {
+		key := fmt.Sprintf("%s\x00%d\x00%t", name, gens[name], cq.Strategy.IsShredded())
+		s.rowMu.Lock()
+		e, ok := s.rowCache[key]
+		if !ok {
+			e = &sharedRows{}
+			s.rowCache[key] = e
+		}
+		s.rowMu.Unlock()
+		e.once.Do(func() {
+			e.rows, e.err = cq.InputRowsOne(name, b)
+		})
+		return e.rows, e.err
+	}
 }
 
 // Prepare resolves the query's free variables against the catalog,
@@ -298,7 +363,7 @@ func (s *Session) Prepare(q Expr) (*SessionQuery, error) { return s.PrepareNamed
 // PrepareNamed is Prepare with a label used in errors and metrics.
 func (s *Session) PrepareNamed(name string, q Expr) (*SessionQuery, error) {
 	vars := sortedVars(nrc.FreeVars(q))
-	env, inputs, err := s.cat.resolve(vars, s.bind)
+	env, inputs, gens, err := s.cat.resolve(vars, s.bind)
 	if err != nil {
 		return nil, err
 	}
@@ -306,7 +371,59 @@ func (s *Session) PrepareNamed(name string, q Expr) (*SessionQuery, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SessionQuery{pq: pq, data: pq.BindData(inputs)}, nil
+	data := pq.BindData(inputs)
+	data.convert = s.converter(gens)
+	return &SessionQuery{pq: pq, data: data}, nil
+}
+
+// PrepareText parses a query written in the textual surface syntax (see
+// docs/QUERYLANG.md and trance.Parse) and prepares it against the catalog
+// exactly like Prepare: free variables resolve to datasets (respecting the
+// session's bindings), the compilation goes through the process-wide bounded
+// plan cache under the query's fingerprint, and the resolved data is bound
+// once for repeated runs. Lex, parse, resolution, and type errors all come
+// back as position-tracked caret diagnostics pointing into src — never a
+// panic.
+func (s *Session) PrepareText(name, src string) (*SessionQuery, error) {
+	r, err := parse.Query(src)
+	if err != nil {
+		return nil, err
+	}
+	sq, err := s.PrepareNamed(name, r.Expr)
+	if err != nil {
+		return nil, diagnose(&r.Source, err)
+	}
+	return sq, nil
+}
+
+// PrepareTextPipeline parses a multi-statement program (trance.ParseProgram:
+// `name := expr;` assignments ending in a result expression) and prepares it
+// as a pipeline against the catalog. Errors carry caret diagnostics like
+// PrepareText.
+func (s *Session) PrepareTextPipeline(src string) (*SessionPipeline, error) {
+	r, err := parse.Program(src)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := s.PreparePipeline(ProgramSteps(r.Program))
+	if err != nil {
+		return nil, diagnose(&r.Source, err)
+	}
+	return sp, nil
+}
+
+// diagnose points a prepare-time error back into parsed query text: type
+// errors via the node position map, unresolved datasets via the first
+// occurrence of the offending variable. Errors with no known position pass
+// through unchanged.
+func diagnose(src *parse.Source, err error) error {
+	var ue *UnknownDatasetError
+	if errors.As(err, &ue) {
+		if node, ok := src.FirstVar(ue.Var); ok {
+			return src.ErrorAt(node, err.Error())
+		}
+	}
+	return src.Diagnose(err)
 }
 
 // PreparePipeline resolves the steps' free variables (outputs of earlier
@@ -319,7 +436,7 @@ func (s *Session) PreparePipeline(steps []PipelineStep) (*SessionPipeline, error
 		asg[i] = nrc.Assignment{Name: st.Name, Expr: st.Query}
 	}
 	vars := sortedVars(nrc.FreeVarsProgram(asg))
-	env, inputs, err := s.cat.resolve(vars, s.bind)
+	env, inputs, gens, err := s.cat.resolve(vars, s.bind)
 	if err != nil {
 		return nil, err
 	}
@@ -327,7 +444,9 @@ func (s *Session) PreparePipeline(steps []PipelineStep) (*SessionPipeline, error
 	if err != nil {
 		return nil, err
 	}
-	return &SessionPipeline{pp: pp, data: pp.BindData(inputs)}, nil
+	data := pp.BindData(inputs)
+	data.convert = s.converter(gens)
+	return &SessionPipeline{pp: pp, data: data}, nil
 }
 
 func sortedVars(set map[string]bool) []string {
@@ -370,16 +489,20 @@ func (sq *SessionQuery) RunJSON(ctx context.Context, strat Strategy) ([]map[stri
 	if err != nil {
 		return nil, err
 	}
+	return encodeRowsJSON(res.Output.CollectSorted(), cols), nil
+}
+
+// encodeRowsJSON renders engine rows as JSON objects typed by cols.
+func encodeRowsJSON(rows []dataflow.Row, cols []OutputColumn) []map[string]any {
 	fields := make([]nrc.Field, len(cols))
 	for i, c := range cols {
 		fields[i] = nrc.Field{Name: c.Name, Type: c.Type}
 	}
-	rows := res.Output.CollectSorted()
 	tuples := make([]value.Tuple, len(rows))
 	for i, r := range rows {
 		tuples[i] = value.Tuple(r)
 	}
-	return ingest.EncodeRows(tuples, fields), nil
+	return ingest.EncodeRows(tuples, fields)
 }
 
 // SessionPipeline is a pipeline prepared against a catalog: compiled step
@@ -397,6 +520,20 @@ func (sp *SessionPipeline) Prepared() *PreparedPipeline { return sp.pp }
 // snapshotted (and bound once per route) at PreparePipeline time.
 func (sp *SessionPipeline) Run(ctx context.Context, strat Strategy) (*PipelineResult, error) {
 	return sp.pp.RunBound(ctx, sp.data, strat)
+}
+
+// RunJSON is Run plus JSON encoding of the final step's output, typed by the
+// pipeline's output schema — SessionQuery.RunJSON for pipelines.
+func (sp *SessionPipeline) RunJSON(ctx context.Context, strat Strategy) ([]map[string]any, error) {
+	cols, err := sp.pp.OutputSchema(strat)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sp.Run(ctx, strat)
+	if err != nil {
+		return nil, err
+	}
+	return encodeRowsJSON(res.Output.CollectSorted(), cols), nil
 }
 
 // ToJSON renders a runtime value as a json.Marshal-able Go value guided by

@@ -48,7 +48,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   trance explain -class <class> -level <0-4> [-wide]
   trance run     -class <class> -level <0-4> [-wide] -strategy <name> [-skew 0-4]
-  trance query   -input <data.json|-> [-name R] [-strategy <name>] [-show N]
+  trance query   [-input <data.json|->] [-name R] [-q '<query text>'] [-strategy <name>] [-show N]
   trance biomed  [-full] [-strategy <name>]
 
 classes:    flat-to-nested | nested-to-nested | nested-to-flat
@@ -56,7 +56,14 @@ strategies: standard | sparksql | shred | shred+unshred | standard-skew | shred-
 
 query ingests NDJSON or a JSON array (objects become tuples, arrays become
 bags, schema inferred with null/numeric widening), registers it in a catalog,
-and scans it under the chosen strategy, printing NDJSON rows to stdout.`)
+and queries it under the chosen strategy, printing NDJSON rows to stdout.
+Without -q the whole dataset is scanned; with -q the textual NRC query (see
+docs/QUERYLANG.md) runs against it, e.g.
+
+  trance query -input orders.json -name R \
+    -q 'for x in R union if x.qty > 10 then { x }'
+
+-q also accepts multi-statement programs (name := expr; ... result-expr).`)
 	os.Exit(2)
 }
 
@@ -157,45 +164,56 @@ func cmdRun(args []string) {
 }
 
 // cmdQuery is the JSON-in → query → JSON-out path: ingest a JSON dataset
-// into a catalog (schema inferred), prepare an identity scan through a
-// session, run it under the chosen strategy, and print the rows back as
-// NDJSON. Schema and timing go to stderr so stdout stays pipeable.
+// into a catalog (schema inferred), prepare either an identity scan or an
+// ad-hoc textual NRC query (-q, see docs/QUERYLANG.md) through a session,
+// run it under the chosen strategy, and print the rows back as NDJSON.
+// Schema and timing go to stderr so stdout stays pipeable. Parse and type
+// errors in -q are reported as caret diagnostics pointing into the text.
 func cmdQuery(args []string) {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
-	input := fs.String("input", "", "JSON input: NDJSON or a JSON array; a file path or - for stdin (required)")
+	input := fs.String("input", "", "JSON input: NDJSON or a JSON array; a file path or - for stdin")
 	name := fs.String("name", "R", "dataset (and query variable) name")
+	text := fs.String("q", "", "textual NRC query or program over the ingested dataset (default: scan it all)")
 	strategy := fs.String("strategy", "standard", "evaluation strategy")
 	show := fs.Int("show", 0, "result rows to print (0 = all)")
 	_ = fs.Parse(args)
 
-	if *input == "" {
-		log.Fatal("query: -input is required (a file path, or - for stdin)")
+	if *input == "" && *text == "" {
+		log.Fatal("query: -input and/or -q is required (see trance help)")
 	}
-	var src io.Reader = os.Stdin
-	if *input != "-" {
-		f, err := os.Open(*input)
+	cat := trance.NewCatalog()
+	if *input != "" {
+		var src io.Reader = os.Stdin
+		if *input != "-" {
+			f, err := os.Open(*input)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			src = f
+		}
+		info, err := cat.RegisterJSON(*name, src)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		src = f
+		fmt.Fprintf(os.Stderr, "dataset %s: %d rows, %d bytes\nschema: %s\n", info.Name, info.Rows, info.Bytes, info.Type)
 	}
 
-	cat := trance.NewCatalog()
-	info, err := cat.RegisterJSON(*name, src)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "dataset %s: %d rows, %d bytes\nschema: %s\n", info.Name, info.Rows, info.Bytes, info.Type)
-
-	sq, err := cat.NewSession(trance.SessionOptions{}).PrepareNamed(*name, trance.ForIn("x", trance.V(*name), trance.SingOf(trance.V("x"))))
-	if err != nil {
-		log.Fatal(err)
-	}
+	sess := cat.NewSession(trance.SessionOptions{})
 	strat := parseStrategy(*strategy)
-	rows, err := sq.RunJSON(context.Background(), strat)
+	var rows []map[string]any
+	var err error
+	if *text != "" {
+		rows, err = runText(sess, *text, strat)
+	} else {
+		var sq *trance.SessionQuery
+		sq, err = sess.PrepareNamed(*name, trance.ForIn("x", trance.V(*name), trance.SingOf(trance.V("x"))))
+		if err == nil {
+			rows, err = sq.RunJSON(context.Background(), strat)
+		}
+	}
 	if err != nil {
-		log.Fatalf("query failed: %v", err)
+		log.Fatalf("query failed:\n%v", err)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	for i, row := range rows {
@@ -208,6 +226,27 @@ func cmdQuery(args []string) {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d rows\n", strat, len(rows))
+}
+
+// runText prepares and runs an ad-hoc text query — or, when the text is not
+// a bare expression (it contains assignments), a multi-statement program —
+// against the session.
+func runText(sess *trance.Session, text string, strat trance.Strategy) ([]map[string]any, error) {
+	if _, err := trance.Parse(text); err == nil {
+		sq, err := sess.PrepareText("adhoc", text)
+		if err != nil {
+			return nil, err
+		}
+		return sq.RunJSON(context.Background(), strat)
+	}
+	// Not a bare expression: parse as a program (a single assignment like
+	// `y := expr` lands here too). A genuine syntax error reports from the
+	// program parse, which accepts a superset.
+	sp, err := sess.PrepareTextPipeline(text)
+	if err != nil {
+		return nil, err
+	}
+	return sp.RunJSON(context.Background(), strat)
 }
 
 func cmdBiomed(args []string) {

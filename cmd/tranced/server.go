@@ -89,9 +89,29 @@ type server struct {
 	// overshoot the bound together. Reads (queries, lists) are unaffected.
 	upMu sync.Mutex
 
+	// adhocSess is the one long-lived session every POST /query text is
+	// prepared through: sessions share converted input rows per (dataset,
+	// route), so however many distinct texts reference a dataset, the server
+	// holds one value-shredded copy of it — not one per cached text.
+	adhocSess *trance.Session
+
+	// tqMu guards the bounded cache of prepared ad-hoc text queries
+	// (POST /query): repeated texts skip parse/resolve/bind, and the plan
+	// cache already dedupes compilation underneath.
+	tqMu    sync.Mutex
+	tqCache map[string]*trance.SessionQuery
+	tqOrder []string
+
 	mu    sync.Mutex
 	stats map[string]*routeStats
 }
+
+// maxTextQueryBytes bounds POST /query bodies; ad-hoc query texts are tiny.
+const maxTextQueryBytes = 1 << 20
+
+// maxTextQueryCache bounds how many prepared ad-hoc texts the server keeps
+// (oldest evicted first; the underlying plan cache is bounded separately).
+const maxTextQueryCache = 128
 
 // newServer generates the preloaded datasets, registers them in the catalog,
 // prepares every query family through catalog sessions, and wires the HTTP
@@ -107,6 +127,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		pool:    trance.NewPool(cfg.Workers),
 		started: time.Now(),
 		queries: map[string]*queryEntry{},
+		tqCache: map[string]*trance.SessionQuery{},
 		stats:   map[string]*routeStats{},
 	}
 
@@ -189,9 +210,12 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	s.order = append(s.order, "biomed/step1")
 
+	s.adhocSess = s.catalog.NewSession(trance.SessionOptions{Config: &s.runCfg, Pool: s.pool})
+
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
+	s.mux.HandleFunc("POST /query", s.handleTextQuery)
 	s.mux.HandleFunc("GET /strategies", s.handleStrategies)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /datasets", s.handleDatasetsList)
@@ -242,6 +266,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"service": "tranced",
 		"endpoints": []string{
 			"/query?name=&level=&strategy=&limit=",
+			"/query (POST textual NRC query body, ?strategy=&limit= — see docs/QUERYLANG.md)",
 			"/datasets (GET list, POST ?name= upload NDJSON/JSON)",
 			"/strategies", "/metrics", "/healthz",
 		},
@@ -451,7 +476,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.record(name, level, stratName, res, false)
+	s.writeQueryResult(w, res, cols, limit, map[string]any{"query": name, "level": level})
+}
 
+// writeQueryResult renders a run's rows as typed JSON, applying the row
+// limit; extra fields are merged into the response object.
+func (s *server) writeQueryResult(w http.ResponseWriter, res *trance.Result, cols []trance.OutputColumn, limit int, extra map[string]any) {
 	rows := res.Output.CollectSorted()
 	total := len(rows)
 	truncated := false
@@ -476,9 +506,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	for i, c := range cols {
 		colOut[i] = colInfo{Name: c.Name, Type: c.Type.String()}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"query":      name,
-		"level":      level,
+	out := map[string]any{
 		"strategy":   res.Strategy.String(),
 		"elapsed_ms": float64(res.Elapsed.Microseconds()) / 1000,
 		"rows":       total,
@@ -486,6 +514,117 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		"truncated":  truncated,
 		"columns":    colOut,
 		"results":    results,
+	}
+	for k, v := range extra {
+		out[k] = v
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// textQuery returns a prepared session query for an ad-hoc query text,
+// serving repeats from a bounded cache. Only successful preparations are
+// cached, so a text that failed because its dataset had not been uploaded
+// yet is re-resolved on retry.
+func (s *server) textQuery(src string) (*trance.SessionQuery, error) {
+	s.tqMu.Lock()
+	if sq, ok := s.tqCache[src]; ok {
+		s.tqMu.Unlock()
+		return sq, nil
+	}
+	s.tqMu.Unlock()
+	// Prepare outside the lock: compilation can be slow and the plan cache
+	// already guarantees each (query, strategy) compiles once. The shared
+	// ad-hoc session dedupes the converted input rows across texts.
+	sq, err := s.adhocSess.PrepareText("adhoc", src)
+	if err != nil {
+		return nil, err
+	}
+	s.tqMu.Lock()
+	defer s.tqMu.Unlock()
+	if cached, ok := s.tqCache[src]; ok {
+		return cached, nil // a concurrent request won the race; share its binding
+	}
+	for len(s.tqCache) >= maxTextQueryCache && len(s.tqOrder) > 0 {
+		delete(s.tqCache, s.tqOrder[0])
+		s.tqOrder = s.tqOrder[1:]
+	}
+	s.tqCache[src] = sq
+	s.tqOrder = append(s.tqOrder, src)
+	return sq, nil
+}
+
+// handleTextQuery evaluates an ad-hoc textual NRC query (docs/QUERYLANG.md)
+// POSTed as the request body against the catalog's datasets — preloaded and
+// uploaded alike; names that aren't identifiers are backquoted, e.g.
+//
+//	for c in `tpch/customer` union { { name := c.c_name } }
+//
+// The query's free variables resolve against the catalog, compilation goes
+// through the bounded plan cache under the query fingerprint, and rows come
+// back as typed JSON like GET /query. Lex, parse, type, and resolution
+// errors return 400 with a multi-line caret diagnostic in "error"; nothing a
+// client posts can crash the process.
+func (s *server) handleTextQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTextQueryBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "read query text: %v", err)
+		return
+	}
+	src := strings.TrimSpace(string(body))
+	if src == "" {
+		httpError(w, http.StatusBadRequest, "empty query text (POST the query as the request body)")
+		return
+	}
+	q := r.URL.Query()
+	stratName := q.Get("strategy")
+	if stratName == "" {
+		stratName = "standard"
+	}
+	strat, ok := trance.ParseStrategy(stratName)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown strategy %q (see /strategies)", stratName)
+		return
+	}
+	limit := 20
+	if ls := q.Get("limit"); ls != "" {
+		var lerr error
+		limit, lerr = strconv.Atoi(ls)
+		if lerr != nil || limit < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", ls)
+			return
+		}
+	}
+
+	sq, err := s.textQuery(src)
+	if err != nil {
+		s.record("adhoc", 0, stratName, nil, true)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cols, err := sq.Prepared().OutputSchema(strat)
+	if err != nil {
+		s.record("adhoc", 0, stratName, nil, true)
+		httpError(w, http.StatusBadRequest, "compile (%s): %v", stratName, err)
+		return
+	}
+	res, err := sq.Run(r.Context(), strat)
+	if err != nil {
+		s.record("adhoc", 0, stratName, res, true)
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			return
+		}
+		httpError(w, http.StatusInternalServerError, "execute (%s): %v", stratName, err)
+		return
+	}
+	s.record("adhoc", 0, stratName, res, false)
+	s.writeQueryResult(w, res, cols, limit, map[string]any{
+		"query":       "adhoc",
+		"fingerprint": sq.Prepared().Fingerprint()[:12],
 	})
 }
 

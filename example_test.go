@@ -86,16 +86,64 @@ func ExampleRun_strategies() {
 	// ⟨"bob", {}⟩
 }
 
-// ExamplePrint renders a query in the paper's surface syntax.
+// ExamplePrint renders a query in the canonical surface syntax — the same
+// textual language trance.Parse accepts, so printed queries round-trip (see
+// docs/QUERYLANG.md).
 func ExamplePrint() {
 	q := trance.ForIn("x", trance.V("R"),
 		trance.SingOf(trance.Record("b", trance.P(trance.V("x"), "a"))))
 	fmt.Println(trance.Print(q))
 	// Output:
 	// for x in R union
-	//   { ⟨
+	//   { {
 	//     b := x.a
-	//   ⟩ }
+	//   } }
+}
+
+// ExampleParse is the all-text serving path: a nested dataset arrives as
+// JSON (schema inferred), the query arrives as text in the NRC surface
+// syntax (docs/QUERYLANG.md), the session resolves its free variable
+// against the catalog and compiles it through the plan cache, and the rows
+// come back as JSON — no Go builder calls anywhere. Parse and type errors
+// carry caret diagnostics pointing into the query text.
+func ExampleParse() {
+	const ndjson = `
+{"cname": "alice", "orders": [{"item": "bolt", "qty": 5.0}, {"item": "nut", "qty": 12.5}]}
+{"cname": "bob",   "orders": [{"item": "washer", "qty": 40.0}]}
+`
+	cat := trance.NewCatalog()
+	if _, err := cat.RegisterJSON("R", strings.NewReader(ndjson)); err != nil {
+		fmt.Println("ingest failed:", err)
+		return
+	}
+	sq, err := cat.NewSession(trance.SessionOptions{}).PrepareText("big-orders", `
+		for r in R union
+		  { {
+		      cname := r.cname,
+		      big := for o in r.orders union
+		               if o.qty > 10.0 then { o }
+		  } }`)
+	if err != nil {
+		fmt.Println("prepare failed:", err)
+		return
+	}
+	rows, err := sq.RunJSON(context.Background(), trance.ShredUnshred)
+	if err != nil {
+		fmt.Println("run failed:", err)
+		return
+	}
+	for _, row := range rows {
+		b, _ := json.Marshal(row)
+		fmt.Println(string(b))
+	}
+
+	// A typo'd field comes back as a caret diagnostic, not a panic.
+	_, err = cat.NewSession(trance.SessionOptions{}).PrepareText("", "for r in R union { { x := r.nope } }")
+	fmt.Println(strings.Split(err.Error(), "\n")[0])
+	// Output:
+	// {"big":[{"item":"nut","qty":12.5}],"cname":"alice"}
+	// {"big":[{"item":"washer","qty":40}],"cname":"bob"}
+	// 1:28: no field "nope" in ⟨cname: string, orders: Bag(⟨item: string, qty: real⟩)⟩
 }
 
 // ExampleCatalog is the JSON-in → query → JSON-out round trip: a nested

@@ -66,6 +66,32 @@ func main() {
 	fmt.Println("\n=== NRC query (paper Example 1) ===")
 	fmt.Println(trance.Print(q))
 
+	// The same query in its textual surface form (docs/QUERYLANG.md): what
+	// trance.Print emitted above is exactly this language, and parsing it
+	// yields a structurally identical query — same fingerprint, same
+	// compiled plans. Serving paths take text directly via
+	// Session.PrepareText, `trance query -q`, and tranced's POST /query.
+	const qText = `
+for cop in COP union
+  { {
+      cname := cop.cname,
+      corders := for co in cop.corders union
+        { {
+            odate := co.odate,
+            oparts := sumby[pname; total](
+              for op in co.oparts union
+                for p in Part union
+                  if op.pid == p.pid then
+                    { { pname := p.pname, total := op.qty * p.price } })
+        } }
+  } }`
+	parsed, err := trance.Parse(qText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Same query, parsed from text ===")
+	fmt.Printf("parse(text) == builder AST: %v\n", trance.Print(parsed) == trance.Print(q))
+
 	env := cat.Env()
 	plan, err := trance.ExplainStandard(q, env)
 	if err != nil {

@@ -8,3 +8,12 @@ func SetMaxPlanCacheEntriesForTest(n int) (restore func()) {
 	maxPlanCacheEntries = n
 	return func() { maxPlanCacheEntries = old }
 }
+
+// SessionSharedConversions reports how many (variable, dataset, route) input
+// conversions the session's row cache holds — tests use it to assert that
+// many queries over one dataset share a single converted copy.
+func SessionSharedConversions(s *Session) int {
+	s.rowMu.Lock()
+	defer s.rowMu.Unlock()
+	return len(s.rowCache)
+}

@@ -1,10 +1,25 @@
 package nrc
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/trance-go/trance/internal/value"
 )
+
+// ExprError attaches the AST node at which type checking failed. Check wraps
+// every error in one (tagging the innermost failing node), so layers that
+// know source positions for nodes — internal/parse keeps a position map for
+// parsed queries — can render caret diagnostics for type errors too. The
+// message is unchanged; extract the node with errors.As.
+type ExprError struct {
+	Node Expr
+	Err  error
+}
+
+func (e *ExprError) Error() string { return e.Err.Error() }
+
+func (e *ExprError) Unwrap() error { return e.Err }
 
 // Env maps names (inputs and prior assignments) to types.
 type Env map[string]Type
@@ -58,6 +73,12 @@ func (c *checker) lookup(name string) (Type, bool) {
 func (c *checker) check(e Expr) (Type, error) {
 	t, err := c.checkInner(e)
 	if err != nil {
+		// Tag the innermost failing node only: recursive calls come back
+		// already wrapped, and the deepest node gives the sharpest position.
+		var xe *ExprError
+		if !errors.As(err, &xe) {
+			err = &ExprError{Node: e, Err: err}
+		}
 		return nil, err
 	}
 	e.setType(t)

@@ -313,7 +313,7 @@ func TestInlineLets(t *testing.T) {
 
 func TestPrintRoundTripNames(t *testing.T) {
 	s := nrc.Print(testdata.RunningExample())
-	for _, frag := range []string{"for cop in COP", "sumBy[pname; total]", "corders", "op.qty * p.price"} {
+	for _, frag := range []string{"for cop in COP", "sumby[pname; total]", "corders", "op.qty * p.price"} {
 		if !strings.Contains(s, frag) {
 			t.Fatalf("printer output missing %q:\n%s", frag, s)
 		}

@@ -2,29 +2,204 @@ package nrc
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
+
+	"github.com/trance-go/trance/internal/value"
 )
 
-// Print renders an expression in the paper's surface syntax, indented.
+// Print renders an expression in the canonical surface syntax accepted by
+// internal/parse (see docs/QUERYLANG.md): parse(Print(e)) returns an
+// expression structurally equal to e for every expression of the source
+// language. The label and dictionary constructs of NRC^{Lbl+λ} (which only
+// appear in compiler-internal shredded programs, never in user queries) are
+// rendered in a descriptive notation that is not part of the surface
+// grammar.
+//
+// Output is pretty-printed across multiple lines; the parser is whitespace-
+// insensitive, so indentation carries no meaning.
 func Print(e Expr) string {
 	var sb strings.Builder
-	printExpr(&sb, e, 0)
+	printExpr(&sb, e, 0, precLowest)
 	return sb.String()
 }
 
-// PrintProgram renders a program, one assignment per block.
+// PrintProgram renders a program, one assignment per block, in the surface
+// program syntax (name := expr).
 func PrintProgram(p *Program) string {
 	var sb strings.Builder
 	for i, st := range p.Stmts {
 		if i > 0 {
 			sb.WriteString("\n")
 		}
-		sb.WriteString(st.Name)
-		sb.WriteString(" <= ")
-		printExpr(&sb, st.Expr, 1)
-		sb.WriteString("\n")
+		sb.WriteString(QuoteIdent(st.Name))
+		sb.WriteString(" := ")
+		printExpr(&sb, st.Expr, 1, precLowest)
+		sb.WriteString(";\n")
 	}
 	return sb.String()
+}
+
+// Operator precedence levels, lowest binds loosest. The parser implements
+// the same table (internal/parse); docs/QUERYLANG.md documents it.
+const (
+	precLowest  = iota // for, let, if — extend as far right as possible
+	precOr             // ||
+	precAnd            // &&
+	precCmp            // == != < <= > >= (non-associative)
+	precUnion          // union (left-associative)
+	precAdd            // + -  (left-associative)
+	precMul            // * /  (left-associative)
+	precUnary          // prefix ! and -
+	precPostfix        // .field
+	precAtom
+)
+
+// prec returns the precedence level at which e binds. A negative numeric
+// constant prints with a leading minus, so it binds like a unary operator
+// (forcing parens in postfix position: (-1).f, not -1.f).
+func prec(e Expr) int {
+	switch x := e.(type) {
+	case *Const:
+		switch v := x.Val.(type) {
+		case int64:
+			if v < 0 {
+				return precUnary
+			}
+		case float64:
+			if math.Signbit(v) {
+				return precUnary
+			}
+		}
+		return precAtom
+	case *For, *Let, *If, *MatchLabel, *Lambda:
+		return precLowest
+	case *BoolBin:
+		if x.And {
+			return precAnd
+		}
+		return precOr
+	case *Cmp:
+		return precCmp
+	case *Union:
+		return precUnion
+	case *Arith:
+		if x.Op == Mul || x.Op == Div {
+			return precMul
+		}
+		return precAdd
+	case *Not:
+		return precUnary
+	case *Proj:
+		return precPostfix
+	default:
+		return precAtom
+	}
+}
+
+// keywords reserves the surface language's word tokens; identifiers that
+// collide are printed backquoted.
+var keywords = map[string]bool{
+	"for": true, "in": true, "union": true, "if": true, "then": true,
+	"else": true, "let": true, "get": true, "dedup": true, "groupby": true,
+	"sumby": true, "as": true, "true": true, "false": true, "date": true,
+	"empty": true,
+}
+
+// IsKeyword reports whether name is reserved in the surface syntax.
+func IsKeyword(name string) bool { return keywords[name] }
+
+// plainIdent reports whether name lexes as a bare identifier.
+func plainIdent(name string) bool {
+	if name == "" || keywords[name] {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// QuoteIdent renders a variable, field, or dataset name in surface syntax:
+// bare when it lexes as an identifier, backquoted otherwise (catalog names
+// like `tpch/ndb-l2` need this). A backquote inside the name is doubled,
+// the lexer's escape, so arbitrary names — JSON keys can contain anything —
+// round-trip. Only the empty name is unrepresentable (it does not lex).
+func QuoteIdent(name string) string {
+	if plainIdent(name) {
+		return name
+	}
+	return "`" + strings.ReplaceAll(name, "`", "``") + "`"
+}
+
+// SurfaceType renders a type in the surface type syntax used by empty(T)
+// and documented in docs/QUERYLANG.md. Dictionary types (compiler-internal)
+// fall back to Type.String.
+func SurfaceType(t Type) string {
+	switch x := t.(type) {
+	case ScalarType:
+		return x.String() // int real string bool date — already surface names
+	case LabelType:
+		return "label"
+	case BagType:
+		return "bag(" + SurfaceType(x.Elem) + ")"
+	case TupleType:
+		var sb strings.Builder
+		sb.WriteString("{")
+		for i, f := range x.Fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(QuoteIdent(f.Name))
+			sb.WriteString(": ")
+			sb.WriteString(SurfaceType(f.Type))
+		}
+		sb.WriteString("}")
+		return sb.String()
+	case nil:
+		return "?"
+	default:
+		return t.String()
+	}
+}
+
+// formatReal renders a float so it re-parses as a real (never as an int):
+// integral values keep a trailing ".0".
+func formatReal(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") && !math.IsInf(f, 0) && !math.IsNaN(f) {
+		s += ".0"
+	}
+	return s
+}
+
+// printConst renders a scalar constant in literal syntax.
+func printConst(sb *strings.Builder, v value.Value) {
+	switch x := v.(type) {
+	case int64:
+		fmt.Fprintf(sb, "%d", x)
+	case float64:
+		sb.WriteString(formatReal(x))
+	case string:
+		sb.WriteString(strconv.Quote(x))
+	case bool:
+		if x {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case value.Date:
+		fmt.Fprintf(sb, "date(%q)", x.String())
+	default:
+		// Labels and other runtime-only values never appear in source
+		// queries; render descriptively.
+		fmt.Fprintf(sb, "const(%v)", x)
+	}
 }
 
 func ind(sb *strings.Builder, depth int) {
@@ -34,100 +209,139 @@ func ind(sb *strings.Builder, depth int) {
 	}
 }
 
-func printExpr(sb *strings.Builder, e Expr, depth int) {
+// printExpr renders e at indentation depth in a context requiring operators
+// of precedence >= min; lower-binding nodes are parenthesized.
+func printExpr(sb *strings.Builder, e Expr, depth int, min int) {
+	if prec(e) < min {
+		sb.WriteString("(")
+		printExpr(sb, e, depth, precLowest)
+		sb.WriteString(")")
+		return
+	}
 	switch x := e.(type) {
 	case *Const:
-		fmt.Fprintf(sb, "%v", x.Val)
+		printConst(sb, x.Val)
 	case *Var:
-		sb.WriteString(x.Name)
+		sb.WriteString(QuoteIdent(x.Name))
 	case *Proj:
-		printExpr(sb, x.Tuple, depth)
+		printExpr(sb, x.Tuple, depth, precPostfix)
 		sb.WriteString(".")
-		sb.WriteString(x.Field)
+		sb.WriteString(QuoteIdent(x.Field))
 	case *TupleCtor:
-		sb.WriteString("⟨")
+		if len(x.Fields) == 0 {
+			sb.WriteString("{}")
+			return
+		}
+		sb.WriteString("{")
 		for i, f := range x.Fields {
 			if i > 0 {
 				sb.WriteString(",")
 			}
 			ind(sb, depth+1)
-			sb.WriteString(f.Name)
+			sb.WriteString(QuoteIdent(f.Name))
 			sb.WriteString(" := ")
-			printExpr(sb, f.Expr, depth+1)
+			printExpr(sb, f.Expr, depth+1, precLowest)
 		}
 		ind(sb, depth)
-		sb.WriteString("⟩")
+		sb.WriteString("}")
 	case *Sing:
+		// A singleton whose element is a bare `name := e` tuple would lex as
+		// a tuple constructor; the printed form keeps the inner braces, so
+		// {{...}} reads back as a singleton of a tuple.
 		sb.WriteString("{ ")
-		printExpr(sb, x.Elem, depth)
+		printExpr(sb, x.Elem, depth, precLowest)
 		sb.WriteString(" }")
 	case *Empty:
-		sb.WriteString("∅")
+		sb.WriteString("empty(")
+		sb.WriteString(SurfaceType(x.ElemType))
+		sb.WriteString(")")
 	case *Get:
 		sb.WriteString("get(")
-		printExpr(sb, x.Bag, depth)
+		printExpr(sb, x.Bag, depth, precLowest)
 		sb.WriteString(")")
 	case *For:
 		sb.WriteString("for ")
-		sb.WriteString(x.Var)
+		sb.WriteString(QuoteIdent(x.Var))
 		sb.WriteString(" in ")
-		printExpr(sb, x.Source, depth)
+		// The source ends at the `union` separating it from the body, so it
+		// must bind tighter than union itself.
+		printExpr(sb, x.Source, depth, precAdd)
 		sb.WriteString(" union")
 		ind(sb, depth+1)
-		printExpr(sb, x.Body, depth+1)
+		printExpr(sb, x.Body, depth+1, precLowest)
 	case *Union:
-		printExpr(sb, x.L, depth)
-		sb.WriteString(" ⊎ ")
-		printExpr(sb, x.R, depth)
+		printExpr(sb, x.L, depth, precUnion)
+		sb.WriteString(" union ")
+		printExpr(sb, x.R, depth, precAdd)
 	case *Let:
 		sb.WriteString("let ")
-		sb.WriteString(x.Var)
+		sb.WriteString(QuoteIdent(x.Var))
 		sb.WriteString(" := ")
-		printExpr(sb, x.Val, depth+1)
+		printExpr(sb, x.Val, depth+1, precLowest)
 		sb.WriteString(" in")
 		ind(sb, depth)
-		printExpr(sb, x.Body, depth)
+		printExpr(sb, x.Body, depth, precLowest)
 	case *If:
 		sb.WriteString("if ")
-		printExpr(sb, x.Cond, depth)
+		printExpr(sb, x.Cond, depth, precLowest)
 		sb.WriteString(" then ")
-		printExpr(sb, x.Then, depth+1)
-		if x.Else != nil {
-			sb.WriteString(" else ")
-			printExpr(sb, x.Else, depth+1)
+		if x.Else == nil {
+			printExpr(sb, x.Then, depth+1, precLowest)
+			return
 		}
+		// With an else present, a trailing for/let/if in the then branch
+		// would greedily swallow the `else`; parenthesize those.
+		printExpr(sb, x.Then, depth+1, precOr)
+		sb.WriteString(" else ")
+		printExpr(sb, x.Else, depth+1, precLowest)
 	case *Cmp:
-		printExpr(sb, x.L, depth)
+		// Non-associative: both operands must bind tighter than comparison.
+		printExpr(sb, x.L, depth, precUnion)
 		fmt.Fprintf(sb, " %s ", x.Op)
-		printExpr(sb, x.R, depth)
+		printExpr(sb, x.R, depth, precUnion)
 	case *Arith:
-		printExpr(sb, x.L, depth)
-		fmt.Fprintf(sb, " %s ", x.Op)
-		printExpr(sb, x.R, depth)
-	case *Not:
-		sb.WriteString("¬(")
-		printExpr(sb, x.E, depth)
-		sb.WriteString(")")
-	case *BoolBin:
-		printExpr(sb, x.L, depth)
-		if x.And {
-			sb.WriteString(" && ")
+		if x.Op == Mul || x.Op == Div {
+			printExpr(sb, x.L, depth, precMul)
+			fmt.Fprintf(sb, " %s ", x.Op)
+			printExpr(sb, x.R, depth, precUnary)
 		} else {
-			sb.WriteString(" || ")
+			printExpr(sb, x.L, depth, precAdd)
+			fmt.Fprintf(sb, " %s ", x.Op)
+			printExpr(sb, x.R, depth, precMul)
 		}
-		printExpr(sb, x.R, depth)
+	case *Not:
+		sb.WriteString("!")
+		printExpr(sb, x.E, depth, precUnary)
+	case *BoolBin:
+		if x.And {
+			printExpr(sb, x.L, depth, precAnd)
+			sb.WriteString(" && ")
+			printExpr(sb, x.R, depth, precCmp)
+		} else {
+			printExpr(sb, x.L, depth, precOr)
+			sb.WriteString(" || ")
+			printExpr(sb, x.R, depth, precAnd)
+		}
 	case *Dedup:
 		sb.WriteString("dedup(")
-		printExpr(sb, x.E, depth)
+		printExpr(sb, x.E, depth, precLowest)
 		sb.WriteString(")")
 	case *GroupBy:
-		fmt.Fprintf(sb, "groupBy[%s](", strings.Join(x.Keys, ","))
-		printExpr(sb, x.E, depth+1)
+		sb.WriteString("groupby[")
+		sb.WriteString(quoteJoin(x.Keys))
+		if x.GroupAs != "group" {
+			sb.WriteString(" as ")
+			sb.WriteString(QuoteIdent(x.GroupAs))
+		}
+		sb.WriteString("](")
+		printExpr(sb, x.E, depth+1, precLowest)
 		sb.WriteString(")")
 	case *SumBy:
-		fmt.Fprintf(sb, "sumBy[%s; %s](", strings.Join(x.Keys, ","), strings.Join(x.Values, ","))
-		printExpr(sb, x.E, depth+1)
+		fmt.Fprintf(sb, "sumby[%s; %s](", quoteJoin(x.Keys), quoteJoin(x.Values))
+		printExpr(sb, x.E, depth+1, precLowest)
 		sb.WriteString(")")
+
+	// --- NRC^{Lbl+λ} constructs: compiler-internal, not surface syntax ---
 	case *NewLabel:
 		fmt.Fprintf(sb, "NewLabel#%d(", x.Site)
 		for i, f := range x.Capture {
@@ -136,33 +350,41 @@ func printExpr(sb *strings.Builder, e Expr, depth int) {
 			}
 			sb.WriteString(f.Name)
 			sb.WriteString("=")
-			printExpr(sb, f.Expr, depth)
+			printExpr(sb, f.Expr, depth, precLowest)
 		}
 		sb.WriteString(")")
 	case *MatchLabel:
 		sb.WriteString("match ")
-		printExpr(sb, x.Label, depth)
+		printExpr(sb, x.Label, depth, precAtom)
 		fmt.Fprintf(sb, " = NewLabel#%d(%s) then", x.Site, strings.Join(x.Params, ","))
 		ind(sb, depth+1)
-		printExpr(sb, x.Body, depth+1)
+		printExpr(sb, x.Body, depth+1, precLowest)
 	case *Lambda:
 		sb.WriteString("λ")
 		sb.WriteString(x.Param)
 		sb.WriteString(".")
-		printExpr(sb, x.Body, depth+1)
+		printExpr(sb, x.Body, depth+1, precLowest)
 	case *Lookup:
 		sb.WriteString("Lookup(")
-		printExpr(sb, x.Dict, depth)
+		printExpr(sb, x.Dict, depth, precLowest)
 		sb.WriteString(", ")
-		printExpr(sb, x.Label, depth)
+		printExpr(sb, x.Label, depth, precLowest)
 		sb.WriteString(")")
 	case *MatLookup:
 		sb.WriteString("MatLookup(")
-		printExpr(sb, x.Dict, depth)
+		printExpr(sb, x.Dict, depth, precLowest)
 		sb.WriteString(", ")
-		printExpr(sb, x.Label, depth)
+		printExpr(sb, x.Label, depth, precLowest)
 		sb.WriteString(")")
 	default:
 		fmt.Fprintf(sb, "?%T", e)
 	}
+}
+
+func quoteJoin(names []string) string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = QuoteIdent(n)
+	}
+	return strings.Join(out, ",")
 }

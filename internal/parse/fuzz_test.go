@@ -1,0 +1,273 @@
+package parse_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/parse"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// FuzzParse feeds arbitrary text to the parser and asserts the contract
+// every entry point relies on: no panics, errors are positioned caret
+// diagnostics, and a successful parse prints canonically (the print
+// re-parses and prints identically).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"for x in R union { x }",
+		"for c in `tpch/ndb-l2` union { { n := c.c_name } }",
+		"sumby[a; t](groupby[k as g](dedup(R)))",
+		"let x := 1 in if x == 1 then { x } else empty(int)",
+		"{a := 1, b := \"s\", c := date(\"2020-01-15\"), d := 2.5e3}",
+		"A := for x in R union { x };\nsumby[; a](A)",
+		"a union (b union c) union { 1 + 2 * -3 }",
+		"empty({a: int, b: bag({c: date})})",
+		"x.`weird field`.y == !true && 1 <= 2 || false",
+		"for x in R unio { x }",
+		"((((", "{{{{", "\"", "`", "1e", "--", "date(\"x\")",
+		"if a then b else c", "0-0-0", "\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := parse.Query(src) // must not panic
+		if err != nil {
+			pe, ok := err.(*parse.Error)
+			if !ok {
+				t.Fatalf("error is %T, not *parse.Error: %v", err, err)
+			}
+			if pe.Pos.Line < 1 || pe.Pos.Col < 1 {
+				t.Fatalf("error lacks a position: %+v", pe.Pos)
+			}
+		} else {
+			assertCanonical(t, r.Expr)
+		}
+		// Programs share the machinery but have their own statement layer.
+		if pr, perr := parse.Program(src); perr == nil {
+			for _, st := range pr.Program.Stmts {
+				assertCanonical(t, st.Expr)
+			}
+		} else if pe, ok := perr.(*parse.Error); !ok || pe.Pos.Line < 1 {
+			t.Fatalf("program error unpositioned: %v", perr)
+		}
+	})
+}
+
+// assertCanonical: printing a parsed expression must yield text that parses
+// back to the same print — the printer emits only valid surface syntax.
+func assertCanonical(t *testing.T, e nrc.Expr) {
+	t.Helper()
+	printed := nrc.Print(e)
+	r2, err := parse.Query(printed)
+	if err != nil {
+		t.Fatalf("print does not re-parse: %v\n--- printed\n%s", err, printed)
+	}
+	if again := nrc.Print(r2.Expr); again != printed {
+		t.Fatalf("print not canonical:\n--- first\n%s\n--- second\n%s", printed, again)
+	}
+}
+
+// FuzzPrintParseRoundTrip drives the property from the AST side: generate an
+// arbitrary source-language expression from the fuzz bytes, print it, parse
+// the print, and require structural identity (modulo the canonical print).
+func FuzzPrintParseRoundTrip(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add([]byte("deterministic seed bytes driving the ast generator"))
+	f.Add([]byte{250, 251, 252, 253, 254, 255, 0, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &gen{data: data}
+		e := g.expr(3)
+		printed := nrc.Print(e)
+		r, err := parse.Query(printed)
+		if err != nil {
+			t.Fatalf("generated AST prints unparseable text: %v\n--- printed\n%s", err, printed)
+		}
+		if got := nrc.Print(r.Expr); got != printed {
+			t.Fatalf("round trip changed the AST:\n--- printed\n%s\n--- reparsed\n%s", printed, got)
+		}
+	})
+}
+
+// gen deterministically builds source-language ASTs from a byte stream.
+type gen struct {
+	data []byte
+	i    int
+}
+
+func (g *gen) byte() byte {
+	if g.i >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.i]
+	g.i++
+	return b
+}
+
+func (g *gen) int64() int64 {
+	var v uint64
+	for k := 0; k < 8; k++ {
+		v = v<<8 | uint64(g.byte())
+	}
+	return int64(v)
+}
+
+// names mixes plain identifiers, reserved words, and characters that force
+// backquoting — including backquotes and newlines themselves.
+var names = []string{"x", "R", "a1", "_u", "union", "for", "tpch/ndb-l2", "weird name", "läble", "a`b", "line\nbreak"}
+
+func (g *gen) name() string { return names[int(g.byte())%len(names)] }
+
+var strs = []string{"", "plain", "with \"quotes\"", "tab\tnewline\n", "unié", "\x01\x80"}
+
+func (g *gen) expr(depth int) nrc.Expr {
+	if depth <= 0 {
+		switch g.byte() % 6 {
+		case 0:
+			return &nrc.Const{Val: g.int64()}
+		case 1:
+			f := math.Float64frombits(uint64(g.int64()))
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				f = 1.5
+			}
+			return &nrc.Const{Val: f}
+		case 2:
+			return &nrc.Const{Val: strs[int(g.byte())%len(strs)]}
+		case 3:
+			return &nrc.Const{Val: g.byte()%2 == 0}
+		case 4:
+			y := 1 + int(g.byte())%9999
+			m := 1 + int(g.byte())%12
+			d := 1 + int(g.byte())%28
+			return &nrc.Const{Val: value.MakeDate(y, m, d)}
+		default:
+			return &nrc.Var{Name: g.name()}
+		}
+	}
+	switch g.byte() % 17 {
+	case 0:
+		return &nrc.Proj{Tuple: g.expr(depth - 1), Field: g.name()}
+	case 1:
+		n := int(g.byte()) % 3
+		fields := make([]nrc.NamedExpr, n)
+		for i := range fields {
+			fields[i] = nrc.NamedExpr{Name: g.name(), Expr: g.expr(depth - 1)}
+		}
+		return &nrc.TupleCtor{Fields: fields}
+	case 2:
+		return &nrc.Sing{Elem: g.expr(depth - 1)}
+	case 3:
+		return &nrc.Empty{ElemType: g.typ(2)}
+	case 4:
+		return &nrc.Get{Bag: g.expr(depth - 1)}
+	case 5:
+		return &nrc.For{Var: g.name(), Source: g.expr(depth - 1), Body: g.expr(depth - 1)}
+	case 6:
+		return &nrc.Union{L: g.expr(depth - 1), R: g.expr(depth - 1)}
+	case 7:
+		return &nrc.Let{Var: g.name(), Val: g.expr(depth - 1), Body: g.expr(depth - 1)}
+	case 8:
+		node := &nrc.If{Cond: g.expr(depth - 1), Then: g.expr(depth - 1)}
+		if g.byte()%2 == 0 {
+			node.Else = g.expr(depth - 1)
+		}
+		return node
+	case 9:
+		op := nrc.CmpOp(int(g.byte()) % 6)
+		return &nrc.Cmp{Op: op, L: g.expr(depth - 1), R: g.expr(depth - 1)}
+	case 10:
+		op := nrc.ArithOp(int(g.byte()) % 4)
+		return &nrc.Arith{Op: op, L: g.expr(depth - 1), R: g.expr(depth - 1)}
+	case 11:
+		return &nrc.Not{E: g.expr(depth - 1)}
+	case 12:
+		return &nrc.BoolBin{And: g.byte()%2 == 0, L: g.expr(depth - 1), R: g.expr(depth - 1)}
+	case 13:
+		return &nrc.Dedup{E: g.expr(depth - 1)}
+	case 14:
+		groupAs := "group"
+		if g.byte()%3 == 0 {
+			groupAs = g.name()
+		}
+		return &nrc.GroupBy{E: g.expr(depth - 1), Keys: g.names(2), GroupAs: groupAs}
+	case 15:
+		return &nrc.SumBy{E: g.expr(depth - 1), Keys: g.names(2), Values: g.names(2)}
+	default:
+		return g.expr(0)
+	}
+}
+
+// names yields up to max distinct attribute names (possibly none).
+func (g *gen) names(max int) []string {
+	n := int(g.byte()) % (max + 1)
+	seen := map[string]bool{}
+	var out []string
+	for i := 0; i < n; i++ {
+		nm := g.name()
+		if !seen[nm] {
+			seen[nm] = true
+			out = append(out, nm)
+		}
+	}
+	return out
+}
+
+func (g *gen) typ(depth int) nrc.Type {
+	if depth <= 0 {
+		return scalarTypes[int(g.byte())%len(scalarTypes)]
+	}
+	switch g.byte() % 4 {
+	case 0:
+		return nrc.BagType{Elem: g.typ(depth - 1)}
+	case 1:
+		n := int(g.byte()) % 3
+		fields := make([]nrc.Field, 0, n)
+		seen := map[string]bool{}
+		for i := 0; i < n; i++ {
+			nm := g.name()
+			if seen[nm] {
+				continue
+			}
+			seen[nm] = true
+			fields = append(fields, nrc.Field{Name: nm, Type: g.typ(depth - 1)})
+		}
+		return nrc.TupleType{Fields: fields}
+	default:
+		return scalarTypes[int(g.byte())%len(scalarTypes)]
+	}
+}
+
+var scalarTypes = []nrc.Type{nrc.IntT, nrc.RealT, nrc.StringT, nrc.BoolT, nrc.DateT, nrc.LabelT}
+
+// TestFuzzSeedsDirect runs the fuzz bodies over their seed corpora so plain
+// `go test` (and -race CI) exercises them without the fuzz engine.
+func TestFuzzSeedsDirect(t *testing.T) {
+	for _, src := range []string{
+		"for x in R union { x }",
+		"A := { {a := 1} };\nfor x in A union { x.a + -2 }",
+		strings.Repeat("(", 1000) + "x" + strings.Repeat(")", 1000),
+	} {
+		if r, err := parse.Query(src); err == nil {
+			assertCanonical(t, r.Expr)
+		}
+	}
+	for seed := 0; seed < 256; seed++ {
+		data := make([]byte, 64)
+		for i := range data {
+			data[i] = byte((seed*31 + i*7 + i*i) % 256)
+		}
+		g := &gen{data: data}
+		e := g.expr(3)
+		printed := nrc.Print(e)
+		r, err := parse.Query(printed)
+		if err != nil {
+			t.Fatalf("seed %d: print unparseable: %v\n%s", seed, err, printed)
+		}
+		if got := nrc.Print(r.Expr); got != printed {
+			t.Fatalf("seed %d: round trip changed AST:\n%s\nvs\n%s", seed, printed, got)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package parse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tReal
+	tString
+
+	// Keywords.
+	tFor
+	tIn
+	tUnion
+	tIf
+	tThen
+	tElse
+	tLet
+	tGet
+	tDedup
+	tGroupBy
+	tSumBy
+	tAs
+	tTrue
+	tFalse
+	tDate
+	tEmpty
+
+	// Punctuation and operators.
+	tLParen
+	tRParen
+	tLBrace
+	tRBrace
+	tLBrack
+	tRBrack
+	tComma
+	tSemi
+	tColon
+	tDot
+	tAssign // :=
+	tEq     // ==
+	tNe     // !=
+	tLt
+	tLe
+	tGt
+	tGe
+	tPlus
+	tMinus
+	tStar
+	tSlash
+	tAndAnd
+	tOrOr
+	tBang
+)
+
+var keywordKinds = map[string]tokKind{
+	"for": tFor, "in": tIn, "union": tUnion, "if": tIf, "then": tThen,
+	"else": tElse, "let": tLet, "get": tGet, "dedup": tDedup,
+	"groupby": tGroupBy, "sumby": tSumBy, "as": tAs, "true": tTrue,
+	"false": tFalse, "date": tDate, "empty": tEmpty,
+}
+
+// describe renders a token kind for error messages.
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of input"
+	case tIdent:
+		return "identifier"
+	case tInt:
+		return "integer literal"
+	case tReal:
+		return "real literal"
+	case tString:
+		return "string literal"
+	}
+	for name, kk := range keywordKinds {
+		if kk == k {
+			return "'" + name + "'"
+		}
+	}
+	punct := map[tokKind]string{
+		tLParen: "(", tRParen: ")", tLBrace: "{", tRBrace: "}",
+		tLBrack: "[", tRBrack: "]", tComma: ",", tSemi: ";", tColon: ":",
+		tDot: ".", tAssign: ":=", tEq: "==", tNe: "!=", tLt: "<", tLe: "<=",
+		tGt: ">", tGe: ">=", tPlus: "+", tMinus: "-", tStar: "*",
+		tSlash: "/", tAndAnd: "&&", tOrOr: "||", tBang: "!",
+	}
+	if s, ok := punct[k]; ok {
+		return "'" + s + "'"
+	}
+	return "token"
+}
+
+// token is one lexeme. Text holds the decoded payload for identifiers
+// (backquotes stripped), strings (escapes resolved), and number literals
+// (raw digits).
+type token struct {
+	Kind tokKind
+	Text string
+	Pos  Pos
+}
+
+// lexer scans src into tokens, tracking line/column positions.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func lex(src string) ([]token, *Error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	var toks []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == tEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) pos() Pos { return Pos{Offset: lx.off, Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) errf(p Pos, format string, args ...any) *Error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...), src: lx.src}
+}
+
+// advance consumes n bytes (which must not span a newline except singly).
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if lx.src[lx.off] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.off++
+	}
+}
+
+func (lx *lexer) peekAt(i int) byte {
+	if lx.off+i >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+i]
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.src[lx.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance(1)
+		case c == '-' && lx.peekAt(1) == '-', c == '/' && lx.peekAt(1) == '/':
+			for lx.off < len(lx.src) && lx.src[lx.off] != '\n' {
+				lx.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (lx *lexer) next() (token, *Error) {
+	lx.skipSpaceAndComments()
+	p := lx.pos()
+	if lx.off >= len(lx.src) {
+		return token{Kind: tEOF, Pos: p}, nil
+	}
+	c := lx.src[lx.off]
+
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentPart(lx.src[lx.off]) {
+			lx.advance(1)
+		}
+		word := lx.src[start:lx.off]
+		if k, ok := keywordKinds[word]; ok {
+			return token{Kind: k, Text: word, Pos: p}, nil
+		}
+		return token{Kind: tIdent, Text: word, Pos: p}, nil
+
+	case c == '`':
+		// Backquoted identifier: any characters, with a doubled backquote
+		// standing for a literal one (so every name round-trips through
+		// nrc.QuoteIdent). Newlines are allowed — names are arbitrary.
+		lx.advance(1)
+		var name strings.Builder
+		for {
+			if lx.off >= len(lx.src) {
+				return token{}, lx.errf(p, "unterminated backquoted identifier")
+			}
+			if lx.src[lx.off] == '`' {
+				if lx.peekAt(1) == '`' {
+					name.WriteByte('`')
+					lx.advance(2)
+					continue
+				}
+				lx.advance(1)
+				break
+			}
+			name.WriteByte(lx.src[lx.off])
+			lx.advance(1)
+		}
+		if name.Len() == 0 {
+			return token{}, lx.errf(p, "empty backquoted identifier")
+		}
+		return token{Kind: tIdent, Text: name.String(), Pos: p}, nil
+
+	case isDigit(c):
+		return lx.number(p)
+
+	case c == '"':
+		return lx.stringLit(p)
+	}
+
+	two := ""
+	if lx.off+1 < len(lx.src) {
+		two = lx.src[lx.off : lx.off+2]
+	}
+	switch two {
+	case ":=":
+		lx.advance(2)
+		return token{Kind: tAssign, Text: two, Pos: p}, nil
+	case "==":
+		lx.advance(2)
+		return token{Kind: tEq, Text: two, Pos: p}, nil
+	case "!=":
+		lx.advance(2)
+		return token{Kind: tNe, Text: two, Pos: p}, nil
+	case "<=":
+		lx.advance(2)
+		return token{Kind: tLe, Text: two, Pos: p}, nil
+	case ">=":
+		lx.advance(2)
+		return token{Kind: tGe, Text: two, Pos: p}, nil
+	case "&&":
+		lx.advance(2)
+		return token{Kind: tAndAnd, Text: two, Pos: p}, nil
+	case "||":
+		lx.advance(2)
+		return token{Kind: tOrOr, Text: two, Pos: p}, nil
+	}
+
+	one := map[byte]tokKind{
+		'(': tLParen, ')': tRParen, '{': tLBrace, '}': tRBrace,
+		'[': tLBrack, ']': tRBrack, ',': tComma, ';': tSemi, ':': tColon,
+		'.': tDot, '<': tLt, '>': tGt, '+': tPlus, '-': tMinus,
+		'*': tStar, '/': tSlash, '!': tBang,
+	}
+	if k, ok := one[c]; ok {
+		lx.advance(1)
+		return token{Kind: k, Text: string(c), Pos: p}, nil
+	}
+	if c == '&' || c == '|' || c == '=' {
+		return token{}, lx.errf(p, "unexpected %q (did you mean %q?)", string(c), strings.Repeat(string(c), 2))
+	}
+	return token{}, lx.errf(p, "unexpected character %q", string(c))
+}
+
+// number scans an int or real literal: digits, optional fraction, optional
+// exponent. The raw text is kept; the parser converts it (so a leading '-'
+// can be folded in for MinInt64).
+func (lx *lexer) number(p Pos) (token, *Error) {
+	start := lx.off
+	for lx.off < len(lx.src) && isDigit(lx.src[lx.off]) {
+		lx.advance(1)
+	}
+	isReal := false
+	// A '.' starts a fraction only when followed by a digit, so `123.f`
+	// lexes as a projection on an int literal.
+	if lx.peekAt(0) == '.' && isDigit(lx.peekAt(1)) {
+		isReal = true
+		lx.advance(1)
+		for lx.off < len(lx.src) && isDigit(lx.src[lx.off]) {
+			lx.advance(1)
+		}
+	}
+	if e := lx.peekAt(0); e == 'e' || e == 'E' {
+		j := 1
+		if s := lx.peekAt(1); s == '+' || s == '-' {
+			j = 2
+		}
+		if isDigit(lx.peekAt(j)) {
+			isReal = true
+			lx.advance(j)
+			for lx.off < len(lx.src) && isDigit(lx.src[lx.off]) {
+				lx.advance(1)
+			}
+		}
+	}
+	text := lx.src[start:lx.off]
+	if isReal {
+		if _, err := strconv.ParseFloat(text, 64); err != nil {
+			return token{}, lx.errf(p, "bad real literal %q", text)
+		}
+		return token{Kind: tReal, Text: text, Pos: p}, nil
+	}
+	return token{Kind: tInt, Text: text, Pos: p}, nil
+}
+
+// stringLit scans a double-quoted string with Go escape sequences.
+func (lx *lexer) stringLit(p Pos) (token, *Error) {
+	start := lx.off
+	lx.advance(1)
+	for lx.off < len(lx.src) {
+		switch lx.src[lx.off] {
+		case '\\':
+			if lx.off+1 >= len(lx.src) {
+				return token{}, lx.errf(p, "unterminated string literal")
+			}
+			lx.advance(2)
+		case '"':
+			lx.advance(1)
+			raw := lx.src[start:lx.off]
+			dec, err := strconv.Unquote(raw)
+			if err != nil {
+				return token{}, lx.errf(p, "bad string literal %s: %v", raw, err)
+			}
+			return token{Kind: tString, Text: dec, Pos: p}, nil
+		case '\n':
+			return token{}, lx.errf(p, "unterminated string literal (newline in string)")
+		default:
+			lx.advance(1)
+		}
+	}
+	return token{}, lx.errf(p, "unterminated string literal")
+}

@@ -162,27 +162,42 @@ func NewRunContext(cfg Config, strat Strategy) *dataflow.Context {
 // process) compute it once and pass the result to ExecuteRows. The returned
 // rows are never mutated by the engine and may be shared by any number of
 // concurrent executions.
-func (cq *Compiled) InputRows(inputs map[string]value.Bag) (rows map[string][]dataflow.Row, err error) {
-	defer recoverTo(&err, "input preparation")
-	rows = map[string][]dataflow.Row{}
-	if !cq.Strategy.IsShredded() {
-		for name, b := range inputs {
-			rows[name] = rowsOf(b)
-		}
-		return rows, nil
-	}
+func (cq *Compiled) InputRows(inputs map[string]value.Bag) (map[string][]dataflow.Row, error) {
+	rows := map[string][]dataflow.Row{}
 	for name, b := range inputs {
-		bt, ok := cq.Env[name].(nrc.BagType)
-		if !ok {
-			return nil, fmt.Errorf("input %s is not a bag", name)
-		}
-		si, err := shred.ShredInput(name, b, bt)
+		comps, err := cq.InputRowsOne(name, b)
 		if err != nil {
 			return nil, err
 		}
-		for comp, ts := range si.Rows {
-			rows[comp] = tuplesToRows(ts)
+		for comp, rs := range comps {
+			rows[comp] = rs
 		}
+	}
+	return rows, nil
+}
+
+// InputRowsOne converts a single named input into its engine datasets: one
+// entry under the input's own name for non-shredded strategies, the
+// value-shredded dictionary components for shredded ones. The result
+// depends only on (name, bag, declared type, route kind), so callers
+// evaluating many queries over the same dataset may convert once per route
+// and share the rows (see trance.Session).
+func (cq *Compiled) InputRowsOne(name string, b value.Bag) (rows map[string][]dataflow.Row, err error) {
+	defer recoverTo(&err, "input preparation")
+	if !cq.Strategy.IsShredded() {
+		return map[string][]dataflow.Row{name: rowsOf(b)}, nil
+	}
+	bt, ok := cq.Env[name].(nrc.BagType)
+	if !ok {
+		return nil, fmt.Errorf("input %s is not a bag", name)
+	}
+	si, err := shred.ShredInput(name, b, bt)
+	if err != nil {
+		return nil, err
+	}
+	rows = map[string][]dataflow.Row{}
+	for comp, ts := range si.Rows {
+		rows[comp] = tuplesToRows(ts)
 	}
 	return rows, nil
 }

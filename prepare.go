@@ -181,24 +181,30 @@ func (pq *PreparedQuery) OutputSchema(strat Strategy) ([]OutputColumn, error) {
 	if err != nil {
 		return nil, err
 	}
+	return namedSchema(cols, pq.outType, strat), nil
+}
+
+// namedSchema maps a strategy's plan output columns to the query's own field
+// names where the output is the nested value (see OutputSchema).
+func namedSchema(cols []OutputColumn, outType Type, strat Strategy) []OutputColumn {
 	if strat.IsShredded() && !(strat == ShredUnshred || strat == ShredUnshredSkew) {
-		return cols, nil
+		return cols
 	}
-	bt, ok := pq.outType.(nrc.BagType)
+	bt, ok := outType.(nrc.BagType)
 	if !ok {
-		return cols, nil
+		return cols
 	}
 	if tt, ok := bt.Elem.(nrc.TupleType); ok && len(tt.Fields) == len(cols) {
 		out := make([]OutputColumn, len(tt.Fields))
 		for i, f := range tt.Fields {
 			out[i] = OutputColumn{Name: f.Name, Type: f.Type}
 		}
-		return out, nil
+		return out
 	}
 	if len(cols) == 1 {
-		return []OutputColumn{{Name: cols[0].Name, Type: bt.Elem}}, nil
+		return []OutputColumn{{Name: cols[0].Name, Type: bt.Elem}}
 	}
-	return cols, nil
+	return cols
 }
 
 // Run evaluates the prepared query under the strategy over one set of
@@ -242,6 +248,13 @@ func (pq *PreparedQuery) runContext(strat Strategy) *dataflow.Context {
 type PreparedData struct {
 	raw map[string]Bag
 
+	// convert, when set, converts one named input (all its components);
+	// sessions install a converter that shares converted rows per (variable,
+	// dataset, route) across every query they prepare, so many ad-hoc
+	// queries over one dataset hold one converted copy, not one each. Nil
+	// falls back to the compiled query's own whole-map conversion.
+	convert func(cq *runner.Compiled, name string, b Bag) (map[string][]dataflow.Row, error)
+
 	mu      sync.Mutex
 	byRoute map[bool]*preparedRows // IsShredded → converted rows
 }
@@ -269,7 +282,23 @@ func (pd *PreparedData) rowsFor(cq *runner.Compiled) (map[string][]dataflow.Row,
 	if e, ok := pd.byRoute[key]; ok {
 		return e.rows, e.err
 	}
-	rows, err := cq.InputRows(pd.raw)
+	var rows map[string][]dataflow.Row
+	var err error
+	if pd.convert == nil {
+		rows, err = cq.InputRows(pd.raw)
+	} else {
+		rows = map[string][]dataflow.Row{}
+		for name, b := range pd.raw {
+			comps, cerr := pd.convert(cq, name, b)
+			if cerr != nil {
+				rows, err = nil, cerr
+				break
+			}
+			for comp, rs := range comps {
+				rows[comp] = rs
+			}
+		}
+	}
 	pd.byRoute[key] = &preparedRows{rows: rows, err: err}
 	return rows, err
 }

@@ -112,6 +112,29 @@ func (pp *PreparedPipeline) compiled(strat Strategy) (*runner.CompiledPipeline, 
 	return cp, nil
 }
 
+// OutputSchema reports the flat schema of the pipeline's final output under
+// the strategy, with the final step's own field names for nested-output
+// strategies (see PreparedQuery.OutputSchema). It compiles the strategy if
+// needed.
+func (pp *PreparedPipeline) OutputSchema(strat Strategy) ([]OutputColumn, error) {
+	cp, err := pp.compiled(strat)
+	if err != nil {
+		return nil, err
+	}
+	last := cp.Steps[len(cp.Steps)-1]
+	op := last.CQ.OutputPlan()
+	if op == nil {
+		return nil, fmt.Errorf("%s (%s): no output plan", pp.label(), strat)
+	}
+	var cols []OutputColumn
+	for _, c := range op.Columns() {
+		cols = append(cols, OutputColumn{Name: c.Name, Type: c.Type})
+	}
+	// The final step of an unshredding pipeline is compiled as its
+	// unshredded variant, so the effective strategy equals strat here.
+	return namedSchema(cols, pp.outTypes[len(pp.outTypes)-1], strat), nil
+}
+
 // Run executes the prepared pipeline under the strategy over one set of
 // inputs: compiled plans from the cache, execution on a fresh dataflow
 // context drawing workers from the shared pool, panics degraded to errors.

@@ -1,0 +1,199 @@
+package trance_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/trance-go/trance"
+	"github.com/trance-go/trance/internal/parse"
+)
+
+func textCatalog(t *testing.T) *trance.Catalog {
+	t.Helper()
+	cat := trance.NewCatalog()
+	const ndjson = `
+{"cname": "alice", "orders": [{"pid": 1, "qty": 12.0}, {"pid": 2, "qty": 3.0}]}
+{"cname": "bob",   "orders": [{"pid": 1, "qty": 40.0}]}
+{"cname": "carol", "orders": []}
+`
+	if _, err := cat.RegisterJSON("CO", strings.NewReader(ndjson)); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestPrepareText runs a textual query end to end through the Session API
+// and checks it against the equivalent builder query under every strategy.
+func TestPrepareText(t *testing.T) {
+	cat := textCatalog(t)
+	sess := cat.NewSession(trance.SessionOptions{})
+
+	const text = `
+for c in CO union
+  { {
+      cname := c.cname,
+      big := for o in c.orders union
+               if o.qty > 10.0 then { o }
+  } }`
+	built := trance.ForIn("c", trance.V("CO"),
+		trance.SingOf(trance.Record(
+			"cname", trance.P(trance.V("c"), "cname"),
+			"big", trance.ForIn("o", trance.P(trance.V("c"), "orders"),
+				trance.IfThen(trance.GtOf(trance.P(trance.V("o"), "qty"), trance.C(10.0)),
+					trance.SingOf(trance.V("o")))))))
+
+	sqText, err := sess.PrepareText("text", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqBuilt, err := sess.PrepareNamed("built", built)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structurally identical queries share a fingerprint (and compiled plans).
+	if sqText.Prepared().Fingerprint() != sqBuilt.Prepared().Fingerprint() {
+		t.Fatalf("text and builder fingerprints differ:\n%s\nvs\n%s",
+			trance.Print(sqText.Prepared().Query()), trance.Print(sqBuilt.Prepared().Query()))
+	}
+	for _, strat := range []trance.Strategy{trance.Standard, trance.Shred, trance.ShredUnshred} {
+		a, err := sqText.RunJSON(context.Background(), strat)
+		if err != nil {
+			t.Fatalf("%s text: %v", strat, err)
+		}
+		b, err := sqBuilt.RunJSON(context.Background(), strat)
+		if err != nil {
+			t.Fatalf("%s built: %v", strat, err)
+		}
+		if len(a) != 3 || len(a) != len(b) {
+			t.Fatalf("%s: %d vs %d rows", strat, len(a), len(b))
+		}
+	}
+}
+
+// TestPrepareTextDiagnostics: type and resolution errors point back into the
+// query text with caret diagnostics at every session entry point.
+func TestPrepareTextDiagnostics(t *testing.T) {
+	cat := textCatalog(t)
+	sess := cat.NewSession(trance.SessionOptions{})
+
+	// Parse error.
+	_, err := sess.PrepareText("", "for c CO union { c }")
+	var pe *parse.Error
+	if !asParseError(err, &pe) || !strings.Contains(err.Error(), "^") {
+		t.Fatalf("parse error: %v", err)
+	}
+
+	// Type error: caret under the bad projection on line 2.
+	_, err = sess.PrepareText("", "for c in CO union\n  { { x := c.nope } }")
+	if !asParseError(err, &pe) || pe.Pos.Line != 2 || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("type error: %v", err)
+	}
+
+	// Unknown dataset: caret under the variable reference.
+	_, err = sess.PrepareText("", "for c in Missing union { c }")
+	if !asParseError(err, &pe) || pe.Pos.Col != 10 || !strings.Contains(err.Error(), "no dataset") {
+		t.Fatalf("resolve error: %v", err)
+	}
+
+	// Same for pipelines: the failing statement's node is located.
+	_, err = sess.PrepareTextPipeline("A := for c in CO union { { q := c.nope } };\nsumby[q; q](A)")
+	if !asParseError(err, &pe) || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("pipeline type error: %v", err)
+	}
+}
+
+func asParseError(err error, pe **parse.Error) bool {
+	if err == nil {
+		return false
+	}
+	e, ok := err.(*parse.Error)
+	if ok {
+		*pe = e
+	}
+	return ok
+}
+
+// TestPrepareTextPipeline runs a textual multi-statement program and checks
+// it against the builder pipeline.
+func TestPrepareTextPipeline(t *testing.T) {
+	cat := textCatalog(t)
+	sess := cat.NewSession(trance.SessionOptions{})
+
+	const prog = `
+Flat := for c in CO union
+          for o in c.orders union
+            { { cname := c.cname, qty := o.qty } };
+sumby[cname; qty](Flat)`
+	sp, err := sess.PrepareTextPipeline(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []trance.Strategy{trance.Standard, trance.Shred, trance.ShredUnshred} {
+		rows, err := sp.RunJSON(context.Background(), strat)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("%s: rows %v", strat, rows)
+		}
+		byName := map[string]float64{}
+		for _, r := range rows {
+			byName[r["cname"].(string)] = r["qty"].(float64)
+		}
+		if byName["alice"] != 15.0 || byName["bob"] != 40.0 {
+			t.Fatalf("%s: totals %v", strat, byName)
+		}
+	}
+}
+
+// TestSessionSharesConvertedRows: many ad-hoc queries over one dataset must
+// share a single converted (value-shredded) copy per route, not hold one
+// each — the bound that keeps a text-query service's memory proportional to
+// the data, not to the number of distinct query texts.
+func TestSessionSharesConvertedRows(t *testing.T) {
+	cat := textCatalog(t)
+	sess := cat.NewSession(trance.SessionOptions{})
+	texts := []string{
+		"for c in CO union { { n := c.cname } }",
+		"for c in CO union { { k := c.cname, m := c.cname } }",
+		"for c in CO union for o in c.orders union { { q := o.qty } }",
+	}
+	for _, text := range texts {
+		sq, err := sess.PrepareText("", text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, strat := range []trance.Strategy{trance.Standard, trance.Shred} {
+			if _, err := sq.Run(context.Background(), strat); err != nil {
+				t.Fatalf("%s: %v", strat, err)
+			}
+		}
+	}
+	// One standard + one shredded conversion of CO, shared by all 3 queries.
+	if got := trance.SessionSharedConversions(sess); got != 2 {
+		t.Fatalf("shared conversions: %d, want 2 (standard + shredded for CO)", got)
+	}
+}
+
+// TestParseRoot exercises the root-level Parse/ParseProgram wrappers.
+func TestParseRoot(t *testing.T) {
+	q, err := trance.Parse("for x in R union { x }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trance.Print(q); !strings.Contains(got, "for x in R union") {
+		t.Fatalf("print: %s", got)
+	}
+	if _, err := trance.Parse("for x in"); err == nil {
+		t.Fatal("want parse error")
+	}
+	p, err := trance.ParseProgram("A := { 1 };\nfor x in A union { x }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := trance.ProgramSteps(p)
+	if len(steps) != 2 || steps[0].Name != "A" || steps[1].Name != "result" {
+		t.Fatalf("steps: %+v", steps)
+	}
+}

@@ -24,6 +24,15 @@
 //	sq, _ := cat.NewSession(trance.SessionOptions{}).Prepare(q)
 //	rows, _ := sq.RunJSON(ctx, trance.ShredUnshred) // JSON in, JSON out
 //
+// Queries can equally be written as text in the paper's comprehension
+// syntax (docs/QUERYLANG.md) — Parse/ParseProgram produce the same ASTs,
+// Session.PrepareText/PrepareTextPipeline serve them with caret
+// diagnostics for every lex/parse/type error, and Print renders any query
+// back in that syntax:
+//
+//	sq, _ := cat.NewSession(trance.SessionOptions{}).PrepareText("inc",
+//	        `for x in R union { { b := x.a + 1 } }`)
+//
 // One-shot evaluation over explicit inputs is Run (see ExampleRun); Prepare
 // and PreparePipeline are the lower-level compile-once APIs: each
 // (query, strategy) — and each pipeline step, under env-aware fingerprints —
@@ -42,6 +51,7 @@ import (
 	"github.com/trance-go/trance/internal/core"
 	"github.com/trance-go/trance/internal/dataflow"
 	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/parse"
 	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/runner"
 	"github.com/trance-go/trance/internal/shred"
@@ -137,8 +147,48 @@ var (
 // Check type-checks a query against an environment.
 func Check(q Expr, env Env) (Type, error) { return nrc.Check(q, env) }
 
-// Print renders a query in the paper's surface syntax.
+// Print renders a query in the canonical textual surface syntax — the same
+// language Parse accepts, so Parse(Print(q)) returns a structurally
+// identical query (see docs/QUERYLANG.md for the grammar).
 func Print(q Expr) string { return nrc.Print(q) }
+
+// Parse parses a query written in the textual NRC surface syntax (the
+// comprehension language of the paper: `for x in R union ...` — see
+// docs/QUERYLANG.md for the full grammar). Lex and parse errors are
+// position-tracked caret diagnostics and never panic. The returned
+// expression is ready for Check, Prepare, or a Session (Session.PrepareText
+// parses and prepares in one step and points type errors back at the text).
+func Parse(src string) (Expr, error) {
+	r, err := parse.Query(src)
+	if err != nil {
+		return nil, err
+	}
+	return r.Expr, nil
+}
+
+// ParseProgram parses a multi-statement program: `name := expr;`
+// assignments (later statements may reference earlier names) ending in a
+// result expression, which maps onto the pipeline machinery — each
+// assignment becomes a PipelineStep, and a final bare expression becomes the
+// step "result". See Session.PrepareTextPipeline for the catalog-resolved,
+// compile-once serving path.
+func ParseProgram(src string) (*Program, error) {
+	r, err := parse.Program(src)
+	if err != nil {
+		return nil, err
+	}
+	return r.Program, nil
+}
+
+// ProgramSteps converts a parsed program into pipeline steps, one per
+// assignment in order.
+func ProgramSteps(p *Program) []PipelineStep {
+	steps := make([]PipelineStep, len(p.Stmts))
+	for i, st := range p.Stmts {
+		steps[i] = PipelineStep{Name: st.Name, Query: st.Expr}
+	}
+	return steps
+}
 
 // LocalEval evaluates a checked query with the tuple-at-a-time reference
 // evaluator (the oracle used by this repository's tests).
