@@ -48,7 +48,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   trance explain -class <class> -level <0-4> [-wide]
   trance run     -class <class> -level <0-4> [-wide] -strategy <name> [-skew 0-4]
-  trance query   [-input <data.json|->] [-name R] [-q '<query text>'] [-strategy <name>] [-show N]
+  trance query   [-input <data.json|->] [-name R] [-q '<query text>'] [-strategy <name>] [-show N] [-explain]
   trance biomed  [-full] [-strategy <name>]
 
 classes:    flat-to-nested | nested-to-nested | nested-to-flat
@@ -176,6 +176,7 @@ func cmdQuery(args []string) {
 	text := fs.String("q", "", "textual NRC query or program over the ingested dataset (default: scan it all)")
 	strategy := fs.String("strategy", "standard", "evaluation strategy")
 	show := fs.Int("show", 0, "result rows to print (0 = all)")
+	explain := fs.Bool("explain", false, "print the compiled plans before and after the rule-based optimizer (predicate pushdown etc.) to stderr")
 	_ = fs.Parse(args)
 
 	if *input == "" && *text == "" {
@@ -204,11 +205,14 @@ func cmdQuery(args []string) {
 	var rows []map[string]any
 	var err error
 	if *text != "" {
-		rows, err = runText(sess, *text, strat)
+		rows, err = runText(sess, *text, strat, *explain)
 	} else {
 		var sq *trance.SessionQuery
 		sq, err = sess.PrepareNamed(*name, trance.ForIn("x", trance.V(*name), trance.SingOf(trance.V("x"))))
 		if err == nil {
+			if *explain {
+				printExplain(sq.Prepared().Explain(strat))
+			}
 			rows, err = sq.RunJSON(context.Background(), strat)
 		}
 	}
@@ -230,12 +234,16 @@ func cmdQuery(args []string) {
 
 // runText prepares and runs an ad-hoc text query — or, when the text is not
 // a bare expression (it contains assignments), a multi-statement program —
-// against the session.
-func runText(sess *trance.Session, text string, strat trance.Strategy) ([]map[string]any, error) {
+// against the session. With explain set, the compiled plans (before and
+// after the rule-based optimizer) go to stderr first.
+func runText(sess *trance.Session, text string, strat trance.Strategy, explain bool) ([]map[string]any, error) {
 	if _, err := trance.Parse(text); err == nil {
 		sq, err := sess.PrepareText("adhoc", text)
 		if err != nil {
 			return nil, err
+		}
+		if explain {
+			printExplain(sq.Prepared().Explain(strat))
 		}
 		return sq.RunJSON(context.Background(), strat)
 	}
@@ -246,7 +254,20 @@ func runText(sess *trance.Session, text string, strat trance.Strategy) ([]map[st
 	if err != nil {
 		return nil, err
 	}
+	if explain {
+		printExplain(sp.Prepared().Explain(strat))
+	}
 	return sp.RunJSON(context.Background(), strat)
+}
+
+// printExplain writes an explain text to stderr (compile errors surface when
+// the query actually runs, so they are only logged here).
+func printExplain(text string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "explain unavailable: %v\n", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, text)
 }
 
 func cmdBiomed(args []string) {

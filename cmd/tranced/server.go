@@ -216,6 +216,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("POST /query", s.handleTextQuery)
+	s.mux.HandleFunc("GET /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /strategies", s.handleStrategies)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /datasets", s.handleDatasetsList)
@@ -267,6 +268,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"endpoints": []string{
 			"/query?name=&level=&strategy=&limit=",
 			"/query (POST textual NRC query body, ?strategy=&limit= — see docs/QUERYLANG.md)",
+			"/explain?name=&level=&strategy= (plans before/after the rule-based optimizer)",
 			"/datasets (GET list, POST ?name= upload NDJSON/JSON)",
 			"/strategies", "/metrics", "/healthz",
 		},
@@ -414,42 +416,64 @@ func (s *server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// route is a resolved (prepared query, level, strategy) triple shared by
+// GET /query and GET /explain.
+type route struct {
+	name      string
+	level     int
+	sq        *trance.SessionQuery
+	strat     trance.Strategy
+	stratName string
+}
+
+// resolveRoute resolves the name/level/strategy parameters GET /query and
+// GET /explain share, writing a 400 and returning ok=false on any bad
+// parameter.
+func (s *server) resolveRoute(w http.ResponseWriter, r *http.Request) (route, bool) {
+	q := r.URL.Query()
+	var rt route
+	rt.name = q.Get("name")
+	entry, ok := s.lookupQuery(rt.name)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown query %q (see / for the catalog)", rt.name)
+		return rt, false
+	}
+	if lv := q.Get("level"); lv != "" {
+		var err error
+		rt.level, err = strconv.Atoi(lv)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad level %q", lv)
+			return rt, false
+		}
+	}
+	rt.sq, ok = entry.queries[rt.level]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "query %s has no level %d (levels %v)", rt.name, rt.level, entry.levels)
+		return rt, false
+	}
+	rt.stratName = q.Get("strategy")
+	if rt.stratName == "" {
+		rt.stratName = "standard"
+	}
+	rt.strat, ok = trance.ParseStrategy(rt.stratName)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown strategy %q (see /strategies)", rt.stratName)
+		return rt, false
+	}
+	return rt, true
+}
+
 // handleQuery evaluates one prepared query: name + level + strategy → JSON
 // rows. Bad requests (unknown query/level/strategy, compile failures) are
 // 4xx; engine failures are 5xx; neither can crash the process.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	name := q.Get("name")
-	entry, ok := s.lookupQuery(name)
+	rt, ok := s.resolveRoute(w, r)
 	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown query %q (see / for the catalog)", name)
 		return
 	}
-	level := 0
-	if lv := q.Get("level"); lv != "" {
-		var err error
-		level, err = strconv.Atoi(lv)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad level %q", lv)
-			return
-		}
-	}
-	sq, ok := entry.queries[level]
-	if !ok {
-		httpError(w, http.StatusBadRequest, "query %s has no level %d (levels %v)", name, level, entry.levels)
-		return
-	}
-	stratName := q.Get("strategy")
-	if stratName == "" {
-		stratName = "standard"
-	}
-	strat, ok := trance.ParseStrategy(stratName)
-	if !ok {
-		httpError(w, http.StatusBadRequest, "unknown strategy %q (see /strategies)", stratName)
-		return
-	}
+	name, level, sq, strat, stratName := rt.name, rt.level, rt.sq, rt.strat, rt.stratName
 	limit := 20
-	if ls := q.Get("limit"); ls != "" {
+	if ls := r.URL.Query().Get("limit"); ls != "" {
 		var err error
 		limit, err = strconv.Atoi(ls)
 		if err != nil || limit < 0 {
@@ -628,6 +652,29 @@ func (s *server) handleTextQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleExplain renders a served query's compiled plans before and after the
+// rule-based optimizer pass (predicate pushdown, select fusion, constant
+// folding) plus its rule-hit counters: name + level + strategy → text. The
+// same parameters /query takes; compilation happens through the plan cache,
+// so explaining a route never recompiles a served query.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	rt, ok := s.resolveRoute(w, r)
+	if !ok {
+		return
+	}
+	text, err := rt.sq.Prepared().Explain(rt.strat)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "explain %s (%s): %v", rt.name, rt.stratName, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":    rt.name,
+		"level":    rt.level,
+		"strategy": rt.strat.String(),
+		"explain":  text,
+	})
+}
+
 // record folds one run's outcome and engine metrics into the route's stats.
 func (s *server) record(name string, level int, strat string, res *trance.Result, failed bool) {
 	key := fmt.Sprintf("%s/L%d/%s", name, level, strat)
@@ -690,6 +737,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	cache := trance.PlanCacheStats()
+	opt := trance.OptimizerCounters()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s": time.Since(s.started).Seconds(),
 		"requests": s.requests.Load(),
@@ -700,6 +748,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"compiles":  cache.Compiles,
 			"hits":      cache.Hits,
 			"evictions": cache.Evictions,
+		},
+		"optimizer": map[string]any{
+			"predicates_pushed":    opt.PredicatesPushed,
+			"join_side_derived":    opt.JoinSideDerived,
+			"selects_fused":        opt.SelectsFused,
+			"constants_folded":     opt.ConstantsFolded,
+			"true_selects_dropped": opt.TrueSelectsDropped,
+			"false_selects_cut":    opt.FalseSelectsCut,
+			"pushes_refused":       opt.PushesRefused,
 		},
 		"routes": routes,
 	})

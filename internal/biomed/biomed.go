@@ -136,6 +136,31 @@ func Generate(cfg Config) map[string]value.Bag {
 	}
 }
 
+// SelectiveBurden is a flat variant of the Step1 burden aggregation with two
+// selective guards: only near-deleterious candidates (c_sift ≥ 0.9, ~10% of
+// generated candidates) against impactful consequence classes (i_score ≥
+// 0.5) contribute. The sift guard compiles to a residual selection above the
+// SOImpact join and the score guard filters the join's other side — the
+// shapes the rule-based optimizer's predicate pushdown targets
+// (BenchmarkPushdownAblation measures the win on this query).
+func SelectiveBurden() nrc.Expr {
+	return nrc.SumByOf(
+		nrc.ForIn("o", nrc.V("Occurrences"),
+			nrc.ForIn("m", nrc.P(nrc.V("o"), "o_mutations"),
+				nrc.ForIn("c", nrc.P(nrc.V("m"), "m_candidates"),
+					nrc.ForIn("i", nrc.V("SOImpact"),
+						nrc.IfThen(
+							nrc.AndOf(
+								nrc.EqOf(nrc.P(nrc.V("c"), "c_impact"), nrc.P(nrc.V("i"), "i_impact")),
+								nrc.AndOf(
+									nrc.GeOf(nrc.P(nrc.V("c"), "c_sift"), nrc.C(0.9)),
+									nrc.GeOf(nrc.P(nrc.V("i"), "i_score"), nrc.C(0.5)))),
+							nrc.SingOf(nrc.Record(
+								"gene", nrc.P(nrc.V("c"), "c_gene"),
+								"burden", nrc.MulOf(nrc.P(nrc.V("c"), "c_sift"), nrc.P(nrc.V("i"), "i_score"))))))))),
+		[]string{"gene"}, []string{"burden"})
+}
+
 // Steps builds the five constituent queries of E2E.
 //
 // Step1 flattens the whole of Occurrences with nested joins (SOImpact at the

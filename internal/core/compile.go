@@ -129,6 +129,12 @@ type qc struct {
 	carry    []int // bag-typed columns carried through nests
 	presence []int // first columns of this level's generators (phantom detection)
 	level    int
+	// consumed marks bag columns an unnest has already flattened: μ
+	// tombstones the unnested attribute in place (the paper's projection of
+	// the flattened column), so a second iteration or copy of the same bag
+	// would silently read NULL. Such queries are refused with a descriptive
+	// error instead (found by the differential oracle harness).
+	consumed map[int]bool
 }
 
 func (q *qc) clone() *qc {
@@ -136,13 +142,27 @@ func (q *qc) clone() *qc {
 	for k, v := range q.env {
 		env[k] = v
 	}
+	consumed := make(map[int]bool, len(q.consumed))
+	for k, v := range q.consumed {
+		consumed[k] = v
+	}
 	return &qc{
 		c: q.c, cur: q.cur, env: env,
 		g:        append([]int{}, q.g...),
 		carry:    append([]int{}, q.carry...),
 		presence: append([]int{}, q.presence...),
 		level:    q.level,
+		consumed: consumed,
 	}
+}
+
+// markConsumed records that the bag at column col has been flattened in
+// place and must not be read again.
+func (q *qc) markConsumed(col int) {
+	if q.consumed == nil {
+		q.consumed = map[int]bool{}
+	}
+	q.consumed[col] = true
 }
 
 func (q *qc) cols() []plan.Column { return q.cur.Columns() }
@@ -362,6 +382,10 @@ func (q *qc) addGenerator(v string, src nrc.Expr, pending []nrc.Expr) ([]nrc.Exp
 
 	// Correlated generator over a bag-valued path: unnest.
 	if col, ok := q.resolveBagCol(src); ok {
+		if q.consumed[col] {
+			return nil, consumedBagErr(src)
+		}
+		q.markConsumed(col)
 		q.cur = &plan.Unnest{In: q.cur, BagCol: col, Prefix: v, Outer: outer}
 		base := q.width() - len(elemFieldCount(elemT))
 		q.bindElem(v, elemT, base)
@@ -650,6 +674,14 @@ func colsByName(cols []plan.Column, names []string) ([]int, error) {
 		out[i] = idx
 	}
 	return out, nil
+}
+
+// consumedBagErr explains the refusal to read a bag attribute a second time.
+// The unnest of an enclosing for flattens the bag's column in place (paper
+// Section 3: the unnested attribute is projected away), so a later iteration
+// or copy would silently see NULL — a wrong empty bag — instead of the data.
+func consumedBagErr(src nrc.Expr) error {
+	return fmt.Errorf("core: %s is already flattened by an enclosing for; iterating or copying a bag attribute a second time is not supported by the unnesting stage — bind the needed elements in the first iteration instead", nrc.Print(src))
 }
 
 func intsContain(xs []int, v int) bool {

@@ -99,6 +99,10 @@ func (q *qc) compileHeadFields(head nrc.Expr) ([]fieldInfo, error) {
 			return nil, err
 		}
 		if c, ok := pe.(*plan.Col); ok {
+			if isBag && q.consumed[c.Idx] {
+				// The column holds a tombstone, not the bag.
+				return nil, consumedBagErr(f.Expr)
+			}
 			infos[i] = fieldInfo{name: f.Name, col: c.Idx, isBag: isBag}
 			continue
 		}
@@ -135,6 +139,29 @@ func (q *qc) compileHeadFields(head nrc.Expr) ([]fieldInfo, error) {
 		}
 
 		// The nest reordered columns to [G, carries, bag]; remap everything.
+		// Bags the nested level consumed stay consumed in the parent (their
+		// carried value is the tombstone). child.consumed is keyed in the
+		// child's FINAL coordinates — a deeper nested field may have run the
+		// child's own remapState — so translate marks on the surviving
+		// columns back to parent coordinates via the fr.g↔newG and
+		// fr.carry↔newCarry correspondences before the parent's own remap.
+		adopted := make(map[int]bool, len(q.consumed))
+		for k, v := range q.consumed {
+			if v {
+				adopted[k] = true
+			}
+		}
+		for i, cc := range fr.g {
+			if child.consumed[cc] {
+				adopted[newG[i]] = true
+			}
+		}
+		for j, cc := range fr.carry {
+			if child.consumed[cc] {
+				adopted[newCarry[j]] = true
+			}
+		}
+		q.consumed = adopted
 		remap := map[int]int{}
 		for i, old := range newG {
 			remap[old] = i
@@ -151,6 +178,14 @@ func (q *qc) compileHeadFields(head nrc.Expr) ([]fieldInfo, error) {
 		}
 		infos[fi].col = bagCol
 		newG, newCarry = splitFlatBag(q.cols())
+	}
+	// Column-path bag fields were resolved BEFORE the nested fields above
+	// consumed anything; a plain copy of a bag a sibling nested field has
+	// since flattened now points at the tombstoned carry — refuse it.
+	for i := range infos {
+		if infos[i].isBag && infos[i].col >= 0 && q.consumed[infos[i].col] {
+			return nil, consumedBagErr(nfs[i].Expr)
+		}
 	}
 	return infos, nil
 }
@@ -344,6 +379,17 @@ func (q *qc) remapState(remap map[int]int) {
 	q.g = mapSlice(q.g)
 	q.carry = mapSlice(q.carry)
 	q.presence = mapSlice(q.presence)
+	if len(q.consumed) > 0 {
+		consumed := map[int]bool{}
+		for old, v := range q.consumed {
+			// Columns the nest dropped (the nested level's own additions)
+			// are gone; only surviving positions carry the mark forward.
+			if n, ok := remap[old]; ok && v {
+				consumed[n] = true
+			}
+		}
+		q.consumed = consumed
+	}
 	for name, b := range q.env {
 		if b.isTuple {
 			cols := make(map[string]int, len(b.cols))

@@ -255,42 +255,13 @@ func ExprCols(e Expr, out []int) []int {
 // RemapExpr rewrites column references through a position map; the map must
 // cover every referenced column.
 func RemapExpr(e Expr, remap map[int]int) Expr {
-	switch x := e.(type) {
-	case *Col:
-		n, ok := remap[x.Idx]
+	return substCols(e, func(c *Col) Expr {
+		n, ok := remap[c.Idx]
 		if !ok {
-			panic(fmt.Sprintf("plan: remap missing column %d (%s)", x.Idx, x.Name))
+			panic(fmt.Sprintf("plan: remap missing column %d (%s)", c.Idx, c.Name))
 		}
-		return &Col{Idx: n, Name: x.Name, Typ: x.Typ}
-	case *ConstE:
-		return x
-	case *CmpE:
-		return &CmpE{Op: x.Op, L: RemapExpr(x.L, remap), R: RemapExpr(x.R, remap)}
-	case *ArithE:
-		return &ArithE{Op: x.Op, L: RemapExpr(x.L, remap), R: RemapExpr(x.R, remap), Typ: x.Typ}
-	case *NotE:
-		return &NotE{E: RemapExpr(x.E, remap)}
-	case *BoolE:
-		return &BoolE{And: x.And, L: RemapExpr(x.L, remap), R: RemapExpr(x.R, remap)}
-	case *MkTuple:
-		es := make([]Expr, len(x.Exprs))
-		for i, s := range x.Exprs {
-			es[i] = RemapExpr(s, remap)
-		}
-		return &MkTuple{Names: x.Names, Exprs: es}
-	case *MkLabel:
-		es := make([]Expr, len(x.Args))
-		for i, s := range x.Args {
-			es[i] = RemapExpr(s, remap)
-		}
-		return &MkLabel{Site: x.Site, Args: es}
-	case *LabelField:
-		return &LabelField{E: RemapExpr(x.E, remap), Site: x.Site, Idx: x.Idx, NParams: x.NParams, Typ: x.Typ}
-	case *CastNullBag:
-		return &CastNullBag{E: RemapExpr(x.E, remap)}
-	default:
-		panic(fmt.Sprintf("plan: unknown expr %T", e))
-	}
+		return &Col{Idx: n, Name: c.Name, Typ: c.Typ}
+	})
 }
 
 // NamedExpr pairs an output column name with its defining expression.

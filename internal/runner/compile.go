@@ -36,6 +36,16 @@ type Compiled struct {
 	// Unshred is the pruned plan restoring nested output (unshredding
 	// strategies only).
 	Unshred plan.Op
+
+	// RawPlan, RawStmts and RawUnshred keep the pre-optimizer plans so
+	// Explain can show before/after diffs. They alias the optimized fields
+	// when the optimizer is disabled (Config.NoPredicatePushdown).
+	RawPlan    plan.Op
+	RawStmts   []core.CompiledStmt
+	RawUnshred plan.Op
+	// Opt accumulates the optimizer's rule-hit counters over every plan of
+	// this compilation.
+	Opt plan.OptStats
 }
 
 // recoverTo converts a panic into an error carrying the stack, so malformed
@@ -91,8 +101,21 @@ func (cq *Compiled) compileStandard(q nrc.Expr) error {
 	if err != nil {
 		return fmt.Errorf("compile: %w", err)
 	}
-	cq.Plan = op
+	cq.RawPlan = op
+	cq.Plan = cq.optimize(op)
 	return nil
+}
+
+// optimize runs the rule-based plan optimizer (predicate pushdown, select
+// fusion, constant folding) unless the ablation flag disables it, folding the
+// rule-hit counters into cq.Opt.
+func (cq *Compiled) optimize(op plan.Op) plan.Op {
+	if cq.Cfg.NoPredicatePushdown {
+		return op
+	}
+	out, st := plan.Optimize(op)
+	cq.Opt.Add(st)
+	return out
 }
 
 func (cq *Compiled) compileShredded(q nrc.Expr, topName string) error {
@@ -126,7 +149,11 @@ func (cq *Compiled) compileShredded(q nrc.Expr, topName string) error {
 	if err != nil {
 		return fmt.Errorf("compile shredded: %w", err)
 	}
-	cq.Stmts = stmts
+	cq.RawStmts = stmts
+	cq.Stmts = make([]core.CompiledStmt, len(stmts))
+	for i, st := range stmts {
+		cq.Stmts[i] = core.CompiledStmt{Name: st.Name, Plan: cq.optimize(st.Plan)}
+	}
 
 	if cq.Strategy.unshreds() {
 		uplan, err := shred.BuildUnshredPlan(mat)
@@ -136,7 +163,8 @@ func (cq *Compiled) compileShredded(q nrc.Expr, topName string) error {
 		if !cq.Cfg.NoColumnPruning {
 			uplan = plan.Prune(uplan)
 		}
-		cq.Unshred = uplan
+		cq.RawUnshred = uplan
+		cq.Unshred = cq.optimize(uplan)
 	}
 	return nil
 }

@@ -1,0 +1,64 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/trance-go/trance/internal/plan"
+)
+
+// Explain renders every compiled plan of the artifact, showing the plan
+// before and after the rule-based optimizer pass (predicate pushdown, select
+// fusion, constant folding) plus the optimizer's rule-hit counters. Plans the
+// optimizer left unchanged are printed once. The output backs
+// `trance query -explain`, the tranced GET /explain route, and the golden
+// fixtures under internal/runner/testdata.
+func (cq *Compiled) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "strategy: %s\n", cq.Strategy)
+	if cq.Cfg.NoPredicatePushdown {
+		sb.WriteString("optimizer: disabled (NoPredicatePushdown)\n")
+	} else {
+		fmt.Fprintf(&sb, "optimizer: %s\n", cq.Opt.String())
+	}
+	if cq.Plan != nil {
+		explainPair(&sb, "plan", cq.RawPlan, cq.Plan)
+	}
+	for i, st := range cq.Stmts {
+		var raw plan.Op
+		if i < len(cq.RawStmts) {
+			raw = cq.RawStmts[i].Plan
+		}
+		explainPair(&sb, "assignment "+st.Name, raw, st.Plan)
+	}
+	if cq.Unshred != nil {
+		explainPair(&sb, "unshred plan", cq.RawUnshred, cq.Unshred)
+	}
+	return sb.String()
+}
+
+// explainPair prints one plan section; when the optimizer changed the plan,
+// both the before and after trees are shown.
+func explainPair(sb *strings.Builder, what string, raw, opt plan.Op) {
+	after := plan.Explain(opt)
+	if raw == nil {
+		fmt.Fprintf(sb, "=== %s ===\n%s", what, after)
+		return
+	}
+	before := plan.Explain(raw)
+	if before == after {
+		fmt.Fprintf(sb, "=== %s (unchanged by optimizer) ===\n%s", what, after)
+		return
+	}
+	fmt.Fprintf(sb, "=== %s (before optimizer) ===\n%s", what, before)
+	fmt.Fprintf(sb, "=== %s (after optimizer) ===\n%s", what, after)
+}
+
+// ExplainPipeline renders the Explain of every step of a compiled pipeline.
+func (cp *CompiledPipeline) ExplainPipeline() string {
+	var sb strings.Builder
+	for i, st := range cp.Steps {
+		fmt.Fprintf(&sb, "--- step %d: %s ---\n%s", i+1, st.Name, st.CQ.Explain())
+	}
+	return sb.String()
+}

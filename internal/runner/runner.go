@@ -137,6 +137,11 @@ type Config struct {
 	// NoColumnPruning disables column pruning (paper Section 3
 	// optimizations; used by the ablation bench).
 	NoColumnPruning bool
+	// NoPredicatePushdown disables the rule-based plan optimizer (predicate
+	// pushdown, select fusion, constant folding — see plan.Optimize and
+	// docs/OPTIMIZER.md); used by the ablation bench and the differential
+	// oracle harness.
+	NoPredicatePushdown bool
 }
 
 // DefaultConfig returns a laptop-scale stand-in for the paper's cluster.

@@ -147,6 +147,50 @@ func NestedToFlatQuery(level int) nrc.Expr {
 	return nrc.SumByOf(nrc.ForIn(tv, nrc.V("NDB"), body), []string{"name"}, []string{"total"})
 }
 
+// NestedToFlatSelective is NestedToFlatQuery with two selective guards
+// layered onto the leaf join: only expensive parts (p_retailprice ≥ 19.0,
+// ~9% of the generated parts) and large lineitems (l_quantity > 45.0, ~10%)
+// contribute. Both guards land as residual selections above the Part join in
+// the compiled plan, which is exactly the shape the rule-based optimizer's
+// predicate pushdown targets — BenchmarkPushdownAblation measures the win.
+func NestedToFlatSelective(level int) nrc.Expr {
+	checkLevel(level)
+	guard := func(liVar string) nrc.Expr {
+		return nrc.AndOf(
+			nrc.GtOf(nrc.P(nrc.V(liVar), "l_quantity"), nrc.C(45.0)),
+			nrc.GeOf(nrc.P(nrc.V("p"), "p_retailprice"), nrc.C(19.0)))
+	}
+	if level == 0 {
+		return nrc.SumByOf(
+			nrc.ForIn("li", nrc.V("NDB"),
+				nrc.ForIn("p", nrc.V("Part"),
+					nrc.IfThen(nrc.AndOf(
+						nrc.EqOf(nrc.P(nrc.V("li"), "l_partkey"), nrc.P(nrc.V("p"), "p_partkey")),
+						guard("li")),
+						nrc.SingOf(nrc.Record(
+							"name", nrc.P(nrc.V("p"), "p_name"),
+							"total", nrc.MulOf(nrc.P(nrc.V("li"), "l_quantity"), nrc.P(nrc.V("p"), "p_retailprice")),
+						))))),
+			[]string{"name"}, []string{"total"})
+	}
+	top := hierarchy[level]
+	tv := varFor(level)
+	inner := nrc.SingOf(nrc.Record(
+		"name", nrc.P(nrc.V(tv), top.narrow),
+		"total", nrc.MulOf(nrc.P(nrc.V("li2"), "l_quantity"), nrc.P(nrc.V("p"), "p_retailprice")),
+	))
+	body := nrc.Expr(nrc.ForIn("p", nrc.V("Part"),
+		nrc.IfThen(nrc.AndOf(
+			nrc.EqOf(nrc.P(nrc.V("li2"), "l_partkey"), nrc.P(nrc.V("p"), "p_partkey")),
+			guard("li2")),
+			inner)))
+	body = nrc.ForIn("li2", nrc.P(nrc.V(varFor(1)), hierarchy[1].bagAttr), body)
+	for lvl := 2; lvl <= level; lvl++ {
+		body = nrc.ForIn(varFor(lvl-1), nrc.P(nrc.V(varFor(lvl)), hierarchy[lvl].bagAttr), body)
+	}
+	return nrc.SumByOf(nrc.ForIn(tv, nrc.V("NDB"), body), []string{"name"}, []string{"total"})
+}
+
 // ValidateLevel reports whether level is a supported nesting depth; CLIs use
 // it to reject bad input with a friendly error before Query/Env panic.
 func ValidateLevel(level int) error {

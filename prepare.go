@@ -207,6 +207,19 @@ func namedSchema(cols []OutputColumn, outType Type, strat Strategy) []OutputColu
 	return cols
 }
 
+// Explain compiles the strategy if needed and renders every plan of the
+// compiled artifact before and after the rule-based optimizer pass
+// (predicate pushdown, select fusion, constant folding), plus the
+// optimizer's rule-hit counters — the text behind `trance query -explain`
+// and the tranced GET /explain route.
+func (pq *PreparedQuery) Explain(strat Strategy) (string, error) {
+	cq, err := pq.compiled(strat)
+	if err != nil {
+		return "", fmt.Errorf("%s (%s): %w", pq.label(), strat, err)
+	}
+	return cq.Explain(), nil
+}
+
 // Run evaluates the prepared query under the strategy over one set of
 // inputs. The compiled plans are looked up in the compilation cache (and
 // compiled on first use); execution runs on a fresh dataflow context drawing
@@ -354,7 +367,8 @@ func fingerprint(q Expr, env Env, cfg Config) string {
 	for _, n := range names {
 		fmt.Fprintf(h, "%s:%s\n", n, env[n])
 	}
-	fmt.Fprintf(h, "de=%t prune=%t\n", cfg.DomainElimination, !cfg.NoColumnPruning)
+	fmt.Fprintf(h, "de=%t prune=%t pushdown=%t\n",
+		cfg.DomainElimination, !cfg.NoColumnPruning, !cfg.NoPredicatePushdown)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

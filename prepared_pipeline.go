@@ -88,6 +88,17 @@ func (pp *PreparedPipeline) Steps() int { return len(pp.steps) }
 // output type is OutType(Steps()-1)).
 func (pp *PreparedPipeline) OutType(i int) Type { return pp.outTypes[i] }
 
+// Explain compiles the strategy if needed and renders every step's plans
+// before and after the rule-based optimizer pass, plus per-step rule-hit
+// counters (see PreparedQuery.Explain).
+func (pp *PreparedPipeline) Explain(strat Strategy) (string, error) {
+	cp, err := pp.compiled(strat)
+	if err != nil {
+		return "", fmt.Errorf("%s (%s): %w", pp.label(), strat, err)
+	}
+	return cp.ExplainPipeline(), nil
+}
+
 // compiled assembles the per-step compiled artifacts for the strategy from
 // the plan cache, compiling each missing (step, strategy) slot exactly once
 // process-wide. Intermediate steps of unshredding strategies compile as

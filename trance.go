@@ -250,8 +250,24 @@ func DefaultConfig() Config { return runner.DefaultConfig() }
 // cache.
 func Run(job Job, strat Strategy, cfg Config) *Result { return runner.Run(job, strat, cfg) }
 
+// OptimizerStats counts rule applications of the compile-time plan
+// optimizer: predicate pushdown (below projections, joins, unnests,
+// structural nests, dedup, union), join-side filters derived from key
+// equalities, select fusion, constant folding, trivially-true/false
+// predicate elimination, and refusals at soundness boundaries
+// (outer-preserving selections, explicit nests, AddIndex, outer-join right
+// sides). See docs/OPTIMIZER.md.
+type OptimizerStats = plan.OptStats
+
+// OptimizerCounters returns the process-wide optimizer rule-hit counters,
+// aggregated over every compilation since start (served by tranced
+// /metrics). Per-query counters appear in PreparedQuery.Explain output.
+func OptimizerCounters() OptimizerStats { return plan.GlobalOptStats() }
+
 // ExplainStandard compiles a query through the standard route and renders the
-// algebraic plan (paper Figure 3 style).
+// algebraic plan (paper Figure 3 style), before the rule-based optimizer
+// pass. For the before/after-optimizer view use PreparedQuery.Explain (or
+// `trance query -explain` / tranced GET /explain).
 func ExplainStandard(q Expr, env Env) (string, error) {
 	if _, err := nrc.Check(q, env); err != nil {
 		return "", err
