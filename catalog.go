@@ -12,7 +12,9 @@ import (
 	"github.com/trance-go/trance/internal/ingest"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/parse"
+	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/runner"
+	"github.com/trance-go/trance/internal/stats"
 	"github.com/trance-go/trance/internal/value"
 )
 
@@ -33,9 +35,12 @@ type catalogEntry struct {
 	info DatasetInfo
 	bag  Bag
 	// gen distinguishes re-registrations of the same name (Drop + Register):
-	// session row caches key on it, so a replaced dataset never serves stale
-	// converted rows.
+	// session row caches and cached statistics key on it, so a replaced
+	// dataset never serves stale converted rows or stale plan decisions.
 	gen int64
+	// stats are the dataset's collected statistics (stats.Collect at
+	// registration; refreshed by Analyze). Generation-stamped with gen.
+	stats *stats.Table
 }
 
 // DatasetInfo describes one catalog entry.
@@ -95,6 +100,8 @@ func (c *Catalog) add(name string, t nrc.BagType, b Bag, source string) (Dataset
 	if name == "" {
 		return DatasetInfo{}, fmt.Errorf("catalog: dataset name must not be empty")
 	}
+	// Collect statistics outside the lock — a full pass over the data.
+	st := stats.Collect(b, t, stats.Options{})
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.entries[name]; dup {
@@ -102,9 +109,47 @@ func (c *Catalog) add(name string, t nrc.BagType, b Bag, source string) (Dataset
 	}
 	info := DatasetInfo{Name: name, Type: t, Rows: len(b), Bytes: value.Size(b), Source: source}
 	c.nextGen++
-	c.entries[name] = &catalogEntry{info: info, bag: b, gen: c.nextGen}
+	st.Generation = c.nextGen
+	c.entries[name] = &catalogEntry{info: info, bag: b, gen: c.nextGen, stats: st}
 	c.order = append(c.order, name)
 	return info, nil
+}
+
+// Stats returns a dataset's collected statistics (row/byte counts, per-column
+// NDV, min/max, heavy-key histograms), stamped with the registration
+// generation they describe. The table is shared — treat it as read-only.
+func (c *Catalog) Stats(name string) (*DatasetStats, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, false
+	}
+	return e.stats, true
+}
+
+// Analyze recollects a dataset's statistics with the given options and stores
+// them, returning the fresh table. Registration already collects statistics
+// with default options; Analyze is for tuning collection (sketch size, skew
+// threshold) after the fact.
+func (c *Catalog) Analyze(name string, opts StatsOptions) (*DatasetStats, error) {
+	c.mu.RLock()
+	e, ok := c.entries[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("catalog: dataset %s is not registered", name)
+	}
+	bt := e.info.Type.(nrc.BagType)
+	st := stats.Collect(e.bag, bt, opts)
+	st.Generation = e.gen
+	c.mu.Lock()
+	// Re-registration between the reads and here moves the name to a new
+	// entry; only stamp the entry the statistics describe.
+	if cur, ok := c.entries[name]; ok && cur == e {
+		cur.stats = st
+	}
+	c.mu.Unlock()
+	return st, nil
 }
 
 // Drop removes a dataset. Sessions and queries prepared before the Drop keep
@@ -196,14 +241,15 @@ func (e *UnknownDatasetError) Error() string {
 		e.Var, e.Dataset, e.Have)
 }
 
-// resolve snapshots the env, data, and entry generations for the given
-// variable names, applying the session's bindings.
-func (c *Catalog) resolve(vars []string, bindings map[string]string) (Env, map[string]Bag, map[string]int64, error) {
+// resolve snapshots the env, data, entry generations, and table statistics
+// for the given variable names, applying the session's bindings.
+func (c *Catalog) resolve(vars []string, bindings map[string]string) (Env, map[string]Bag, map[string]int64, map[string]plan.TableEstimate, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	env := Env{}
 	inputs := map[string]Bag{}
 	gens := map[string]int64{}
+	ests := map[string]plan.TableEstimate{}
 	for _, v := range vars {
 		ds := v
 		if b, ok := bindings[v]; ok {
@@ -211,13 +257,16 @@ func (c *Catalog) resolve(vars []string, bindings map[string]string) (Env, map[s
 		}
 		e, ok := c.entries[ds]
 		if !ok {
-			return nil, nil, nil, &UnknownDatasetError{Var: v, Dataset: ds, Have: append([]string(nil), c.order...)}
+			return nil, nil, nil, nil, &UnknownDatasetError{Var: v, Dataset: ds, Have: append([]string(nil), c.order...)}
 		}
 		env[v] = e.info.Type
 		inputs[v] = e.bag
 		gens[v] = e.gen
+		if e.stats != nil {
+			ests[v] = e.stats.Estimate()
+		}
 	}
-	return env, inputs, gens, nil
+	return env, inputs, gens, ests, nil
 }
 
 // conforms structurally validates a value against a type. NULL conforms to
@@ -363,11 +412,15 @@ func (s *Session) Prepare(q Expr) (*SessionQuery, error) { return s.PrepareNamed
 // PrepareNamed is Prepare with a label used in errors and metrics.
 func (s *Session) PrepareNamed(name string, q Expr) (*SessionQuery, error) {
 	vars := sortedVars(nrc.FreeVars(q))
-	env, inputs, gens, err := s.cat.resolve(vars, s.bind)
+	env, inputs, gens, ests, err := s.cat.resolve(vars, s.bind)
 	if err != nil {
 		return nil, err
 	}
-	pq, err := Prepare(q, PrepareOptions{Name: name, Env: env, Config: &s.cfg, Pool: s.pool})
+	cfg := s.cfg
+	if len(ests) > 0 {
+		cfg.Stats = ests
+	}
+	pq, err := Prepare(q, PrepareOptions{Name: name, Env: env, Config: &cfg, Pool: s.pool})
 	if err != nil {
 		return nil, err
 	}
@@ -436,11 +489,15 @@ func (s *Session) PreparePipeline(steps []PipelineStep) (*SessionPipeline, error
 		asg[i] = nrc.Assignment{Name: st.Name, Expr: st.Query}
 	}
 	vars := sortedVars(nrc.FreeVarsProgram(asg))
-	env, inputs, gens, err := s.cat.resolve(vars, s.bind)
+	env, inputs, gens, ests, err := s.cat.resolve(vars, s.bind)
 	if err != nil {
 		return nil, err
 	}
-	pp, err := PreparePipeline(steps, PrepareOptions{Env: env, Config: &s.cfg, Pool: s.pool})
+	cfg := s.cfg
+	if len(ests) > 0 {
+		cfg.Stats = ests
+	}
+	pp, err := PreparePipeline(steps, PrepareOptions{Env: env, Config: &cfg, Pool: s.pool})
 	if err != nil {
 		return nil, err
 	}

@@ -61,6 +61,88 @@ func TestCatalogRegisterValidates(t *testing.T) {
 	}
 }
 
+// TestCatalogDropInvalidatesStatistics is the regression test for stale
+// cached routes: statistics (and the catalog generation stamping them) are
+// part of the prepared-query fingerprint, so dropping a dataset and
+// re-registering different data under the same name must re-plan — the Auto
+// strategy picks its route from the NEW data, never from a cached compilation
+// of the old registration.
+func TestCatalogDropInvalidatesStatistics(t *testing.T) {
+	dt := trance.BagOf(trance.Tup("k", trance.IntT, "v", trance.IntT))
+	uniform := make(trance.Bag, 2000)
+	for i := range uniform {
+		uniform[i] = trance.Tuple{int64(i), int64(i)}
+	}
+	skewed := make(trance.Bag, 2000)
+	for i := range skewed {
+		k := int64(1 + i%97)
+		if i%10 < 7 {
+			k = 0
+		}
+		skewed[i] = trance.Tuple{k, int64(i)}
+	}
+	// Rebuilt per Prepare: compilation annotates ASTs in place.
+	mkQuery := func() trance.Expr {
+		return trance.ForIn("x", trance.V("D"),
+			trance.SingOf(trance.Record("k", trance.P(trance.V("x"), "k"))))
+	}
+
+	cat := trance.NewCatalog()
+	if err := cat.Register("D", dt, uniform); err != nil {
+		t.Fatal(err)
+	}
+	s := cat.NewSession(trance.SessionOptions{})
+	autoRoute := func() trance.Strategy {
+		t.Helper()
+		sq, err := s.Prepare(mkQuery())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sq.Run(context.Background(), trance.Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Strategy
+	}
+
+	if got := autoRoute(); got != trance.Standard {
+		t.Fatalf("uniform data routed to %s, want STANDARD", got)
+	}
+	st1, ok := cat.Stats("D")
+	if !ok || st1.Rows != 2000 || st1.MaxHeavyFraction() != 0 {
+		t.Fatalf("uniform stats: %+v", st1)
+	}
+
+	if !cat.Drop("D") {
+		t.Fatal("Drop failed")
+	}
+	if err := cat.Register("D", dt, skewed); err != nil {
+		t.Fatal(err)
+	}
+	// Same name, same query, same session — but new data: a stale cached
+	// compilation would still route to STANDARD here.
+	if got := autoRoute(); got != trance.StandardSkew {
+		t.Fatalf("re-registered skewed data routed to %s, want STANDARD-SKEW (stale cached statistics?)", got)
+	}
+	st2, ok := cat.Stats("D")
+	if !ok || st2.MaxHeavyFraction() < 0.15 {
+		t.Fatalf("skewed stats not refreshed: %+v", st2)
+	}
+	if st2.Generation <= st1.Generation {
+		t.Fatalf("generation did not advance: %d -> %d", st1.Generation, st2.Generation)
+	}
+
+	// Analyze recollects in place (e.g. with a different sketch size) and
+	// keeps the same generation.
+	st3, err := cat.Analyze("D", trance.StatsOptions{SketchSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Generation != st2.Generation || st3.Rows != 2000 {
+		t.Fatalf("analyze: %+v", st3)
+	}
+}
+
 func TestSessionPrepareUnknownDataset(t *testing.T) {
 	cat := trance.NewCatalog()
 	_, err := cat.NewSession(trance.SessionOptions{}).Prepare(prepQuery(8002))

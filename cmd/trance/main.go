@@ -53,6 +53,7 @@ func usage() {
 
 classes:    flat-to-nested | nested-to-nested | nested-to-flat
 strategies: standard | sparksql | shred | shred+unshred | standard-skew | shred-skew
+            shred+unshred-skew | auto (statistics-driven route selection)
 
 query ingests NDJSON or a JSON array (objects become tuples, arrays become
 bags, schema inferred with null/numeric widening), registers it in a catalog,

@@ -102,8 +102,78 @@ func TestStrategiesEndpoint(t *testing.T) {
 
 	out := getJSON(t, ts, "/strategies", http.StatusOK)
 	list := out["strategies"].([]any)
-	if len(list) != 7 {
-		t.Fatalf("want 7 strategies, got %d", len(list))
+	if len(list) != 8 { // seven explicit routes plus auto
+		t.Fatalf("want 8 strategies, got %d", len(list))
+	}
+	last := list[len(list)-1].(map[string]any)
+	if last["name"] != "auto" {
+		t.Fatalf("want auto listed last, got %v", last)
+	}
+}
+
+// TestAutoQueryEndpoint: strategy=auto resolves to a concrete route, reported
+// in the X-Trance-Strategy header and the requested/chosen_strategy fields.
+func TestAutoQueryEndpoint(t *testing.T) {
+	ts := httptest.NewServer(smallServer(t))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/query?name=tpch/nested-to-nested&level=1&strategy=auto&limit=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	chosen := resp.Header.Get("X-Trance-Strategy")
+	if chosen == "" || chosen == "auto" {
+		t.Fatalf("X-Trance-Strategy = %q, want a concrete route", chosen)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, body)
+	}
+	if out["requested"] != "auto" {
+		t.Fatalf("requested = %v, want auto", out["requested"])
+	}
+	if out["chosen_strategy"] != chosen {
+		t.Fatalf("chosen_strategy = %v, header %q — must agree", out["chosen_strategy"], chosen)
+	}
+	if out["rows"].(float64) <= 0 {
+		t.Fatalf("no rows: %v", out)
+	}
+
+	// A concrete strategy request carries the route header but no
+	// requested/chosen_strategy fields.
+	out2 := getJSON(t, ts, "/query?name=tpch/nested-to-nested&level=1&strategy=standard&limit=3", http.StatusOK)
+	if _, ok := out2["chosen_strategy"]; ok {
+		t.Fatalf("chosen_strategy leaked into a non-auto response: %v", out2)
+	}
+}
+
+// TestDatasetStatsEndpoint: collected statistics of a preloaded dataset.
+func TestDatasetStatsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(smallServer(t))
+	defer ts.Close()
+
+	out := getJSON(t, ts, "/stats?name=tpch/lineitem", http.StatusOK)
+	if out["rows"].(float64) <= 0 || out["generation"].(float64) <= 0 {
+		t.Fatalf("stats: %v", out)
+	}
+	cols := out["columns"].([]any)
+	if len(cols) == 0 {
+		t.Fatalf("no columns: %v", out)
+	}
+	first := cols[0].(map[string]any)
+	for _, field := range []string{"name", "type", "ndv", "heavy_fraction"} {
+		if _, ok := first[field]; !ok {
+			t.Fatalf("column missing %q: %v", field, first)
+		}
+	}
+
+	if out := getJSON(t, ts, "/stats?name=nope", http.StatusBadRequest); out["error"] == nil {
+		t.Fatalf("unknown dataset: %v", out)
 	}
 }
 

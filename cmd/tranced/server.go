@@ -221,6 +221,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /datasets", s.handleDatasetsList)
 	s.mux.HandleFunc("POST /datasets", s.handleDatasetUpload)
+	s.mux.HandleFunc("GET /stats", s.handleDatasetStats)
 	return s, nil
 }
 
@@ -270,6 +271,7 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			"/query (POST textual NRC query body, ?strategy=&limit= — see docs/QUERYLANG.md)",
 			"/explain?name=&level=&strategy= (plans before/after the rule-based optimizer)",
 			"/datasets (GET list, POST ?name= upload NDJSON/JSON)",
+			"/stats?name= (dataset statistics: NDV, min/max, heavy keys)",
 			"/strategies", "/metrics", "/healthz",
 		},
 		"queries": qs,
@@ -288,7 +290,7 @@ func (s *server) handleStrategies(w http.ResponseWriter, r *http.Request) {
 		SkewAware bool   `json:"skew_aware"`
 	}
 	var out []sinfo
-	for _, s := range trance.AllStrategies() {
+	for _, s := range append(trance.AllStrategies(), trance.Auto) {
 		out = append(out, sinfo{
 			Name:      s.CLIName(),
 			Paper:     s.String(),
@@ -416,6 +418,58 @@ func (s *server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleDatasetStats reports one dataset's collected statistics — the
+// row/byte counts, per-column NDV estimates, min/max bounds, and heavy-key
+// histograms the cost model plans with (docs/COSTMODEL.md).
+func (s *server) handleDatasetStats(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	st, ok := s.catalog.Stats(name)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown dataset %q (see /datasets)", name)
+		return
+	}
+	type heavyOut struct {
+		Value    string  `json:"value"`
+		Count    int64   `json:"count"`
+		Fraction float64 `json:"fraction"`
+	}
+	type colOut struct {
+		Name          string     `json:"name"`
+		Type          string     `json:"type"`
+		NDV           int64      `json:"ndv"`
+		Exact         bool       `json:"ndv_exact"`
+		Min           string     `json:"min,omitempty"`
+		Max           string     `json:"max,omitempty"`
+		Nulls         int64      `json:"nulls"`
+		HeavyFraction float64    `json:"heavy_fraction"`
+		Heavy         []heavyOut `json:"heavy_keys,omitempty"`
+	}
+	cols := make([]colOut, 0, len(st.Columns))
+	for _, c := range st.Columns {
+		co := colOut{
+			Name: c.Name, Type: c.Type.String(), NDV: c.NDV, Exact: c.Exact,
+			Nulls: c.Nulls, HeavyFraction: c.HeavyFraction,
+		}
+		if c.Min != nil {
+			co.Min = trance.FormatValue(c.Min)
+		}
+		if c.Max != nil {
+			co.Max = trance.FormatValue(c.Max)
+		}
+		for _, hk := range c.Heavy {
+			co.Heavy = append(co.Heavy, heavyOut{Value: hk.Value, Count: hk.Count, Fraction: hk.Fraction})
+		}
+		cols = append(cols, co)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":       name,
+		"rows":       st.Rows,
+		"bytes":      st.Bytes,
+		"generation": st.Generation,
+		"columns":    cols,
+	})
+}
+
 // route is a resolved (prepared query, level, strategy) triple shared by
 // GET /query and GET /explain.
 type route struct {
@@ -500,12 +554,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.record(name, level, stratName, res, false)
-	s.writeQueryResult(w, res, cols, limit, map[string]any{"query": name, "level": level})
+	extra := map[string]any{"query": name, "level": level}
+	if strat == trance.Auto {
+		extra["requested"] = "auto"
+		extra["chosen_strategy"] = res.Strategy.CLIName()
+	}
+	s.writeQueryResult(w, res, cols, limit, extra)
 }
 
 // writeQueryResult renders a run's rows as typed JSON, applying the row
 // limit; extra fields are merged into the response object.
 func (s *server) writeQueryResult(w http.ResponseWriter, res *trance.Result, cols []trance.OutputColumn, limit int, extra map[string]any) {
+	// The strategy that actually ran — under strategy=auto this is the route
+	// the cost model chose, visible without parsing the body.
+	w.Header().Set("X-Trance-Strategy", res.Strategy.CLIName())
 	rows := res.Output.CollectSorted()
 	total := len(rows)
 	truncated := false
@@ -646,10 +708,15 @@ func (s *server) handleTextQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.record("adhoc", 0, stratName, res, false)
-	s.writeQueryResult(w, res, cols, limit, map[string]any{
+	extra := map[string]any{
 		"query":       "adhoc",
 		"fingerprint": sq.Prepared().Fingerprint()[:12],
-	})
+	}
+	if strat == trance.Auto {
+		extra["requested"] = "auto"
+		extra["chosen_strategy"] = res.Strategy.CLIName()
+	}
+	s.writeQueryResult(w, res, cols, limit, extra)
 }
 
 // handleExplain renders a served query's compiled plans before and after the
@@ -749,6 +816,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"hits":      cache.Hits,
 			"evictions": cache.Evictions,
 		},
+		"auto_strategy": trance.AutoCounters(),
 		"optimizer": map[string]any{
 			"predicates_pushed":    opt.PredicatesPushed,
 			"join_side_derived":    opt.JoinSideDerived,

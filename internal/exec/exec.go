@@ -203,6 +203,15 @@ func (ex *Executor) join(l, r *dataflow.Dataset, x *plan.Join) (*dataflow.Datase
 		// Cross join: broadcast the right side.
 		return l.BroadcastJoin(ex.nextStage("cross"), r, nil, nil, rw, x.Outer)
 	}
+	if x.Cost != nil {
+		// The cost model decided at plan time; honor it over the runtime
+		// size heuristic (the two can disagree when estimates are off — the
+		// differential oracle checks both paths stay sound).
+		if x.Cost.Method == plan.JoinBroadcast {
+			return l.BroadcastJoin(ex.nextStage("bjoin"), r, x.LCols, x.RCols, rw, x.Outer)
+		}
+		return l.Join(ex.nextStage("join"), r, x.LCols, x.RCols, rw, x.Outer)
+	}
 	if ex.Ctx.BroadcastLimit > 0 && r.SizeBytes() <= ex.Ctx.BroadcastLimit {
 		return l.BroadcastJoin(ex.nextStage("bjoin"), r, x.LCols, x.RCols, rw, x.Outer)
 	}

@@ -1,0 +1,449 @@
+// Cost-based plan annotation: the statistics-driven layer on top of the
+// rule-based optimizer. Annotate walks an optimized plan bottom-up, propagating
+// cardinality and byte estimates from per-input table statistics
+// (internal/stats collects them; the runner threads them in via Config.Stats),
+// estimating predicate selectivity from NDV and min/max, and stamping every
+// equi-join with a Costs annotation that fixes the join method at compile time:
+// broadcast when the build side's estimated bytes fit under the broadcast
+// limit, shuffle otherwise — and, for inner joins whose left side is the only
+// broadcastable one, the inputs are swapped (with a column-restoring
+// projection) so the small side becomes the build side. Explain renders the
+// annotations as "est_rows=…/join=broadcast|shuffle". See docs/COSTMODEL.md.
+package plan
+
+import (
+	"math"
+
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// ColEstimate summarizes one scalar column for the cost model. The zero value
+// means "unknown".
+type ColEstimate struct {
+	// NDV is the (estimated) number of distinct values; 0 = unknown.
+	NDV int64
+	// Min and Max bound the column's non-NULL values; nil = unknown.
+	Min, Max value.Value
+	// HeavyFraction is the fraction of rows carried by heavy keys (keys whose
+	// per-partition sample frequency exceeds the skew detector's threshold).
+	HeavyFraction float64
+}
+
+// TableEstimate summarizes one input for the cost model.
+type TableEstimate struct {
+	// Generation stamps the catalog registration the statistics were collected
+	// from, so re-registered datasets never reuse stale cost decisions (it is
+	// folded into the compilation fingerprint). 0 outside a catalog.
+	Generation int64
+	// Rows and Bytes size the whole input.
+	Rows  int64
+	Bytes int64
+	// Cols maps column names to their estimates.
+	Cols map[string]ColEstimate
+}
+
+// JoinMethod is the physical join choice fixed by the cost model.
+type JoinMethod int
+
+// Join methods.
+const (
+	JoinShuffle JoinMethod = iota
+	JoinBroadcast
+)
+
+func (m JoinMethod) String() string {
+	if m == JoinBroadcast {
+		return "broadcast"
+	}
+	return "shuffle"
+}
+
+// Costs is the cost-model annotation on a Join node.
+type Costs struct {
+	// EstRows is the estimated output cardinality.
+	EstRows int64
+	// BuildBytes is the estimated size of the build (right) side.
+	BuildBytes int64
+	// Method is the physical join choice the executor honors.
+	Method JoinMethod
+	// Swapped records that the cost model exchanged the join inputs so the
+	// smaller side is broadcast (inner equi-joins only; a projection above
+	// restores the original column order).
+	Swapped bool
+}
+
+func (c *Costs) describe() string {
+	s := " [est_rows=" + itoa(c.EstRows) + " join=" + c.Method.String()
+	if c.Swapped {
+		s += " swapped"
+	}
+	return s + "]"
+}
+
+func itoa(n int64) string {
+	if n < 0 {
+		return "?"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return string(buf[i:])
+}
+
+// nodeEst carries the bottom-up estimate of one plan node. rows < 0 means the
+// node's cardinality is unknown (some scan had no statistics) — joins above it
+// get no annotation and fall back to the executor's runtime heuristic.
+type nodeEst struct {
+	rows  float64
+	bytes float64
+	cols  []ColEstimate // by output position; zero value = unknown
+}
+
+func unknownEst(n int) nodeEst { return nodeEst{rows: -1, bytes: -1, cols: make([]ColEstimate, n)} }
+
+func (e nodeEst) known() bool { return e.rows >= 0 }
+
+// avgRowBytes estimates one row's footprint, defaulting when unknown.
+func (e nodeEst) avgRowBytes() float64 {
+	if e.rows > 0 && e.bytes > 0 {
+		return e.bytes / e.rows
+	}
+	return 64
+}
+
+// defaultFanout is the assumed per-row bag size of an Unnest (and its inverse
+// the assumed grouping factor of a Nest) when statistics say nothing about
+// inner-collection sizes.
+const defaultFanout = 4
+
+// Annotate rewrites the plan with cost annotations: every Join whose both
+// sides have known estimates gets a Costs annotation choosing broadcast vs
+// shuffle under broadcastLimit (and possibly swapped inputs). The input plan
+// is not mutated; shared subtrees are rebuilt. tables maps Scan input names to
+// their statistics — inputs without statistics propagate "unknown" upward.
+func Annotate(op Op, tables map[string]TableEstimate, broadcastLimit int64) Op {
+	if len(tables) == 0 {
+		return op
+	}
+	a := &annotator{tables: tables, limit: broadcastLimit}
+	out, _ := a.walk(op)
+	return out
+}
+
+type annotator struct {
+	tables map[string]TableEstimate
+	limit  int64
+}
+
+func (a *annotator) walk(op Op) (Op, nodeEst) {
+	switch x := op.(type) {
+	case *Scan:
+		te, ok := a.tables[x.Input]
+		if !ok {
+			return x, unknownEst(len(x.Cols))
+		}
+		est := nodeEst{rows: float64(te.Rows), bytes: float64(te.Bytes), cols: make([]ColEstimate, len(x.Cols))}
+		for i, c := range x.Cols {
+			est.cols[i] = te.Cols[c.Name]
+		}
+		return x, est
+
+	case *Values:
+		return x, nodeEst{rows: float64(len(x.Rows)), bytes: float64(value.SizeRows(x.Rows)), cols: make([]ColEstimate, len(x.Cols))}
+
+	case *Select:
+		in, e := a.walk(x.In)
+		out := &Select{In: in, Pred: x.Pred, NullifyCols: x.NullifyCols}
+		if !e.known() {
+			return out, unknownEst(len(out.Columns()))
+		}
+		if x.NullifyCols != nil {
+			// Outer-preserving selection keeps every row.
+			return out, e
+		}
+		sel := Selectivity(x.Pred, e.cols)
+		return out, nodeEst{rows: e.rows * sel, bytes: e.bytes * sel, cols: e.cols}
+
+	case *Extend:
+		in, e := a.walk(x.In)
+		out := &Extend{In: in, Exprs: x.Exprs}
+		cols := append(append([]ColEstimate{}, e.cols...), make([]ColEstimate, len(x.Exprs))...)
+		return out, nodeEst{rows: e.rows, bytes: e.bytes, cols: cols}
+
+	case *Project:
+		in, e := a.walk(x.In)
+		out := &Project{In: in, Outs: x.Outs, CastBags: x.CastBags}
+		cols := make([]ColEstimate, len(x.Outs))
+		if e.known() {
+			for i, ne := range x.Outs {
+				if c, ok := ne.Expr.(*Col); ok && c.Idx < len(e.cols) {
+					cols[i] = e.cols[c.Idx]
+				}
+			}
+		}
+		return out, nodeEst{rows: e.rows, bytes: e.bytes, cols: cols}
+
+	case *AddIndex:
+		in, e := a.walk(x.In)
+		out := &AddIndex{In: in, Name: x.Name}
+		return out, nodeEst{rows: e.rows, bytes: e.bytes, cols: append(append([]ColEstimate{}, e.cols...), ColEstimate{})}
+
+	case *Unnest:
+		in, e := a.walk(x.In)
+		out := &Unnest{In: in, BagCol: x.BagCol, Prefix: x.Prefix, Outer: x.Outer}
+		n := len(out.Columns())
+		if !e.known() {
+			return out, unknownEst(n)
+		}
+		cols := make([]ColEstimate, n)
+		copy(cols, e.cols)
+		cols[x.BagCol] = ColEstimate{} // tombstoned
+		return out, nodeEst{rows: e.rows * defaultFanout, bytes: e.bytes * defaultFanout, cols: cols}
+
+	case *Join:
+		return a.join(x)
+
+	case *Nest:
+		in, e := a.walk(x.In)
+		out := &Nest{In: in, GroupCols: x.GroupCols, GDepth: x.GDepth, CarryCols: x.CarryCols,
+			ValueCols: x.ValueCols, PresenceCols: x.PresenceCols, Agg: x.Agg, Mode: x.Mode,
+			OutName: x.OutName, ScalarElem: x.ScalarElem}
+		n := len(out.Columns())
+		if !e.known() {
+			return out, unknownEst(n)
+		}
+		cols := make([]ColEstimate, n)
+		for i, c := range x.GroupCols {
+			if c < len(e.cols) {
+				cols[i] = e.cols[c]
+			}
+		}
+		rows := math.Max(1, e.rows/defaultFanout)
+		return out, nodeEst{rows: rows, bytes: e.bytes, cols: cols}
+
+	case *DedupOp:
+		in, e := a.walk(x.In)
+		out := &DedupOp{In: in}
+		return out, e
+
+	case *UnionAll:
+		l, le := a.walk(x.L)
+		r, re := a.walk(x.R)
+		out := &UnionAll{L: l, R: r}
+		if !le.known() || !re.known() {
+			return out, unknownEst(len(out.Columns()))
+		}
+		return out, nodeEst{rows: le.rows + re.rows, bytes: le.bytes + re.bytes, cols: le.cols}
+
+	case *BagToDict:
+		in, e := a.walk(x.In)
+		return &BagToDict{In: in, LabelCol: x.LabelCol}, e
+
+	default:
+		// Unknown operator: leave untouched, estimate unknown.
+		return op, unknownEst(len(op.Columns()))
+	}
+}
+
+// join estimates an equi-join's output and fixes the physical method. With
+// both sides known: broadcast when the right side fits under the limit; for
+// inner joins where only the LEFT side fits, the inputs are swapped (and a
+// projection restores column order) so the small side is built and broadcast.
+func (a *annotator) join(x *Join) (Op, nodeEst) {
+	l, le := a.walk(x.L)
+	r, re := a.walk(x.R)
+	out := &Join{L: l, R: r, LCols: x.LCols, RCols: x.RCols, Outer: x.Outer}
+	outCols := append(append([]ColEstimate{}, le.cols...), re.cols...)
+	if !le.known() || !re.known() {
+		return out, nodeEst{rows: -1, bytes: -1, cols: outCols}
+	}
+
+	var rows float64
+	if len(x.LCols) == 0 {
+		rows = le.rows * re.rows
+	} else {
+		denom := float64(0)
+		for i := range x.LCols {
+			var dl, dr int64
+			if x.LCols[i] < len(le.cols) {
+				dl = le.cols[x.LCols[i]].NDV
+			}
+			if x.RCols[i] < len(re.cols) {
+				dr = re.cols[x.RCols[i]].NDV
+			}
+			denom = math.Max(denom, math.Max(float64(dl), float64(dr)))
+		}
+		if denom == 0 {
+			denom = math.Max(1, math.Max(le.rows, re.rows))
+		}
+		rows = le.rows * re.rows / denom
+	}
+	if x.Outer {
+		rows = math.Max(rows, le.rows)
+	}
+	est := nodeEst{rows: rows, bytes: rows * (le.avgRowBytes() + re.avgRowBytes()), cols: outCols}
+
+	if len(x.LCols) == 0 {
+		// Cross joins always broadcast the right side (executor invariant);
+		// no annotation needed.
+		return out, est
+	}
+	cost := &Costs{EstRows: int64(rows), BuildBytes: int64(re.bytes), Method: JoinShuffle}
+	if a.limit > 0 && re.bytes <= float64(a.limit) {
+		cost.Method = JoinBroadcast
+	} else if a.limit > 0 && !x.Outer && le.bytes <= float64(a.limit) {
+		// Only the left side fits: swap so it becomes the broadcast build
+		// side. Inner equi-joins are symmetric up to column order, which the
+		// projection restores; outer joins are not swappable.
+		cost.Method = JoinBroadcast
+		cost.Swapped = true
+		cost.BuildBytes = int64(le.bytes)
+		swapped := &Join{L: r, R: l, LCols: x.RCols, RCols: x.LCols, Cost: cost}
+		lw, rw := len(l.Columns()), len(r.Columns())
+		sc := swapped.Columns()
+		outs := make([]NamedExpr, 0, lw+rw)
+		for i := 0; i < lw; i++ {
+			outs = append(outs, NamedExpr{Name: sc[rw+i].Name, Expr: &Col{Idx: rw + i, Name: sc[rw+i].Name, Typ: sc[rw+i].Type}})
+		}
+		for i := 0; i < rw; i++ {
+			outs = append(outs, NamedExpr{Name: sc[i].Name, Expr: &Col{Idx: i, Name: sc[i].Name, Typ: sc[i].Type}})
+		}
+		return &Project{In: swapped, Outs: outs}, est
+	}
+	out.Cost = cost
+	return out, est
+}
+
+// Selectivity estimates the fraction of rows a predicate keeps, given
+// per-column estimates (by position). Equality against a constant selects
+// 1/NDV; range comparisons interpolate against min/max when the column and
+// constant are numeric; conjunctions multiply, disjunctions add (capped), and
+// anything unrecognized defaults to 1/3.
+func Selectivity(pred Expr, cols []ColEstimate) float64 {
+	const dflt = 1.0 / 3
+	switch e := pred.(type) {
+	case *ConstE:
+		if b, ok := e.Val.(bool); ok {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		return dflt
+	case *NotE:
+		return clamp01(1 - Selectivity(e.E, cols))
+	case *BoolE:
+		l, r := Selectivity(e.L, cols), Selectivity(e.R, cols)
+		if e.And {
+			return l * r
+		}
+		return clamp01(l + r - l*r)
+	case *CmpE:
+		return cmpSelectivity(e, cols)
+	}
+	return dflt
+}
+
+func cmpSelectivity(e *CmpE, cols []ColEstimate) float64 {
+	const dflt = 1.0 / 3
+	col, konst, op := normalizeCmp(e)
+	if col == nil {
+		// Column-to-column comparison: use the larger NDV when known.
+		lc, lok := e.L.(*Col)
+		rc, rok := e.R.(*Col)
+		if lok && rok && e.Op == nrc.Eq {
+			ndv := int64(0)
+			if lc.Idx < len(cols) {
+				ndv = cols[lc.Idx].NDV
+			}
+			if rc.Idx < len(cols) && cols[rc.Idx].NDV > ndv {
+				ndv = cols[rc.Idx].NDV
+			}
+			if ndv > 0 {
+				return 1 / float64(ndv)
+			}
+		}
+		return dflt
+	}
+	var ce ColEstimate
+	if col.Idx < len(cols) {
+		ce = cols[col.Idx]
+	}
+	switch op {
+	case nrc.Eq:
+		if ce.NDV > 0 {
+			return 1 / float64(ce.NDV)
+		}
+		return 0.1
+	case nrc.Ne:
+		if ce.NDV > 0 {
+			return clamp01(1 - 1/float64(ce.NDV))
+		}
+		return 0.9
+	default: // range comparison
+		lo, lok := numeric(ce.Min)
+		hi, hok := numeric(ce.Max)
+		k, kok := numeric(konst.Val)
+		if !lok || !hok || !kok || hi <= lo {
+			return dflt
+		}
+		frac := clamp01((k - lo) / (hi - lo))
+		if op == nrc.Gt || op == nrc.Ge {
+			frac = 1 - frac
+		}
+		return clamp01(frac)
+	}
+}
+
+// normalizeCmp returns the (column, constant, op) of a col-vs-const
+// comparison, flipping the operator when the constant is on the left. Nil
+// column means the comparison has another shape.
+func normalizeCmp(e *CmpE) (*Col, *ConstE, nrc.CmpOp) {
+	if c, ok := e.L.(*Col); ok {
+		if k, ok := e.R.(*ConstE); ok {
+			return c, k, e.Op
+		}
+	}
+	if k, ok := e.L.(*ConstE); ok {
+		if c, ok := e.R.(*Col); ok {
+			return c, k, flipCmp(e.Op)
+		}
+	}
+	return nil, nil, e.Op
+}
+
+func flipCmp(op nrc.CmpOp) nrc.CmpOp {
+	switch op {
+	case nrc.Lt:
+		return nrc.Gt
+	case nrc.Le:
+		return nrc.Ge
+	case nrc.Gt:
+		return nrc.Lt
+	case nrc.Ge:
+		return nrc.Le
+	}
+	return op
+}
+
+func numeric(v value.Value) (float64, bool) {
+	switch n := v.(type) {
+	case int64:
+		return float64(n), true
+	case float64:
+		return n, true
+	case value.Date:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+func clamp01(f float64) float64 { return math.Min(1, math.Max(0, f)) }

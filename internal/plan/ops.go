@@ -184,6 +184,10 @@ type Join struct {
 	L, R         Op
 	LCols, RCols []int
 	Outer        bool
+	// Cost, when set, is the cost model's annotation (see Annotate): the
+	// executor honors Cost.Method instead of its runtime size heuristic, and
+	// Explain renders the estimate.
+	Cost *Costs
 }
 
 func (j *Join) Columns() []Column {
@@ -195,7 +199,11 @@ func (j *Join) Describe() string {
 	if j.Outer {
 		sym = "⟕"
 	}
-	return fmt.Sprintf("%s L%v=R%v", sym, j.LCols, j.RCols)
+	s := fmt.Sprintf("%s L%v=R%v", sym, j.LCols, j.RCols)
+	if j.Cost != nil {
+		s += j.Cost.describe()
+	}
+	return s
 }
 
 // Nest is Γ^{agg value}_{key}: a key-based reduce (paper Section 2). Rows are

@@ -27,6 +27,12 @@ type Compiled struct {
 	Cfg      Config
 	Env      nrc.Env
 
+	// Requested is the strategy Compile was asked for. It differs from
+	// Strategy only when it was Auto: Strategy then holds the concrete route
+	// ChooseStrategy resolved, and AutoReasons records why.
+	Requested   Strategy
+	AutoReasons []string
+
 	// Plan is the algebraic plan of the standard routes (nil when shredded).
 	Plan plan.Op
 	// Mat is the materialized shredded program (shredded routes only).
@@ -78,17 +84,58 @@ func CompileStep(q nrc.Expr, env nrc.Env, strat Strategy, cfg Config, topName st
 	if _, cerr := nrc.Check(q, env); cerr != nil {
 		return nil, cerr
 	}
-	cq = &Compiled{Strategy: strat, Cfg: cfg, Env: env}
-	if strat.IsShredded() {
-		if err := cq.compileShredded(q, topName); err != nil {
+	cq = &Compiled{Strategy: strat, Cfg: cfg, Env: env, Requested: strat}
+	if strat == Auto {
+		choice, cerr := ChooseStrategy(q, env, cfg)
+		if cerr != nil {
+			return nil, cerr
+		}
+		cq.Strategy = choice.Strategy
+		cq.AutoReasons = choice.Reasons
+	}
+	if cq.Strategy.IsShredded() {
+		err := cq.compileShredded(q, topName)
+		if err == nil {
+			countAutoChoice(cq)
+			return cq, nil
+		}
+		if cq.Requested != Auto {
 			return nil, err
 		}
-		return cq, nil
+		// Auto picked a shredded route the shredding compiler cannot handle
+		// (e.g. an unsupported operator): fall back to the standard variant
+		// with the same skew-awareness rather than failing the query.
+		cq.AutoReasons = append(cq.AutoReasons,
+			fmt.Sprintf("shredded route unavailable (%v); falling back to the standard variant", err))
+		if cq.Strategy.skewAware() {
+			cq.Strategy = StandardSkew
+		} else {
+			cq.Strategy = Standard
+		}
+		cq.Mat, cq.Stmts, cq.RawStmts, cq.Unshred, cq.RawUnshred = nil, nil, nil, nil, nil
 	}
 	if err := cq.compileStandard(q); err != nil {
 		return nil, err
 	}
+	countAutoChoice(cq)
 	return cq, nil
+}
+
+func countAutoChoice(cq *Compiled) {
+	if cq.Requested == Auto {
+		autoChoices[cq.Strategy].Add(1)
+	}
+}
+
+// annotate applies the cost model (plan.Annotate) when table statistics are
+// available and the ablation knob is off. Shredded component scans carry no
+// statistics, so annotation is a no-op for most shredded-plan internals — a
+// documented limitation (docs/COSTMODEL.md).
+func (cq *Compiled) annotate(op plan.Op) plan.Op {
+	if cq.Cfg.NoCostModel || len(cq.Cfg.Stats) == 0 {
+		return op
+	}
+	return plan.Annotate(op, cq.Cfg.Stats, cq.Cfg.BroadcastLimit)
 }
 
 func (cq *Compiled) compileStandard(q nrc.Expr) error {
@@ -102,7 +149,7 @@ func (cq *Compiled) compileStandard(q nrc.Expr) error {
 		return fmt.Errorf("compile: %w", err)
 	}
 	cq.RawPlan = op
-	cq.Plan = cq.optimize(op)
+	cq.Plan = cq.annotate(cq.optimize(op))
 	return nil
 }
 
@@ -152,7 +199,7 @@ func (cq *Compiled) compileShredded(q nrc.Expr, topName string) error {
 	cq.RawStmts = stmts
 	cq.Stmts = make([]core.CompiledStmt, len(stmts))
 	for i, st := range stmts {
-		cq.Stmts[i] = core.CompiledStmt{Name: st.Name, Plan: cq.optimize(st.Plan)}
+		cq.Stmts[i] = core.CompiledStmt{Name: st.Name, Plan: cq.annotate(cq.optimize(st.Plan))}
 	}
 
 	if cq.Strategy.unshreds() {
@@ -164,7 +211,7 @@ func (cq *Compiled) compileShredded(q nrc.Expr, topName string) error {
 			uplan = plan.Prune(uplan)
 		}
 		cq.RawUnshred = uplan
-		cq.Unshred = cq.optimize(uplan)
+		cq.Unshred = cq.annotate(cq.optimize(uplan))
 	}
 	return nil
 }

@@ -1,11 +1,15 @@
 // Differential oracle harness: a seeded byte-stream generator (the same
 // technique as the AST generator in internal/parse/fuzz_test.go, extended to
 // well-typed queries of the distributed fragment over random nested datasets)
-// produces hundreds of random NRC queries, each executed under
-// STANDARD / SHRED / SHRED+UNSHRED × {optimized, NoPredicatePushdown} — six
+// produces hundreds of random NRC queries, each executed under all seven
+// concrete strategies plus AUTO × {optimized+cost model, ablated} — sixteen
 // distributed runs per query — and every result is compared against the
-// tuple-at-a-time nrc.Eval reference semantics. Any disagreement is a
-// soundness bug in the compiler, the engine, or the rule-based optimizer.
+// tuple-at-a-time nrc.Eval reference semantics. Datasets are uniform or
+// heavily skewed (a hot key carrying ~70% of R), per-run statistics feed the
+// cost model and Auto's route choice, and the broadcast limit varies so joins
+// exercise broadcast, swapped-broadcast, and shuffle paths. Any disagreement
+// is a soundness bug in the compiler, the engine, the rule-based optimizer,
+// or the cost-based planning layer.
 package runner_test
 
 import (
@@ -15,8 +19,10 @@ import (
 	"testing"
 
 	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/runner"
 	"github.com/trance-go/trance/internal/shred"
+	"github.com/trance-go/trance/internal/stats"
 	"github.com/trance-go/trance/internal/value"
 )
 
@@ -63,10 +69,20 @@ func (g *dgen) intv() int64    { return int64(g.n(5)) }
 func (g *dgen) realv() float64 { return float64(g.n(4)) + 0.5 }
 
 // dataset builds small random nested inputs: key ranges overlap deliberately
-// so joins hit, miss, and duplicate; bags are frequently empty.
+// so joins hit, miss, and duplicate; bags are frequently empty. One seed in
+// four draws the skewed shape instead: a hot key carries ~70% of a larger R
+// (and appears in S), so collected statistics cross the Auto skew threshold
+// and the skew-aware operators' heavy/light split actually triggers.
 func (g *dgen) dataset() map[string]value.Bag {
+	skewed := g.n(4) == 0
+	nR, nS := g.n(6), g.n(5)
+	var hot int64
+	if skewed {
+		hot = g.intv()
+		nR, nS = 20+g.n(5), 4+g.n(4)
+	}
 	R := value.Bag{}
-	for i := g.n(6); i > 0; i-- {
+	for i := 0; i < nR; i++ {
 		items := value.Bag{}
 		for j := g.n(4); j > 0; j-- {
 			tags := value.Bag{}
@@ -75,11 +91,19 @@ func (g *dgen) dataset() map[string]value.Bag {
 			}
 			items = append(items, value.Tuple{g.intv(), g.str(), tags})
 		}
-		R = append(R, value.Tuple{g.intv(), g.str(), g.realv(), items})
+		a := g.intv()
+		if skewed && i%10 < 7 {
+			a = hot
+		}
+		R = append(R, value.Tuple{a, g.str(), g.realv(), items})
 	}
 	S := value.Bag{}
-	for i := g.n(5); i > 0; i-- {
-		S = append(S, value.Tuple{g.intv(), g.str()})
+	for i := 0; i < nS; i++ {
+		k := g.intv()
+		if skewed && i == 0 {
+			k = hot
+		}
+		S = append(S, value.Tuple{k, g.str()})
 	}
 	return map[string]value.Bag{"R": R, "S": S}
 }
@@ -287,12 +311,30 @@ func (g *dgen) query() nrc.Expr {
 }
 
 // diffConfig is the cluster sizing for differential runs: small enough to be
-// fast, parallel enough to exercise shuffles.
-func diffConfig(pushdown bool) runner.Config {
+// fast, parallel enough to exercise shuffles. The full configuration carries
+// collected statistics and a generator-chosen broadcast limit; the ablated
+// configuration disables both the rule-based optimizer and the cost model
+// (so every seed also runs the un-annotated plans Auto degrades to Standard
+// on).
+func diffConfig(full bool, ests map[string]plan.TableEstimate, limit int64) runner.Config {
 	cfg := runner.DefaultConfig()
 	cfg.Parallelism = 3
-	cfg.NoPredicatePushdown = !pushdown
+	cfg.NoPredicatePushdown = !full
+	cfg.NoCostModel = !full
+	cfg.Stats = ests
+	cfg.BroadcastLimit = limit
 	return cfg
+}
+
+// collectDiffStats gathers per-input statistics the way a catalog session
+// would, sized to the differential cluster.
+func collectDiffStats(env nrc.Env, inputs map[string]value.Bag) map[string]plan.TableEstimate {
+	ests := map[string]plan.TableEstimate{}
+	for name, b := range inputs {
+		bt := env[name].(nrc.BagType)
+		ests[name] = stats.Collect(b, bt, stats.Options{Parallelism: 3}).Estimate()
+	}
+	return ests
 }
 
 // oracleEval runs the reference evaluator.
@@ -309,9 +351,11 @@ func oracleEval(q nrc.Expr, env nrc.Env, inputs map[string]value.Bag) (value.Bag
 
 // nestedOutput converts a strategy's result dataset back to the nested value
 // the oracle produces: rows as tuples for standard and unshredding routes,
-// value-unshredding of the materialized components for Shred.
+// value-unshredding of the materialized components for the shredded routes
+// that stop at the dictionary representation (SHRED, SHRED-SKEW). cq.Strategy
+// is the resolved route, so AUTO runs land in the right branch too.
 func nestedOutput(cq *runner.Compiled, res *runner.Result) (value.Bag, error) {
-	if cq.Strategy == runner.Shred {
+	if cq.Strategy.IsShredded() && !cq.Strategy.Unshreds() {
 		top := make([]value.Tuple, 0)
 		for _, r := range res.Shredded[cq.Mat.TopName].Collect() {
 			top = append(top, value.Tuple(r))
@@ -333,10 +377,18 @@ func nestedOutput(cq *runner.Compiled, res *runner.Result) (value.Bag, error) {
 	return out, nil
 }
 
-var diffStrategies = []runner.Strategy{runner.Standard, runner.Shred, runner.ShredUnshred}
+// diffStrategies covers every concrete route plus the statistics-driven
+// meta-strategy.
+var diffStrategies = append(runner.AllStrategies(), runner.Auto)
 
-// runDifferential executes one generated query under all six strategy ×
-// optimizer settings and compares each against the oracle. The query is
+// diffBroadcastLimits are the generator-selected broadcast limits: 0 forces
+// every annotated join to shuffle, 200 bytes lets only tiny sides broadcast
+// (exercising the swap path), and the default 64 KB broadcasts everything at
+// differential scale.
+var diffBroadcastLimits = []int64{0, 200, 64 << 10}
+
+// runDifferential executes one generated query under all sixteen strategy ×
+// {full, ablated} settings and compares each against the oracle. The query is
 // regenerated from the same bytes for every compilation (compilation
 // annotates ASTs in place). Returns the number of runs whose plans the
 // optimizer changed, or an error describing the first divergence.
@@ -344,6 +396,7 @@ func runDifferential(data []byte, strict bool) (optimized int, err error) {
 	env := diffEnv()
 	g := &dgen{data: data}
 	inputs := g.dataset()
+	limit := diffBroadcastLimits[g.n(len(diffBroadcastLimits))]
 	queryAt := g.i
 	mkQuery := func() nrc.Expr {
 		qg := &dgen{data: data, i: queryAt}
@@ -355,35 +408,36 @@ func runDifferential(data []byte, strict bool) (optimized int, err error) {
 	if err != nil {
 		return 0, fmt.Errorf("generated query fails Check (generator bug): %v\n%s", err, nrc.Print(q))
 	}
+	ests := collectDiffStats(env, inputs)
 
 	for _, strat := range diffStrategies {
-		for _, pushdown := range []bool{true, false} {
-			cfg := diffConfig(pushdown)
+		for _, full := range []bool{true, false} {
+			cfg := diffConfig(full, ests, limit)
 			cq, cerr := runner.Compile(mkQuery(), env, strat, cfg)
 			if cerr != nil {
 				if strict {
-					return optimized, fmt.Errorf("%s (pushdown=%t) does not compile: %v\n%s",
-						strat, pushdown, cerr, nrc.Print(q))
+					return optimized, fmt.Errorf("%s (full=%t) does not compile: %v\n%s",
+						strat, full, cerr, nrc.Print(q))
 				}
 				return optimized, errSkip
 			}
-			if pushdown && cq.Opt.Total() > 0 {
+			if full && cq.Opt.Total() > 0 {
 				optimized++
 			}
-			res := cq.Execute(context.Background(), inputs, runner.NewRunContext(cfg, strat))
+			res := cq.Execute(context.Background(), inputs, runner.NewRunContext(cfg, cq.Strategy))
 			if res.Failed() {
-				return optimized, fmt.Errorf("%s (pushdown=%t) failed: %v\n%s",
-					strat, pushdown, res.Err, nrc.Print(q))
+				return optimized, fmt.Errorf("%s (full=%t) failed: %v\n%s",
+					strat, full, res.Err, nrc.Print(q))
 			}
 			got, gerr := nestedOutput(cq, res)
 			if gerr != nil {
-				return optimized, fmt.Errorf("%s (pushdown=%t) unshred: %v\n%s",
-					strat, pushdown, gerr, nrc.Print(q))
+				return optimized, fmt.Errorf("%s (full=%t) unshred: %v\n%s",
+					strat, full, gerr, nrc.Print(q))
 			}
 			if !value.Equal(got, want) {
 				return optimized, fmt.Errorf(
-					"%s (pushdown=%t) diverges from the nrc.Eval oracle\nquery:\n%s\ninputs: %s\n got: %s\nwant: %s\nexplain:\n%s",
-					strat, pushdown, nrc.Print(q), value.Format(value.Tuple{inputs["R"], inputs["S"]}),
+					"%s (full=%t, resolved %s, bcast=%d) diverges from the nrc.Eval oracle\nquery:\n%s\ninputs: %s\n got: %s\nwant: %s\nexplain:\n%s",
+					strat, full, cq.Strategy, limit, nrc.Print(q), value.Format(value.Tuple{inputs["R"], inputs["S"]}),
 					value.Format(got), value.Format(want), cq.Explain())
 			}
 		}
@@ -406,8 +460,8 @@ func seedBytes(seed int) []byte {
 }
 
 // TestDifferentialOracle is the headline soundness gate: 300 generated
-// queries × 3 strategies × 2 optimizer settings, every run compared against
-// the reference evaluator. Runs under -race in CI.
+// queries × (7 strategies + AUTO) × {full, ablated}, every run compared
+// against the reference evaluator. Runs under -race in CI.
 func TestDifferentialOracle(t *testing.T) {
 	n := 300
 	if testing.Short() {
@@ -424,9 +478,9 @@ func TestDifferentialOracle(t *testing.T) {
 	// The harness must actually exercise the optimizer, not vacuously pass
 	// on plans it never changes.
 	if optimized < n/4 {
-		t.Fatalf("only %d/%d×3 optimized runs changed a plan — generator no longer exercises the optimizer", optimized, n)
+		t.Fatalf("only %d/%d×8 optimized runs changed a plan — generator no longer exercises the optimizer", optimized, n)
 	}
-	t.Logf("%d queries × 6 runs agreed with the oracle; optimizer changed plans in %d runs", n, optimized)
+	t.Logf("%d queries × 16 runs agreed with the oracle; optimizer changed plans in %d runs", n, optimized)
 }
 
 // FuzzDifferential lets the fuzzer drive the generator byte stream directly.

@@ -15,7 +15,14 @@ import (
 // fixtures under internal/runner/testdata.
 func (cq *Compiled) Explain() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "strategy: %s\n", cq.Strategy)
+	if cq.Requested == Auto {
+		fmt.Fprintf(&sb, "strategy: %s (auto-selected)\n", cq.Strategy)
+		for _, r := range cq.AutoReasons {
+			fmt.Fprintf(&sb, "auto: %s\n", r)
+		}
+	} else {
+		fmt.Fprintf(&sb, "strategy: %s\n", cq.Strategy)
+	}
 	if cq.Cfg.NoPredicatePushdown {
 		sb.WriteString("optimizer: disabled (NoPredicatePushdown)\n")
 	} else {

@@ -15,8 +15,12 @@ import (
 	"testing"
 
 	"github.com/trance-go/trance/internal/biomed"
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/runner"
+	"github.com/trance-go/trance/internal/stats"
 	"github.com/trance-go/trance/internal/tpch"
+	"github.com/trance-go/trance/internal/value"
 )
 
 var update = flag.Bool("update", false, "rewrite golden explain fixtures")
@@ -92,6 +96,50 @@ func TestGoldenExplains(t *testing.T) {
 		}
 		write("biomed-pipeline.explain", cp.ExplainPipeline())
 	}
+
+	// Cost-annotated plans: the same flat-to-nested query compiled against
+	// statistics of a small and a large generated database. At laptop scale
+	// every join side fits under the default 64 KB broadcast limit; at the
+	// large scale the base relations exceed it, so the identical query flips
+	// from broadcast to shuffle joins — the flip the fixtures pin.
+	for _, sc := range []struct {
+		name string
+		gen  tpch.Config
+	}{
+		{name: "tpch-cost-small.explain",
+			gen: tpch.Config{Customers: 20, OrdersPerCustomer: 2, LinesPerOrder: 2, Parts: 10, Seed: 1}},
+		{name: "tpch-cost-large.explain",
+			gen: tpch.Config{Customers: 400, OrdersPerCustomer: 5, LinesPerOrder: 5, Parts: 5000, Seed: 1}},
+	} {
+		env := tpch.Env(tpch.FlatToNested, 1, false)
+		scfg := cfg
+		scfg.Stats = collectTpchStats(env, tpch.Generate(sc.gen).Inputs())
+		var sb strings.Builder
+		q := tpch.Query(tpch.FlatToNested, 1, false)
+		for _, strat := range []runner.Strategy{runner.Standard, runner.ShredUnshred} {
+			cq, err := runner.Compile(q, env, strat, scfg)
+			if err != nil {
+				t.Fatalf("%s %s: %v", sc.name, strat, err)
+			}
+			sb.WriteString(cq.Explain())
+			sb.WriteString("\n")
+		}
+		write(sc.name, sb.String())
+	}
+}
+
+// collectTpchStats gathers statistics for every generated relation the
+// environment declares, keyed by input name as plan.Annotate expects.
+func collectTpchStats(env nrc.Env, inputs map[string]value.Bag) map[string]plan.TableEstimate {
+	ests := map[string]plan.TableEstimate{}
+	for name, typ := range env {
+		bt, ok := typ.(nrc.BagType)
+		if !ok {
+			continue
+		}
+		ests[name] = stats.Collect(inputs[name], bt, stats.Options{}).Estimate()
+	}
+	return ests
 }
 
 // firstDiff returns a compact report of the first differing line.

@@ -10,6 +10,7 @@ import (
 
 	"github.com/trance-go/trance/internal/dataflow"
 	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/shred"
 	"github.com/trance-go/trance/internal/value"
 )
@@ -36,6 +37,14 @@ const (
 	ShredSkew
 	// ShredUnshredSkew is ShredUnshred with skew-aware operators.
 	ShredUnshredSkew
+	// Auto picks a concrete route per query at compile time from dataset
+	// statistics (Config.Stats): a skew-aware variant when a scanned input's
+	// heavy-key fraction exceeds Config.AutoSkewFraction, the shredded route
+	// (with unshredding, so the output shape matches Standard) when a
+	// selective pushed-down predicate lands on a nested input, Standard
+	// otherwise. The Compiled artifact records the chosen route in Strategy
+	// and the inputs to the decision in AutoReasons. See docs/COSTMODEL.md.
+	Auto
 )
 
 // String returns the paper's name for the strategy.
@@ -55,6 +64,8 @@ func (s Strategy) String() string {
 		return "SHRED-SKEW"
 	case ShredUnshredSkew:
 		return "SHRED+UNSHRED-SKEW"
+	case Auto:
+		return "AUTO"
 	}
 	return "?"
 }
@@ -84,7 +95,13 @@ func (s Strategy) unshreds() bool {
 // of paper Section 5.
 func (s Strategy) SkewAware() bool { return s.skewAware() }
 
-// AllStrategies lists every strategy in presentation order.
+// Unshreds reports whether the strategy restores nested output from the
+// shredded representation (its Result.Output rows are the nested value, like
+// Standard's).
+func (s Strategy) Unshreds() bool { return s.unshreds() }
+
+// AllStrategies lists every explicit strategy in presentation order (Auto is
+// a meta-strategy resolving to one of these and is deliberately excluded).
 func AllStrategies() []Strategy {
 	return []Strategy{Standard, SparkSQLStyle, Shred, ShredUnshred, StandardSkew, ShredSkew, ShredUnshredSkew}
 }
@@ -107,13 +124,15 @@ func (s Strategy) CLIName() string {
 		return "shred-skew"
 	case ShredUnshredSkew:
 		return "shred+unshred-skew"
+	case Auto:
+		return "auto"
 	}
 	return "?"
 }
 
-// ParseStrategy resolves a CLI/HTTP strategy name.
+// ParseStrategy resolves a CLI/HTTP strategy name (including "auto").
 func ParseStrategy(name string) (Strategy, bool) {
-	for _, s := range AllStrategies() {
+	for _, s := range append(AllStrategies(), Auto) {
 		if s.CLIName() == name {
 			return s, true
 		}
@@ -142,7 +161,30 @@ type Config struct {
 	// docs/OPTIMIZER.md); used by the ablation bench and the differential
 	// oracle harness.
 	NoPredicatePushdown bool
+
+	// Stats provides per-input table statistics (keyed by the input variable
+	// name) to the cost-based planning layer: join method choice and input
+	// ordering (plan.Annotate) and the Auto strategy's route selection.
+	// Sessions fill it from catalog statistics; nil disables both.
+	Stats map[string]plan.TableEstimate
+	// NoCostModel is the cost layer's ablation knob: plans get no cost
+	// annotations (joins fall back to the runtime size heuristic) and Auto
+	// resolves to Standard.
+	NoCostModel bool
+	// AutoSkewFraction is the heavy-key row fraction at or above which Auto
+	// picks a skew-aware route; 0 means DefaultAutoSkewFraction.
+	AutoSkewFraction float64
+	// AutoSelectivity is the estimated pushed-predicate selectivity at or
+	// below which Auto routes a query over nested inputs through the shredded
+	// pipeline; 0 means DefaultAutoSelectivity.
+	AutoSelectivity float64
 }
+
+// Auto-selection thresholds (see docs/COSTMODEL.md for the rationale).
+const (
+	DefaultAutoSkewFraction = 0.15
+	DefaultAutoSelectivity  = 0.25
+)
 
 // DefaultConfig returns a laptop-scale stand-in for the paper's cluster.
 func DefaultConfig() Config {

@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/skew"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// mkBag builds a one-int-column bag from a value sequence.
+func mkBag(vals []int64) (value.Bag, nrc.BagType) {
+	b := make(value.Bag, len(vals))
+	for i, v := range vals {
+		b[i] = value.Tuple{v}
+	}
+	return b, nrc.BagOf(nrc.Tup("k", nrc.IntT))
+}
+
+// seq is a deterministic pseudo-random sequence (splitmix-style), so the
+// tests draw the same synthetic columns on every run.
+func seq(n int, mod int64, seed uint64) []int64 {
+	out := make([]int64, n)
+	s := seed
+	for i := range out {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		out[i] = int64(z % uint64(mod))
+	}
+	return out
+}
+
+func TestCollectExactSmallColumn(t *testing.T) {
+	b, bt := mkBag([]int64{5, 1, 3, 1, 5, 9})
+	tab := Collect(b, bt, Options{})
+	if tab.Rows != 6 {
+		t.Fatalf("rows = %d, want 6", tab.Rows)
+	}
+	c, ok := tab.Column("k")
+	if !ok {
+		t.Fatal("column k missing")
+	}
+	if !c.Exact || c.NDV != 4 {
+		t.Fatalf("NDV = %d (exact=%t), want exact 4", c.NDV, c.Exact)
+	}
+	if c.Min != int64(1) || c.Max != int64(9) {
+		t.Fatalf("min/max = %v/%v, want 1/9", c.Min, c.Max)
+	}
+	if c.Nulls != 0 {
+		t.Fatalf("nulls = %d, want 0", c.Nulls)
+	}
+}
+
+func TestCollectCountsNulls(t *testing.T) {
+	b := value.Bag{value.Tuple{int64(1)}, value.Tuple{nil}, value.Tuple{nil}, value.Tuple{int64(7)}}
+	tab := Collect(b, nrc.BagOf(nrc.Tup("k", nrc.IntT)), Options{})
+	c, _ := tab.Column("k")
+	if c.Nulls != 2 {
+		t.Fatalf("nulls = %d, want 2", c.Nulls)
+	}
+	if c.NDV != 2 || c.Min != int64(1) || c.Max != int64(7) {
+		t.Fatalf("NDV/min/max = %d/%v/%v, want 2/1/7", c.NDV, c.Min, c.Max)
+	}
+}
+
+// TestKMVEstimateWithinBound draws columns with known distinct counts well
+// above the sketch size and checks the KMV estimate lands within the
+// documented error bound: standard error ≈ 1/√(k−2), so 5σ ≈ 16% at k=1024.
+// The sequences are deterministic, so this is a fixed regression check, not a
+// flaky statistical one.
+func TestKMVEstimateWithinBound(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		mod  int64
+		seed uint64
+	}{
+		{n: 40000, mod: 20000, seed: 1},
+		{n: 60000, mod: 50000, seed: 2},
+		{n: 30000, mod: 5000, seed: 3},
+	} {
+		t.Run(fmt.Sprintf("n=%d mod=%d", tc.n, tc.mod), func(t *testing.T) {
+			vals := seq(tc.n, tc.mod, tc.seed)
+			truth := map[int64]bool{}
+			for _, v := range vals {
+				truth[v] = true
+			}
+			b, bt := mkBag(vals)
+			tab := Collect(b, bt, Options{})
+			c, _ := tab.Column("k")
+			if c.Exact {
+				t.Fatalf("NDV reported exact with %d distinct values (k=%d)", len(truth), DefaultSketchSize)
+			}
+			relErr := math.Abs(float64(c.NDV)-float64(len(truth))) / float64(len(truth))
+			bound := 5 / math.Sqrt(float64(DefaultSketchSize-2))
+			if relErr > bound {
+				t.Fatalf("NDV = %d, true %d: relative error %.3f exceeds bound %.3f", c.NDV, len(truth), relErr, bound)
+			}
+		})
+	}
+}
+
+func TestKMVExactBelowSketchSize(t *testing.T) {
+	vals := seq(5000, 800, 4) // 800 < DefaultSketchSize distinct values
+	truth := map[int64]bool{}
+	for _, v := range vals {
+		truth[v] = true
+	}
+	b, bt := mkBag(vals)
+	tab := Collect(b, bt, Options{})
+	c, _ := tab.Column("k")
+	if !c.Exact || c.NDV != int64(len(truth)) {
+		t.Fatalf("NDV = %d (exact=%t), want exact %d", c.NDV, c.Exact, len(truth))
+	}
+}
+
+// TestHeavyKeysAgreeWithDetector checks Collect's heavy-key histogram flags
+// exactly the keys skew.Detector.HeavyKeys flags on the same data with the
+// same options — the property keeping the cost model and the skew-aware
+// executor in agreement about what "heavy" means.
+func TestHeavyKeysAgreeWithDetector(t *testing.T) {
+	// ~60% of rows share key 0; the rest spread over 997 keys.
+	n := 4000
+	vals := make([]int64, n)
+	rest := seq(n, 997, 7)
+	for i := range vals {
+		if i%5 < 3 {
+			vals[i] = 0
+		} else {
+			vals[i] = 1 + rest[i]
+		}
+	}
+	b, bt := mkBag(vals)
+	opts := Options{Parallelism: 8}.withDefaults()
+	tab := Collect(b, bt, opts)
+	c, _ := tab.Column("k")
+
+	// Reference: the detector over the same partitioning shape.
+	ctx := dataflow.NewContext(opts.Parallelism)
+	rows := make([]dataflow.Row, len(b))
+	for i, e := range b {
+		rows[i] = dataflow.Row(e.(value.Tuple))
+	}
+	det := skew.Detector{Threshold: opts.Threshold, SampleSize: opts.SampleSize}
+	want := det.HeavyKeys(ctx.FromRows(rows), []int{0})
+
+	if len(want) == 0 {
+		t.Fatal("detector flagged no heavy keys on the skewed data")
+	}
+	if len(c.Heavy) != len(want) {
+		t.Fatalf("histogram has %d heavy keys, detector flagged %d", len(c.Heavy), len(want))
+	}
+	for _, hk := range c.Heavy {
+		if !want[value.KeyCols(dataflow.Row{parseIntKey(t, hk.Value)}, []int{0})] {
+			t.Fatalf("histogram key %q not flagged by detector", hk.Value)
+		}
+	}
+	// The hot key carries ~60% of rows; its exact count must be exact.
+	if c.Heavy[0].Value != "0" || c.Heavy[0].Count != int64(3*n/5) {
+		t.Fatalf("top heavy key = %q count %d, want \"0\" count %d", c.Heavy[0].Value, c.Heavy[0].Count, 3*n/5)
+	}
+	if c.HeavyFraction < 0.55 || c.HeavyFraction > 0.7 {
+		t.Fatalf("heavy fraction = %.3f, want ≈0.6", c.HeavyFraction)
+	}
+}
+
+func parseIntKey(t *testing.T, s string) int64 {
+	t.Helper()
+	var v int64
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+		t.Fatalf("heavy key %q is not an int", s)
+	}
+	return v
+}
+
+func TestUniformColumnHasNoHeavyKeys(t *testing.T) {
+	b, bt := mkBag(seq(4000, 3989, 11))
+	tab := Collect(b, bt, Options{})
+	c, _ := tab.Column("k")
+	if c.HeavyFraction != 0 || len(c.Heavy) != 0 {
+		t.Fatalf("uniform column flagged heavy keys: fraction %.3f, %d keys", c.HeavyFraction, len(c.Heavy))
+	}
+}
+
+func TestCollectScalarElem(t *testing.T) {
+	b := value.Bag{int64(3), int64(1), int64(3)}
+	tab := Collect(b, nrc.BagOf(nrc.IntT), Options{})
+	c, ok := tab.Column("_value")
+	if !ok {
+		t.Fatal("_value column missing")
+	}
+	if c.NDV != 2 || c.Min != int64(1) || c.Max != int64(3) {
+		t.Fatalf("NDV/min/max = %d/%v/%v, want 2/1/3", c.NDV, c.Min, c.Max)
+	}
+}
+
+func TestCollectSkipsNestedFields(t *testing.T) {
+	et := nrc.Tup("k", nrc.IntT, "items", nrc.BagOf(nrc.Tup("v", nrc.IntT)))
+	b := value.Bag{value.Tuple{int64(1), value.Bag{value.Tuple{int64(2)}}}}
+	tab := Collect(b, nrc.BagOf(et), Options{})
+	if len(tab.Columns) != 1 || tab.Columns[0].Name != "k" {
+		t.Fatalf("columns = %+v, want only k", tab.Columns)
+	}
+}
+
+func TestEstimateConversion(t *testing.T) {
+	b, bt := mkBag([]int64{1, 2, 2})
+	tab := Collect(b, bt, Options{})
+	tab.Generation = 42
+	te := tab.Estimate()
+	if te.Generation != 42 || te.Rows != 3 {
+		t.Fatalf("estimate gen/rows = %d/%d, want 42/3", te.Generation, te.Rows)
+	}
+	ce, ok := te.Cols["k"]
+	if !ok || ce.NDV != 2 || ce.Min != int64(1) || ce.Max != int64(2) {
+		t.Fatalf("col estimate = %+v, want NDV 2 min 1 max 2", ce)
+	}
+}
+
+func TestCollectDeterministic(t *testing.T) {
+	b, bt := mkBag(seq(3000, 50, 5))
+	a := Collect(b, bt, Options{})
+	c := Collect(b, bt, Options{})
+	ca, _ := a.Column("k")
+	cb, _ := c.Column("k")
+	if ca.NDV != cb.NDV || ca.HeavyFraction != cb.HeavyFraction || len(ca.Heavy) != len(cb.Heavy) {
+		t.Fatalf("collection not deterministic: %+v vs %+v", ca, cb)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"github.com/trance-go/trance/internal/dataflow"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/runner"
+	"github.com/trance-go/trance/internal/value"
 )
 
 // Pool is a bounded worker pool shareable across prepared queries, so a
@@ -369,6 +370,32 @@ func fingerprint(q Expr, env Env, cfg Config) string {
 	}
 	fmt.Fprintf(h, "de=%t prune=%t pushdown=%t\n",
 		cfg.DomainElimination, !cfg.NoColumnPruning, !cfg.NoPredicatePushdown)
+	// Cost-model inputs: the broadcast limit and auto thresholds change what
+	// Annotate/ChooseStrategy compile, and the statistics digest ties cached
+	// plans to the dataset generation they were costed against — a Drop +
+	// re-register under the same name yields new statistics (new generation)
+	// and therefore a new fingerprint, never a stale cached route.
+	fmt.Fprintf(h, "cost=%t bcast=%d skewat=%g selat=%g\n",
+		!cfg.NoCostModel, cfg.BroadcastLimit, cfg.AutoSkewFraction, cfg.AutoSelectivity)
+	statNames := make([]string, 0, len(cfg.Stats))
+	for n := range cfg.Stats {
+		statNames = append(statNames, n)
+	}
+	sort.Strings(statNames)
+	for _, n := range statNames {
+		te := cfg.Stats[n]
+		fmt.Fprintf(h, "stats %s: gen=%d rows=%d bytes=%d\n", n, te.Generation, te.Rows, te.Bytes)
+		colNames := make([]string, 0, len(te.Cols))
+		for cn := range te.Cols {
+			colNames = append(colNames, cn)
+		}
+		sort.Strings(colNames)
+		for _, cn := range colNames {
+			ce := te.Cols[cn]
+			fmt.Fprintf(h, "  col %s: ndv=%d heavy=%g min=%s max=%s\n",
+				cn, ce.NDV, ce.HeavyFraction, value.Format(ce.Min), value.Format(ce.Max))
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -55,6 +55,7 @@ import (
 	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/runner"
 	"github.com/trance-go/trance/internal/shred"
+	"github.com/trance-go/trance/internal/stats"
 	"github.com/trance-go/trance/internal/value"
 )
 
@@ -212,15 +213,38 @@ const (
 	StandardSkew     = runner.StandardSkew
 	ShredSkew        = runner.ShredSkew
 	ShredUnshredSkew = runner.ShredUnshredSkew
+	// Auto resolves to a concrete route per query at compile time from
+	// catalog statistics (see docs/COSTMODEL.md).
+	Auto = runner.Auto
 )
 
-// AllStrategies lists every strategy in presentation order.
+// AllStrategies lists every explicit strategy in presentation order (Auto,
+// being a meta-strategy, is excluded).
 func AllStrategies() []Strategy { return runner.AllStrategies() }
 
 // ParseStrategy resolves a CLI/HTTP strategy name (Strategy.CLIName's
 // inverse): standard | sparksql | shred | shred+unshred | standard-skew |
-// shred-skew | shred+unshred-skew.
+// shred-skew | shred+unshred-skew | auto.
 func ParseStrategy(name string) (Strategy, bool) { return runner.ParseStrategy(name) }
+
+// AutoCounters returns the process-wide count of Auto strategy resolutions by
+// chosen route (CLI names), one per compilation (served by tranced /metrics).
+func AutoCounters() map[string]int64 { return runner.AutoCounters() }
+
+// Dataset statistics (see docs/COSTMODEL.md).
+type (
+	// DatasetStats holds one dataset's collected statistics: row/byte counts
+	// and per-scalar-column NDV, min/max, NULL counts, and heavy-key
+	// histograms (Catalog.Stats / Catalog.Analyze).
+	DatasetStats = stats.Table
+	// ColumnStats is one column's statistics within a DatasetStats.
+	ColumnStats = stats.Column
+	// StatsOptions tunes statistics collection (Catalog.Analyze).
+	StatsOptions = stats.Options
+	// TableEstimate is the cost model's view of one input's statistics
+	// (Config.Stats; filled automatically by sessions).
+	TableEstimate = plan.TableEstimate
+)
 
 // Execution configuration and results.
 type (
