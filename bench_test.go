@@ -533,6 +533,84 @@ func BenchmarkPushdownAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkVectorizeAblation measures the columnar batch execution path
+// (runner.Config.NoVectorize ablation) on the same selective queries as the
+// pushdown ablation: after pushdown, their guards sit directly above the
+// scans as narrow selections (and the burden query adds an arithmetic
+// extension), exactly the shape the vectorizer turns into per-column kernel
+// loops over 1024-row batches. Results are bit-identical either way (the
+// differential oracle runs both halves); this benchmark isolates the
+// interpreter-dispatch savings. Compile time and input conversion sit
+// outside the timed region; compare vec=on vs vec=off with benchstat.
+func BenchmarkVectorizeAblation(b *testing.B) {
+	tables := tpch.Generate(tpchConfig(0))
+	// The flat scan case gets a larger Lineitem so its 1024-row batches
+	// actually fill: at the shared config's 3.6K rows every partition holds a
+	// single partial batch and per-batch fixed costs (transpose, arena reset)
+	// drown the kernel win this benchmark exists to measure.
+	flatCfg := tpchConfig(0)
+	flatCfg.Customers = scaled(2000)
+	flatTables := tpch.Generate(flatCfg)
+	cases := []struct {
+		name   string
+		mk     func() trance.Expr
+		env    nrc.Env
+		inputs map[string]value.Bag
+	}{
+		{
+			name:   "tpch-flat-selective",
+			mk:     tpch.FlatSelective,
+			env:    tpch.FlatEnv(),
+			inputs: map[string]value.Bag{"Lineitem": flatTables.Lineitem},
+		},
+		{
+			name: "tpch-selective-n2f-l2",
+			mk:   func() trance.Expr { return tpch.NestedToFlatSelective(2) },
+			env:  tpch.Env(tpch.NestedToFlat, 2, false),
+			inputs: map[string]value.Bag{
+				"NDB":  tpch.BuildNested(tables, 2, true),
+				"Part": tables.Part,
+			},
+		},
+		{
+			name:   "biomed-selective-burden",
+			mk:     biomed.SelectiveBurden,
+			env:    biomed.Env(),
+			inputs: biomed.Generate(biomed.FullConfig()),
+		},
+	}
+	for _, c := range cases {
+		for _, strat := range []runner.Strategy{runner.Standard, runner.Shred} {
+			for _, vec := range []bool{true, false} {
+				mode := "on"
+				if !vec {
+					mode = "off"
+				}
+				b.Run(fmt.Sprintf("%s/%s/vec=%s", c.name, strat, mode), func(b *testing.B) {
+					cfg := benchConfig(inputBytes(c.inputs))
+					cfg.MaxPartitionBytes = 0
+					cfg.NoVectorize = !vec
+					cq, err := runner.Compile(c.mk(), c.env, strat, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows, err := cq.InputRows(c.inputs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res := cq.ExecuteRows(context.Background(), rows, runner.NewRunContext(cfg, strat))
+						if res.Failed() {
+							b.Fatal(res.Err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkParse measures the textual query parser (internal/parse) on the
 // largest TPC-H text fixture — the cost a serving process pays before the
 // plan cache takes over. Parsing sits at microseconds per query, noise next

@@ -805,6 +805,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	cache := trance.PlanCacheStats()
 	opt := trance.OptimizerCounters()
+	vec := trance.VectorizeCounters()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s": time.Since(s.started).Seconds(),
 		"requests": s.requests.Load(),
@@ -825,6 +826,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"true_selects_dropped": opt.TrueSelectsDropped,
 			"false_selects_cut":    opt.FalseSelectsCut,
 			"pushes_refused":       opt.PushesRefused,
+		},
+		"vectorize": map[string]any{
+			"ops_vectorized": vec.OpsVectorized,
+			"ops_fallback":   vec.OpsFallback,
 		},
 		"routes": routes,
 	})

@@ -1,0 +1,834 @@
+// Vector kernels over Columns: comparisons, arithmetic, and boolean logic in
+// per-column loops. Every kernel replicates the row interpreter's semantics
+// exactly — NULL comparisons yield false (not NULL), arithmetic propagates
+// NULL, integer ops wrap natively, Div always takes the float path with
+// divide-by-zero yielding 0.0, and float comparisons use the same
+// three-way <(lt)/>(gt) protocol as value.Compare so NaN behaves identically.
+// Kernels return ok=false for kind combinations they do not cover; callers
+// fall back to row-at-a-time evaluation.
+package dataflow
+
+import "github.com/trance-go/trance/internal/value"
+
+// BatchSize is the number of rows per columnar batch processed by the
+// vectorized narrow stages.
+const BatchSize = 1024
+
+// CmpOp is a dataflow-local comparison opcode (mirrors nrc.CmpOp without
+// importing it, keeping the engine independent of the query language).
+type CmpOp uint8
+
+// Comparison opcodes.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// ArithOp is a dataflow-local arithmetic opcode.
+type ArithOp uint8
+
+// Arithmetic opcodes.
+const (
+	ArithAdd ArithOp = iota
+	ArithSub
+	ArithMul
+	ArithDiv
+)
+
+// CmpColumns compares two columns element-wise, returning the selection
+// bitmap (a NULL on either side compares false, so the result carries no null
+// mask). Supported: matching scalar kinds, plus int64×float64 cross-compares
+// promoted through float64 exactly like value.Compare. Boxed columns and
+// mismatched kinds return ok=false.
+func CmpColumns(op CmpOp, l, r *Column) (Bitmap, bool) {
+	if l.Kind == r.Kind {
+		switch l.Kind {
+		case KindInt64, KindDate:
+			return cmpVec(op, l.Ints, r.Ints, l.Nulls, r.Nulls), true
+		case KindFloat64:
+			return cmpVecF(op, l.Floats, r.Floats, l.Nulls, r.Nulls), true
+		case KindString:
+			return cmpVec(op, l.Strs, r.Strs, l.Nulls, r.Nulls), true
+		case KindBool:
+			return cmpBools(op, l, r), true
+		}
+		return nil, false
+	}
+	if l.Kind == KindInt64 && r.Kind == KindFloat64 {
+		return cmpVecF(op, promoteInts(l.Ints), r.Floats, l.Nulls, r.Nulls), true
+	}
+	if l.Kind == KindFloat64 && r.Kind == KindInt64 {
+		return cmpVecF(op, l.Floats, promoteInts(r.Ints), l.Nulls, r.Nulls), true
+	}
+	return nil, false
+}
+
+// cmpVec compares two equal-length typed slices where == and the three-way
+// order agree (ints, dates, strings — not floats, where NaN breaks the
+// equivalence).
+func cmpVec[T int64 | string](op CmpOp, l, r []T, ln, rn Bitmap) Bitmap {
+	switch op {
+	case CmpGt:
+		return cmpVec(CmpLt, r, l, rn, ln)
+	case CmpGe:
+		return cmpVec(CmpLe, r, l, rn, ln)
+	}
+	out := NewBitmap(len(l))
+	if ln == nil && rn == nil {
+		switch op {
+		case CmpEq:
+			for i := range l {
+				if l[i] == r[i] {
+					out.Set(i)
+				}
+			}
+		case CmpNe:
+			for i := range l {
+				if l[i] != r[i] {
+					out.Set(i)
+				}
+			}
+		case CmpLt:
+			for i := range l {
+				if l[i] < r[i] {
+					out.Set(i)
+				}
+			}
+		case CmpLe:
+			for i := range l {
+				if l[i] <= r[i] {
+					out.Set(i)
+				}
+			}
+		}
+		return out
+	}
+	switch op {
+	case CmpEq:
+		for i := range l {
+			if !ln.Get(i) && !rn.Get(i) && l[i] == r[i] {
+				out.Set(i)
+			}
+		}
+	case CmpNe:
+		for i := range l {
+			if !ln.Get(i) && !rn.Get(i) && l[i] != r[i] {
+				out.Set(i)
+			}
+		}
+	case CmpLt:
+		for i := range l {
+			if !ln.Get(i) && !rn.Get(i) && l[i] < r[i] {
+				out.Set(i)
+			}
+		}
+	case CmpLe:
+		for i := range l {
+			if !ln.Get(i) && !rn.Get(i) && l[i] <= r[i] {
+				out.Set(i)
+			}
+		}
+	}
+	return out
+}
+
+// cmpVecF compares float slices with value.Compare's three-way protocol
+// (a<b → lt, a>b → gt, otherwise equal) so NaN operands compare "equal" to
+// everything, exactly as the row engine does.
+func cmpVecF(op CmpOp, l, r []float64, ln, rn Bitmap) Bitmap {
+	switch op {
+	case CmpGt:
+		return cmpVecF(CmpLt, r, l, rn, ln)
+	case CmpGe:
+		return cmpVecF(CmpLe, r, l, rn, ln)
+	}
+	out := NewBitmap(len(l))
+	if ln == nil && rn == nil {
+		switch op {
+		case CmpEq:
+			for i := range l {
+				if !(l[i] < r[i]) && !(r[i] < l[i]) {
+					out.Set(i)
+				}
+			}
+		case CmpNe:
+			for i := range l {
+				if l[i] < r[i] || r[i] < l[i] {
+					out.Set(i)
+				}
+			}
+		case CmpLt:
+			for i := range l {
+				if l[i] < r[i] {
+					out.Set(i)
+				}
+			}
+		case CmpLe:
+			for i := range l {
+				if !(r[i] < l[i]) {
+					out.Set(i)
+				}
+			}
+		}
+		return out
+	}
+	switch op {
+	case CmpEq:
+		for i := range l {
+			if !ln.Get(i) && !rn.Get(i) && !(l[i] < r[i]) && !(r[i] < l[i]) {
+				out.Set(i)
+			}
+		}
+	case CmpNe:
+		for i := range l {
+			if !ln.Get(i) && !rn.Get(i) && (l[i] < r[i] || r[i] < l[i]) {
+				out.Set(i)
+			}
+		}
+	case CmpLt:
+		for i := range l {
+			if !ln.Get(i) && !rn.Get(i) && l[i] < r[i] {
+				out.Set(i)
+			}
+		}
+	case CmpLe:
+		for i := range l {
+			if !ln.Get(i) && !rn.Get(i) && !(r[i] < l[i]) {
+				out.Set(i)
+			}
+		}
+	}
+	return out
+}
+
+// cmpBools compares two bool columns (false < true).
+func cmpBools(op CmpOp, l, r *Column) Bitmap {
+	out := NewBitmap(l.Len)
+	for i := 0; i < l.Len; i++ {
+		if l.Nulls.Get(i) || r.Nulls.Get(i) {
+			continue
+		}
+		c := 0
+		lv, rv := l.Bools.Get(i), r.Bools.Get(i)
+		if lv != rv {
+			if rv {
+				c = -1
+			} else {
+				c = 1
+			}
+		}
+		if cmpHolds(op, c) {
+			out.Set(i)
+		}
+	}
+	return out
+}
+
+func cmpHolds(op CmpOp, c int) bool {
+	switch op {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// CmpColumnConstInt compares a column against an int64 constant — the
+// commonest shape the optimizer pushes down ($col < literal). Covers int64
+// and date columns directly and float columns through numeric cross-compare.
+func CmpColumnConstInt(op CmpOp, l *Column, c int64) (Bitmap, bool) {
+	switch l.Kind {
+	case KindInt64:
+		return cmpVecConst(op, l.Ints, c, l.Nulls), true
+	case KindFloat64:
+		return cmpVecConstF(op, l.Floats, float64(c), l.Nulls), true
+	}
+	return nil, false
+}
+
+// CmpColumnConstFloat compares a column against a float64 constant.
+func CmpColumnConstFloat(op CmpOp, l *Column, c float64) (Bitmap, bool) {
+	switch l.Kind {
+	case KindFloat64:
+		return cmpVecConstF(op, l.Floats, c, l.Nulls), true
+	case KindInt64:
+		return cmpVecConstF(op, promoteInts(l.Ints), c, l.Nulls), true
+	}
+	return nil, false
+}
+
+// CmpColumnConstString compares a string column against a constant.
+func CmpColumnConstString(op CmpOp, l *Column, c string) (Bitmap, bool) {
+	if l.Kind != KindString {
+		return nil, false
+	}
+	return cmpVecConst(op, l.Strs, c, l.Nulls), true
+}
+
+// CmpColumnConstDate compares a date column against a constant date (held as
+// its int64 ordinal).
+func CmpColumnConstDate(op CmpOp, l *Column, c int64) (Bitmap, bool) {
+	if l.Kind != KindDate {
+		return nil, false
+	}
+	return cmpVecConst(op, l.Ints, c, l.Nulls), true
+}
+
+// CmpRowsConst fuses TransposeCol + CmpColumnConst* into a single pass over
+// the raw rows: unbox, compare against the constant, set the selection bit.
+// The hot σ shape ($col op literal) pays one cache miss per cell instead of a
+// transpose write plus a kernel read, and materializes no column at all.
+// Semantics are exactly the materializing path's: NULL cells leave their bit
+// clear (NULL compares false), and any non-NULL cell whose dynamic type
+// contradicts kind returns ok=false — the same batches that would demote a
+// transposed column to boxed and refuse the kernel.
+func CmpRowsConst(op CmpOp, rows []Row, idx int, kind Kind, cv value.Value) (Bitmap, bool) {
+	out := NewBitmap(len(rows))
+	switch c := cv.(type) {
+	case int64:
+		switch kind {
+		case KindInt64:
+			for i, r := range rows {
+				v := r[idx]
+				if v == nil {
+					continue
+				}
+				x, ok := v.(int64)
+				if !ok {
+					return nil, false
+				}
+				if cmpOrdHolds(op, x, c) {
+					out.Set(i)
+				}
+			}
+			return out, true
+		case KindFloat64:
+			fc := float64(c)
+			for i, r := range rows {
+				v := r[idx]
+				if v == nil {
+					continue
+				}
+				x, ok := v.(float64)
+				if !ok {
+					return nil, false
+				}
+				if cmpFloatHolds(op, x, fc) {
+					out.Set(i)
+				}
+			}
+			return out, true
+		}
+	case float64:
+		switch kind {
+		case KindFloat64:
+			for i, r := range rows {
+				v := r[idx]
+				if v == nil {
+					continue
+				}
+				x, ok := v.(float64)
+				if !ok {
+					return nil, false
+				}
+				if cmpFloatHolds(op, x, c) {
+					out.Set(i)
+				}
+			}
+			return out, true
+		case KindInt64:
+			for i, r := range rows {
+				v := r[idx]
+				if v == nil {
+					continue
+				}
+				x, ok := v.(int64)
+				if !ok {
+					return nil, false
+				}
+				if cmpFloatHolds(op, float64(x), c) {
+					out.Set(i)
+				}
+			}
+			return out, true
+		}
+	case string:
+		if kind == KindString {
+			for i, r := range rows {
+				v := r[idx]
+				if v == nil {
+					continue
+				}
+				x, ok := v.(string)
+				if !ok {
+					return nil, false
+				}
+				if cmpOrdHolds(op, x, c) {
+					out.Set(i)
+				}
+			}
+			return out, true
+		}
+	case value.Date:
+		if kind == KindDate {
+			cd := int64(c)
+			for i, r := range rows {
+				v := r[idx]
+				if v == nil {
+					continue
+				}
+				x, ok := v.(value.Date)
+				if !ok {
+					return nil, false
+				}
+				if cmpOrdHolds(op, int64(x), cd) {
+					out.Set(i)
+				}
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// cmpOrdHolds applies op to one ordered pair where == and < agree (ints,
+// dates, strings).
+func cmpOrdHolds[T int64 | string](op CmpOp, a, b T) bool {
+	switch op {
+	case CmpEq:
+		return a == b
+	case CmpNe:
+		return a != b
+	case CmpLt:
+		return a < b
+	case CmpLe:
+		return a <= b
+	case CmpGt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+// cmpFloatHolds applies op to one float pair under value.Compare's three-way
+// <-only protocol (NaN compares "equal" to everything).
+func cmpFloatHolds(op CmpOp, a, b float64) bool {
+	switch op {
+	case CmpEq:
+		return !(a < b) && !(b < a)
+	case CmpNe:
+		return a < b || b < a
+	case CmpLt:
+		return a < b
+	case CmpLe:
+		return !(b < a)
+	case CmpGt:
+		return b < a
+	default:
+		return !(a < b)
+	}
+}
+
+// cmpVecConst compares a typed slice against one constant (==/order agree).
+func cmpVecConst[T int64 | string](op CmpOp, l []T, c T, ln Bitmap) Bitmap {
+	out := NewBitmap(len(l))
+	if ln == nil {
+		switch op {
+		case CmpEq:
+			for i := range l {
+				if l[i] == c {
+					out.Set(i)
+				}
+			}
+		case CmpNe:
+			for i := range l {
+				if l[i] != c {
+					out.Set(i)
+				}
+			}
+		case CmpLt:
+			for i := range l {
+				if l[i] < c {
+					out.Set(i)
+				}
+			}
+		case CmpLe:
+			for i := range l {
+				if l[i] <= c {
+					out.Set(i)
+				}
+			}
+		case CmpGt:
+			for i := range l {
+				if l[i] > c {
+					out.Set(i)
+				}
+			}
+		case CmpGe:
+			for i := range l {
+				if l[i] >= c {
+					out.Set(i)
+				}
+			}
+		}
+		return out
+	}
+	switch op {
+	case CmpEq:
+		for i := range l {
+			if !ln.Get(i) && l[i] == c {
+				out.Set(i)
+			}
+		}
+	case CmpNe:
+		for i := range l {
+			if !ln.Get(i) && l[i] != c {
+				out.Set(i)
+			}
+		}
+	case CmpLt:
+		for i := range l {
+			if !ln.Get(i) && l[i] < c {
+				out.Set(i)
+			}
+		}
+	case CmpLe:
+		for i := range l {
+			if !ln.Get(i) && l[i] <= c {
+				out.Set(i)
+			}
+		}
+	case CmpGt:
+		for i := range l {
+			if !ln.Get(i) && l[i] > c {
+				out.Set(i)
+			}
+		}
+	case CmpGe:
+		for i := range l {
+			if !ln.Get(i) && l[i] >= c {
+				out.Set(i)
+			}
+		}
+	}
+	return out
+}
+
+// cmpVecConstF is cmpVecConst for floats under the three-way protocol.
+func cmpVecConstF(op CmpOp, l []float64, c float64, ln Bitmap) Bitmap {
+	out := NewBitmap(len(l))
+	if ln == nil {
+		switch op {
+		case CmpEq:
+			for i := range l {
+				if !(l[i] < c) && !(c < l[i]) {
+					out.Set(i)
+				}
+			}
+		case CmpNe:
+			for i := range l {
+				if l[i] < c || c < l[i] {
+					out.Set(i)
+				}
+			}
+		case CmpLt:
+			for i := range l {
+				if l[i] < c {
+					out.Set(i)
+				}
+			}
+		case CmpLe:
+			for i := range l {
+				if !(c < l[i]) {
+					out.Set(i)
+				}
+			}
+		case CmpGt:
+			for i := range l {
+				if c < l[i] {
+					out.Set(i)
+				}
+			}
+		case CmpGe:
+			for i := range l {
+				if !(l[i] < c) {
+					out.Set(i)
+				}
+			}
+		}
+		return out
+	}
+	switch op {
+	case CmpEq:
+		for i := range l {
+			if !ln.Get(i) && !(l[i] < c) && !(c < l[i]) {
+				out.Set(i)
+			}
+		}
+	case CmpNe:
+		for i := range l {
+			if !ln.Get(i) && (l[i] < c || c < l[i]) {
+				out.Set(i)
+			}
+		}
+	case CmpLt:
+		for i := range l {
+			if !ln.Get(i) && l[i] < c {
+				out.Set(i)
+			}
+		}
+	case CmpLe:
+		for i := range l {
+			if !ln.Get(i) && !(c < l[i]) {
+				out.Set(i)
+			}
+		}
+	case CmpGt:
+		for i := range l {
+			if !ln.Get(i) && c < l[i] {
+				out.Set(i)
+			}
+		}
+	case CmpGe:
+		for i := range l {
+			if !ln.Get(i) && !(l[i] < c) {
+				out.Set(i)
+			}
+		}
+	}
+	return out
+}
+
+func promoteInts(xs []int64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// KernelScratch holds reusable promotion buffers for the Into kernel
+// variants. Buffers are only live during one kernel call, so one pair
+// suffices for any expression tree evaluated sequentially.
+type KernelScratch struct {
+	fa, fb []float64
+}
+
+// ArithColumns applies an arithmetic op element-wise with NULL propagation,
+// replicating nrc.EvalArith: int64 op int64 stays native (wrapping) except
+// Div, everything else promotes to float64, and Div by zero yields 0.0.
+// Supported kinds: int64 and float64 (ok=false otherwise).
+func ArithColumns(op ArithOp, l, r *Column) (Column, bool) {
+	var out Column
+	ok := ArithColumnsInto(op, l, r, &out, nil)
+	return out, ok
+}
+
+// ArithColumnsInto is ArithColumns reusing out's backing slices and sc's
+// promotion buffers — the vectorized stages recycle one scratch Column per
+// arithmetic node across batches. A nil sc allocates fresh promotions.
+// Stale cells at NULL positions are never observed: consumers mask with
+// out.Nulls.
+func ArithColumnsInto(op ArithOp, l, r *Column, out *Column, sc *KernelScratch) bool {
+	n := l.Len
+	out.Len, out.Nulls = n, unionNulls(l.Nulls, r.Nulls)
+	if l.Kind == KindInt64 && r.Kind == KindInt64 && op != ArithDiv {
+		out.Kind = KindInt64
+		out.Ints = growInts(out.Ints, n)
+		switch op {
+		case ArithAdd:
+			for i := range out.Ints {
+				out.Ints[i] = l.Ints[i] + r.Ints[i]
+			}
+		case ArithSub:
+			for i := range out.Ints {
+				out.Ints[i] = l.Ints[i] - r.Ints[i]
+			}
+		case ArithMul:
+			for i := range out.Ints {
+				out.Ints[i] = l.Ints[i] * r.Ints[i]
+			}
+		}
+		return true
+	}
+	var sa, sb *[]float64
+	if sc != nil {
+		sa, sb = &sc.fa, &sc.fb
+	}
+	lf, ok := floatView(l, sa)
+	if !ok {
+		return false
+	}
+	rf, ok := floatView(r, sb)
+	if !ok {
+		return false
+	}
+	out.Kind = KindFloat64
+	out.Floats = growFloats(out.Floats, n)
+	switch op {
+	case ArithAdd:
+		for i := range out.Floats {
+			out.Floats[i] = lf[i] + rf[i]
+		}
+	case ArithSub:
+		for i := range out.Floats {
+			out.Floats[i] = lf[i] - rf[i]
+		}
+	case ArithMul:
+		for i := range out.Floats {
+			out.Floats[i] = lf[i] * rf[i]
+		}
+	case ArithDiv:
+		for i := range out.Floats {
+			if rf[i] == 0 {
+				out.Floats[i] = 0.0
+			} else {
+				out.Floats[i] = lf[i] / rf[i]
+			}
+		}
+	}
+	return true
+}
+
+// floatView returns the column's values as float64s, promoting ints into the
+// scratch buffer (nil scratch allocates); null positions hold arbitrary
+// values, which downstream kernels mask out.
+func floatView(c *Column, scratch *[]float64) ([]float64, bool) {
+	switch c.Kind {
+	case KindFloat64:
+		return c.Floats, true
+	case KindInt64:
+		if scratch == nil {
+			return promoteInts(c.Ints), true
+		}
+		*scratch = growFloats(*scratch, len(c.Ints))
+		for i, x := range c.Ints {
+			(*scratch)[i] = float64(x)
+		}
+		return *scratch, true
+	}
+	return nil, false
+}
+
+// unionNulls ORs two null masks; the result may alias an input (masks are
+// immutable after construction).
+func unionNulls(a, b Bitmap) Bitmap {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(Bitmap, len(a))
+	for i := range a {
+		out[i] = a[i] | b[i]
+	}
+	return out
+}
+
+// CoerceBool reduces a bool column to a selection bitmap with the row
+// engine's coercion: NULL counts as false (the `b, _ := v.(bool)` idiom).
+func CoerceBool(c *Column) (Bitmap, bool) {
+	if c.Kind != KindBool {
+		return nil, false
+	}
+	return AndNotBitmap(c.Bools, c.Nulls, c.Len), true
+}
+
+// AndBitmaps returns a∧b over n bits; nil inputs are all-clear.
+func AndBitmaps(a, b Bitmap, n int) Bitmap {
+	out := NewBitmap(n)
+	if a == nil || b == nil {
+		return out
+	}
+	for i := range out {
+		if i < len(a) && i < len(b) {
+			out[i] = a[i] & b[i]
+		}
+	}
+	return out
+}
+
+// OrBitmaps returns a∨b over n bits; nil inputs are all-clear.
+func OrBitmaps(a, b Bitmap, n int) Bitmap {
+	out := NewBitmap(n)
+	for i := range out {
+		var w uint64
+		if i < len(a) {
+			w = a[i]
+		}
+		if i < len(b) {
+			w |= b[i]
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// AndNotBitmap returns a∧¬b over n bits; nil inputs are all-clear.
+func AndNotBitmap(a, b Bitmap, n int) Bitmap {
+	out := NewBitmap(n)
+	if a == nil {
+		return out
+	}
+	for i := range out {
+		var w uint64
+		if i < len(a) {
+			w = a[i]
+		}
+		if i < len(b) {
+			w &^= b[i]
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// NotBitmap returns ¬a over n bits, with bits past n kept clear.
+func NotBitmap(a Bitmap, n int) Bitmap {
+	out := NewBitmap(n)
+	for i := range out {
+		var w uint64
+		if i < len(a) {
+			w = a[i]
+		}
+		out[i] = ^w
+	}
+	maskTail(out, n)
+	return out
+}
+
+// FullBitmap returns an all-set bitmap over n bits.
+func FullBitmap(n int) Bitmap {
+	out := NewBitmap(n)
+	for i := range out {
+		out[i] = ^uint64(0)
+	}
+	maskTail(out, n)
+	return out
+}
+
+// maskTail clears the bits of the last word beyond n.
+func maskTail(b Bitmap, n int) {
+	if rem := uint(n) & 63; rem != 0 && len(b) > 0 {
+		b[len(b)-1] &= (1 << rem) - 1
+	}
+}
+
+// BoolColumn wraps a kernel-produced selection bitmap (never NULL) as a bool
+// column of length n.
+func BoolColumn(bits Bitmap, n int) Column {
+	return Column{Kind: KindBool, Len: n, Bools: bits}
+}

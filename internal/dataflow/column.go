@@ -1,0 +1,446 @@
+// Columnar batch representation: typed column vectors with null bitmaps,
+// plus a boxed-value fallback column for labels and nested values. The
+// shredded route's flat dictionary fragments (paper Section 4) are naturally
+// columnar — scalar columns transpose to compact typed slices, and the vector
+// kernels in batch.go evaluate predicates and arithmetic over them in tight
+// per-column loops instead of per-row interpreter dispatch.
+//
+// Transposition is schema-directed: the caller states the expected Kind per
+// column (derived from the plan's static types). A value that contradicts the
+// static kind demotes the column to KindBoxed, so a dynamic/static mismatch
+// can never produce a silently wrong typed vector — consumers detect the
+// demotion and fall back to row-at-a-time evaluation.
+package dataflow
+
+import (
+	"math/bits"
+
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Bitmap is a dense bit vector used for null masks, boolean column values,
+// and selection vectors. The zero value (nil) is a valid all-clear bitmap:
+// Get past the backing words reports false, so all-valid columns carry no
+// allocation at all.
+type Bitmap []uint64
+
+// NewBitmap returns an all-clear bitmap with capacity for n bits.
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Get reports bit i; out-of-range bits (including any i on a nil bitmap) are
+// clear.
+func (b Bitmap) Get(i int) bool {
+	w := i >> 6
+	if w >= len(b) {
+		return false
+	}
+	return b[w]>>(uint(i)&63)&1 != 0
+}
+
+// Set sets bit i; the bitmap must have been sized to cover i.
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Count returns the number of set bits.
+func (b Bitmap) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether any bit is set.
+func (b Bitmap) Any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Kind identifies the physical vector type of a column.
+type Kind uint8
+
+// Column kinds. KindBoxed is the fallback for labels, nested bags/tuples,
+// and columns whose dynamic values contradict their static type.
+const (
+	KindInt64 Kind = iota
+	KindFloat64
+	KindString
+	KindBool
+	KindDate
+	KindBoxed
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindDate:
+		return "date"
+	default:
+		return "boxed"
+	}
+}
+
+// Column is one typed vector of a batch. Exactly one backing slice is
+// populated according to Kind (Ints doubles for KindDate; Bools is a value
+// bitmap for KindBool). Nulls marks NULL positions; a nil Nulls bitmap means
+// no NULLs. Boxed columns keep raw values (nil at NULL positions) so nothing
+// representable in a Row is ever lost.
+type Column struct {
+	Kind   Kind
+	Len    int
+	Nulls  Bitmap
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  Bitmap
+	Boxed  []value.Value
+}
+
+// Get boxes the value at index i back into the dynamic representation. Typed
+// kinds re-box on every call; hot paths should loop over the backing slices
+// directly instead.
+func (c *Column) Get(i int) value.Value {
+	if c.Nulls.Get(i) {
+		return nil
+	}
+	switch c.Kind {
+	case KindInt64:
+		return c.Ints[i]
+	case KindFloat64:
+		return c.Floats[i]
+	case KindString:
+		return c.Strs[i]
+	case KindBool:
+		return c.Bools.Get(i)
+	case KindDate:
+		return value.Date(c.Ints[i])
+	default:
+		return c.Boxed[i]
+	}
+}
+
+// ConstColumn builds a length-n column repeating one already-typed value; a
+// nil value yields an all-NULL column. Used to materialize plan constants
+// inside a batch. A value that does not match kind demotes to boxed, exactly
+// like TransposeCol.
+func ConstColumn(kind Kind, v value.Value, n int) Column {
+	c := Column{Kind: kind, Len: n}
+	if v == nil {
+		c.Nulls = FullBitmap(n)
+		switch kind {
+		case KindInt64, KindDate:
+			c.Ints = make([]int64, n)
+		case KindFloat64:
+			c.Floats = make([]float64, n)
+		case KindString:
+			c.Strs = make([]string, n)
+		case KindBool:
+			c.Bools = NewBitmap(n)
+		default:
+			c.Boxed = make([]value.Value, n)
+		}
+		return c
+	}
+	switch kind {
+	case KindInt64:
+		if x, ok := v.(int64); ok {
+			c.Ints = make([]int64, n)
+			for i := range c.Ints {
+				c.Ints[i] = x
+			}
+			return c
+		}
+	case KindDate:
+		if x, ok := v.(value.Date); ok {
+			c.Ints = make([]int64, n)
+			for i := range c.Ints {
+				c.Ints[i] = int64(x)
+			}
+			return c
+		}
+	case KindFloat64:
+		if x, ok := v.(float64); ok {
+			c.Floats = make([]float64, n)
+			for i := range c.Floats {
+				c.Floats[i] = x
+			}
+			return c
+		}
+	case KindString:
+		if x, ok := v.(string); ok {
+			c.Strs = make([]string, n)
+			for i := range c.Strs {
+				c.Strs[i] = x
+			}
+			return c
+		}
+	case KindBool:
+		if x, ok := v.(bool); ok {
+			if x {
+				c.Bools = FullBitmap(n)
+			} else {
+				c.Bools = NewBitmap(n)
+			}
+			return c
+		}
+	}
+	c.Kind = KindBoxed
+	c.Boxed = make([]value.Value, n)
+	for i := range c.Boxed {
+		c.Boxed[i] = v
+	}
+	return c
+}
+
+// growInts returns s resized to n, reusing its backing array when possible.
+// Contents are unspecified: transposition writes every non-NULL position and
+// kernels mask NULL positions, so stale cells are never observed.
+func growInts(s []int64, n int) []int64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int64, n)
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growStrs(s []string, n int) []string {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]string, n)
+}
+
+func growBoxed(s []value.Value, n int) []value.Value {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]value.Value, n)
+}
+
+// clearBitmap returns an all-clear bitmap covering n bits, reusing b's
+// backing array when large enough.
+func clearBitmap(b Bitmap, n int) Bitmap {
+	w := (n + 63) / 64
+	if cap(b) < w {
+		return make(Bitmap, w)
+	}
+	b = b[:w]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// TransposeCol extracts column idx of rows into a typed vector of the
+// expected kind. A non-NULL value whose dynamic type contradicts kind demotes
+// the whole column to KindBoxed (restarting the copy), so the result is
+// always faithful: Get(i) == rows[i][idx] for every i under value.Equal.
+func TransposeCol(rows []Row, idx int, kind Kind) Column {
+	var c Column
+	TransposeColInto(&c, rows, idx, kind)
+	return c
+}
+
+// TransposeColInto is TransposeCol reusing c's backing slices and bitmaps —
+// the steady-state path of the vectorized stages, which recycle one scratch
+// Column per input column across batches (so a long scan allocates nothing
+// after its first batch).
+func TransposeColInto(c *Column, rows []Row, idx int, kind Kind) {
+	n := len(rows)
+	spareNulls := c.Nulls
+	c.Kind, c.Len, c.Nulls = kind, n, nil
+	nullBit := func(i int) {
+		if c.Nulls == nil {
+			c.Nulls = clearBitmap(spareNulls, n)
+		}
+		c.Nulls.Set(i)
+	}
+	switch kind {
+	case KindInt64:
+		c.Ints = growInts(c.Ints, n)
+		for i, r := range rows {
+			v := r[idx]
+			if v == nil {
+				nullBit(i)
+				continue
+			}
+			x, ok := v.(int64)
+			if !ok {
+				transposeBoxedInto(c, rows, idx, spareNulls)
+				return
+			}
+			c.Ints[i] = x
+		}
+	case KindDate:
+		c.Ints = growInts(c.Ints, n)
+		for i, r := range rows {
+			v := r[idx]
+			if v == nil {
+				nullBit(i)
+				continue
+			}
+			x, ok := v.(value.Date)
+			if !ok {
+				transposeBoxedInto(c, rows, idx, spareNulls)
+				return
+			}
+			c.Ints[i] = int64(x)
+		}
+	case KindFloat64:
+		c.Floats = growFloats(c.Floats, n)
+		for i, r := range rows {
+			v := r[idx]
+			if v == nil {
+				nullBit(i)
+				continue
+			}
+			x, ok := v.(float64)
+			if !ok {
+				transposeBoxedInto(c, rows, idx, spareNulls)
+				return
+			}
+			c.Floats[i] = x
+		}
+	case KindString:
+		c.Strs = growStrs(c.Strs, n)
+		for i, r := range rows {
+			v := r[idx]
+			if v == nil {
+				nullBit(i)
+				continue
+			}
+			x, ok := v.(string)
+			if !ok {
+				transposeBoxedInto(c, rows, idx, spareNulls)
+				return
+			}
+			c.Strs[i] = x
+		}
+	case KindBool:
+		c.Bools = clearBitmap(c.Bools, n)
+		for i, r := range rows {
+			v := r[idx]
+			if v == nil {
+				nullBit(i)
+				continue
+			}
+			x, ok := v.(bool)
+			if !ok {
+				transposeBoxedInto(c, rows, idx, spareNulls)
+				return
+			}
+			if x {
+				c.Bools.Set(i)
+			}
+		}
+	default:
+		transposeBoxedInto(c, rows, idx, spareNulls)
+	}
+}
+
+// transposeBoxedInto restarts the copy as a boxed column (the typed backing
+// slices stay in place on c for reuse by later batches of the right shape).
+func transposeBoxedInto(c *Column, rows []Row, idx int, spareNulls Bitmap) {
+	n := len(rows)
+	c.Kind, c.Len, c.Nulls = KindBoxed, n, nil
+	c.Boxed = growBoxed(c.Boxed, n)
+	for i, r := range rows {
+		v := r[idx]
+		if v == nil {
+			if c.Nulls == nil {
+				c.Nulls = clearBitmap(spareNulls, n)
+			}
+			c.Nulls.Set(i)
+			c.Boxed[i] = nil
+			continue
+		}
+		c.Boxed[i] = v
+	}
+}
+
+// InferKind inspects the non-NULL values of column idx and returns the
+// tightest kind that represents all of them (KindBoxed when mixed or
+// non-scalar). An all-NULL column infers KindBoxed.
+func InferKind(rows []Row, idx int) Kind {
+	kind := KindBoxed
+	seen := false
+	for _, r := range rows {
+		v := r[idx]
+		if v == nil {
+			continue
+		}
+		var k Kind
+		switch v.(type) {
+		case int64:
+			k = KindInt64
+		case float64:
+			k = KindFloat64
+		case string:
+			k = KindString
+		case bool:
+			k = KindBool
+		case value.Date:
+			k = KindDate
+		default:
+			return KindBoxed
+		}
+		if !seen {
+			kind, seen = k, true
+		} else if k != kind {
+			return KindBoxed
+		}
+	}
+	return kind
+}
+
+// Batch is a fixed-width window of rows in columnar layout.
+type Batch struct {
+	Cols []Column
+	Len  int
+}
+
+// Transpose converts a uniform-width row slice into a full columnar batch,
+// inferring the tightest kind per column. Empty input yields an empty batch.
+func Transpose(rows []Row) *Batch {
+	b := &Batch{Len: len(rows)}
+	if len(rows) == 0 {
+		return b
+	}
+	width := len(rows[0])
+	b.Cols = make([]Column, width)
+	for c := 0; c < width; c++ {
+		b.Cols[c] = TransposeCol(rows, c, InferKind(rows, c))
+	}
+	return b
+}
+
+// Rows converts the batch back into rows; with Transpose it is a lossless
+// round trip (value.Equal per cell, including all-NULL columns, dates,
+// negative ints, empty strings, and boxed nested values).
+func (b *Batch) Rows() []Row {
+	out := make([]Row, b.Len)
+	for i := range out {
+		r := make(Row, len(b.Cols))
+		for c := range b.Cols {
+			r[c] = b.Cols[c].Get(i)
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -164,6 +164,8 @@ type Metrics struct {
 	PeakPartitionRows atomic.Int64 // largest materialized partition observed (rows)
 	Stages            atomic.Int64 // shuffle stages executed
 	SkippedShuffles   atomic.Int64 // shuffles avoided thanks to partitioning guarantees
+	VectorizedBatches atomic.Int64 // columnar batches processed by vectorized stages
+	VectorizedRows    atomic.Int64 // rows processed by vectorized stages
 
 	mu        sync.Mutex
 	stageWall map[string]time.Duration
@@ -192,6 +194,8 @@ func (m *Metrics) Reset() {
 	m.PeakPartitionRows.Store(0)
 	m.Stages.Store(0)
 	m.SkippedShuffles.Store(0)
+	m.VectorizedBatches.Store(0)
+	m.VectorizedRows.Store(0)
 	m.mu.Lock()
 	m.stageWall = nil
 	m.stageSeen = nil
@@ -207,6 +211,8 @@ type Snapshot struct {
 	PeakPartitionRows int64
 	Stages            int64
 	SkippedShuffles   int64
+	VectorizedBatches int64
+	VectorizedRows    int64
 	// StageWall lists per-stage wall times in first-execution order.
 	StageWall []StageTime
 }
@@ -221,6 +227,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		PeakPartitionRows: m.PeakPartitionRows.Load(),
 		Stages:            m.Stages.Load(),
 		SkippedShuffles:   m.SkippedShuffles.Load(),
+		VectorizedBatches: m.VectorizedBatches.Load(),
+		VectorizedRows:    m.VectorizedRows.Load(),
 	}
 	m.mu.Lock()
 	for _, name := range m.stageSeen {
@@ -231,9 +239,9 @@ func (m *Metrics) Snapshot() Snapshot {
 }
 
 func (s Snapshot) String() string {
-	return fmt.Sprintf("shuffle=%dB/%drec broadcast=%dB peakPart=%dB/%drows stages=%d skipped=%d",
+	return fmt.Sprintf("shuffle=%dB/%drec broadcast=%dB peakPart=%dB/%drows stages=%d skipped=%d vec=%dbatch/%drows",
 		s.ShuffleBytes, s.ShuffleRecords, s.BroadcastBytes, s.PeakPartition, s.PeakPartitionRows,
-		s.Stages, s.SkippedShuffles)
+		s.Stages, s.SkippedShuffles, s.VectorizedBatches, s.VectorizedRows)
 }
 
 // StageReport renders the per-stage wall times, slowest first.

@@ -1,0 +1,556 @@
+// Property tests for the columnar kernels: every vector kernel is compared
+// element-wise against the row interpreter's semantics (value.Compare /
+// nrc.EvalArith / the NULL-coercion idioms), over randomized columns that
+// include NULLs, NaN/Inf floats, negative ints, empty strings, and lengths
+// that straddle bitmap word boundaries.
+package dataflow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// Value pools chosen to hit the interpreter's edge cases.
+var (
+	intPool    = []int64{0, 1, -1, 42, -42, math.MaxInt64, math.MinInt64, 7}
+	floatPool  = []float64{0, math.Copysign(0, -1), 1.5, -2.5, math.NaN(), math.Inf(1), math.Inf(-1), 3}
+	stringPool = []string{"", "a", "ab", "é", "zzz", "Z"}
+	datePool   = []value.Date{0, 1, -1, 18262, 7305}
+)
+
+// randCell draws one dynamic value of the kind (nil with probability
+// nullFrac).
+func randCell(rng *rand.Rand, kind Kind, nullFrac float64) value.Value {
+	if rng.Float64() < nullFrac {
+		return nil
+	}
+	switch kind {
+	case KindInt64:
+		return intPool[rng.Intn(len(intPool))]
+	case KindFloat64:
+		return floatPool[rng.Intn(len(floatPool))]
+	case KindString:
+		return stringPool[rng.Intn(len(stringPool))]
+	case KindBool:
+		return rng.Intn(2) == 1
+	case KindDate:
+		return datePool[rng.Intn(len(datePool))]
+	default:
+		return value.Tuple{intPool[rng.Intn(len(intPool))]}
+	}
+}
+
+// randColumn builds a column of the kind through TransposeCol, so transpose
+// and the kernels are exercised together.
+func randColumn(rng *rand.Rand, kind Kind, n int, nullFrac float64) Column {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{randCell(rng, kind, nullFrac)}
+	}
+	return TransposeCol(rows, 0, kind)
+}
+
+var allCmpOps = []CmpOp{CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe}
+
+// refCmp is the row interpreter's comparison: NULL on either side is false
+// (not NULL), everything else three-ways through value.Compare.
+func refCmp(op CmpOp, l, r value.Value) bool {
+	if l == nil || r == nil {
+		return false
+	}
+	return cmpHolds(op, value.Compare(l, r))
+}
+
+// checkBits verifies a kernel-produced selection bitmap bit-for-bit against
+// the row reference, including that no bits leak past n.
+func checkBits(t *testing.T, what string, bits Bitmap, n int, ref func(i int) bool) {
+	t.Helper()
+	want := 0
+	for i := 0; i < n; i++ {
+		w := ref(i)
+		if w {
+			want++
+		}
+		if bits.Get(i) != w {
+			t.Fatalf("%s: bit %d = %t, row interpreter says %t", what, i, bits.Get(i), w)
+		}
+	}
+	if got := bits.Count(); got != want {
+		t.Fatalf("%s: count=%d want %d — selection has bits set past n=%d", what, got, want, n)
+	}
+}
+
+// TestCmpColumnsProperty compares CmpColumns against the row interpreter for
+// every kind, every op, and NULL densities from none to all-NULL.
+func TestCmpColumnsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	kinds := []Kind{KindInt64, KindFloat64, KindString, KindBool, KindDate}
+	lengths := []int{0, 1, 63, 64, 65, 130}
+	for trial := 0; trial < 200; trial++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		n := lengths[rng.Intn(len(lengths))]
+		nf := []float64{0, 0.3, 1}[rng.Intn(3)]
+		l := randColumn(rng, kind, n, nf)
+		r := randColumn(rng, kind, n, nf)
+		for _, op := range allCmpOps {
+			bits, ok := CmpColumns(op, &l, &r)
+			if !ok {
+				t.Fatalf("CmpColumns refused %v on %v", op, kind)
+			}
+			checkBits(t, kind.String(), bits, n, func(i int) bool { return refCmp(op, l.Get(i), r.Get(i)) })
+		}
+	}
+}
+
+// TestCmpColumnsCross covers the int64×float64 numeric cross-compare (both
+// orders), which value.Compare resolves through float64 promotion.
+func TestCmpColumnsCross(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(90)
+		l := randColumn(rng, KindInt64, n, 0.2)
+		r := randColumn(rng, KindFloat64, n, 0.2)
+		for _, op := range allCmpOps {
+			bits, ok := CmpColumns(op, &l, &r)
+			if !ok {
+				t.Fatal("int×float cross-compare refused")
+			}
+			checkBits(t, "int×float", bits, n, func(i int) bool { return refCmp(op, l.Get(i), r.Get(i)) })
+			bits, ok = CmpColumns(op, &r, &l)
+			if !ok {
+				t.Fatal("float×int cross-compare refused")
+			}
+			checkBits(t, "float×int", bits, n, func(i int) bool { return refCmp(op, r.Get(i), l.Get(i)) })
+		}
+	}
+}
+
+// TestCmpColumnsBoxedRefuses pins the fallback contract: boxed columns and
+// non-numeric kind mismatches must return ok=false, never a wrong bitmap.
+func TestCmpColumnsBoxedRefuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	boxed := randColumn(rng, KindBoxed, 10, 0.2)
+	ints := randColumn(rng, KindInt64, 10, 0.2)
+	strs := randColumn(rng, KindString, 10, 0.2)
+	if _, ok := CmpColumns(CmpEq, &boxed, &boxed); ok {
+		t.Fatal("boxed×boxed must refuse")
+	}
+	if _, ok := CmpColumns(CmpEq, &ints, &strs); ok {
+		t.Fatal("int×string must refuse")
+	}
+}
+
+// TestCmpColumnConstProperty compares the specialized constant kernels
+// against the row interpreter, including numeric cross-typed constants.
+func TestCmpColumnConstProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(130)
+		nf := []float64{0, 0.3, 1}[rng.Intn(3)]
+		for _, op := range allCmpOps {
+			ic := intPool[rng.Intn(len(intPool))]
+			fc := floatPool[rng.Intn(len(floatPool))]
+			sc := stringPool[rng.Intn(len(stringPool))]
+			dc := datePool[rng.Intn(len(datePool))]
+
+			ints := randColumn(rng, KindInt64, n, nf)
+			floats := randColumn(rng, KindFloat64, n, nf)
+			strs := randColumn(rng, KindString, n, nf)
+			dates := randColumn(rng, KindDate, n, nf)
+
+			cases := []struct {
+				what  string
+				col   *Column
+				cv    value.Value
+				bits  Bitmap
+				valid bool
+			}{}
+			add := func(what string, col *Column, cv value.Value, bits Bitmap, valid bool) {
+				cases = append(cases, struct {
+					what  string
+					col   *Column
+					cv    value.Value
+					bits  Bitmap
+					valid bool
+				}{what, col, cv, bits, valid})
+			}
+			b, ok := CmpColumnConstInt(op, &ints, ic)
+			add("int col × int const", &ints, ic, b, ok)
+			b, ok = CmpColumnConstInt(op, &floats, ic)
+			add("float col × int const", &floats, ic, b, ok)
+			b, ok = CmpColumnConstFloat(op, &floats, fc)
+			add("float col × float const", &floats, fc, b, ok)
+			b, ok = CmpColumnConstFloat(op, &ints, fc)
+			add("int col × float const", &ints, fc, b, ok)
+			b, ok = CmpColumnConstString(op, &strs, sc)
+			add("string col × const", &strs, sc, b, ok)
+			b, ok = CmpColumnConstDate(op, &dates, int64(dc))
+			add("date col × const", &dates, dc, b, ok)
+			for _, c := range cases {
+				if !c.valid {
+					t.Fatalf("%s refused", c.what)
+				}
+				col, cv := c.col, c.cv
+				checkBits(t, c.what, c.bits, n, func(i int) bool { return refCmp(op, col.Get(i), cv) })
+			}
+		}
+	}
+}
+
+// TestCmpRowsConstProperty checks the fused single-pass kernel against the
+// row interpreter for every (column kind × constant type × op) combo it
+// claims to cover, and that its accept/refuse verdicts match the
+// materializing path (TransposeCol + CmpColumnConst*) exactly.
+func TestCmpRowsConstProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	kinds := []Kind{KindInt64, KindFloat64, KindString, KindBool, KindDate}
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(130)
+		nf := []float64{0, 0.3, 1}[rng.Intn(3)]
+		kind := kinds[rng.Intn(len(kinds))]
+		rows := make([]Row, n)
+		for i := range rows {
+			rows[i] = Row{randCell(rng, kind, nf)}
+		}
+		consts := []value.Value{
+			intPool[rng.Intn(len(intPool))],
+			floatPool[rng.Intn(len(floatPool))],
+			stringPool[rng.Intn(len(stringPool))],
+			datePool[rng.Intn(len(datePool))],
+		}
+		for _, cv := range consts {
+			for _, op := range allCmpOps {
+				bits, ok := CmpRowsConst(op, rows, 0, kind, cv)
+				col := TransposeCol(rows, 0, kind)
+				var wantBits Bitmap
+				wantOK := false
+				switch x := cv.(type) {
+				case int64:
+					wantBits, wantOK = CmpColumnConstInt(op, &col, x)
+				case float64:
+					wantBits, wantOK = CmpColumnConstFloat(op, &col, x)
+				case string:
+					wantBits, wantOK = CmpColumnConstString(op, &col, x)
+				case value.Date:
+					wantBits, wantOK = CmpColumnConstDate(op, &col, int64(x))
+				}
+				if ok != wantOK {
+					t.Fatalf("fused %v col × %T const op %v: ok=%t, materializing path says %t", kind, cv, op, ok, wantOK)
+				}
+				if !ok {
+					continue
+				}
+				what := kind.String() + " fused"
+				checkBits(t, what, bits, n, func(i int) bool { return refCmp(op, rows[i][0], cv) })
+				for i := 0; i < n; i++ {
+					if bits.Get(i) != wantBits.Get(i) {
+						t.Fatalf("%s: bit %d diverges from materializing kernel", what, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCmpRowsConstRefuses: a dynamic value contradicting the stated kind must
+// refuse the whole batch — the same verdict the materializing path reaches by
+// demoting the transposed column to boxed.
+func TestCmpRowsConstRefuses(t *testing.T) {
+	rows := []Row{{int64(1)}, {"poison"}, {int64(3)}}
+	if _, ok := CmpRowsConst(CmpGt, rows, 0, KindInt64, int64(2)); ok {
+		t.Fatal("fused kernel accepted a batch with a type-contradicting cell")
+	}
+	if _, ok := CmpRowsConst(CmpGt, rows, 0, KindBoxed, int64(2)); ok {
+		t.Fatal("fused kernel accepted a boxed column")
+	}
+}
+
+// arithToNrc maps the engine-local opcode to the interpreter's.
+func arithToNrc(op ArithOp) nrc.ArithOp {
+	switch op {
+	case ArithAdd:
+		return nrc.Add
+	case ArithSub:
+		return nrc.Sub
+	case ArithMul:
+		return nrc.Mul
+	default:
+		return nrc.Div
+	}
+}
+
+// cellEq compares kernel output to interpreter output exactly: same type,
+// same value, with NaN equal to NaN (value.Equal's three-way protocol would
+// also call 1 and 1.0 equal, which must NOT pass here — int/float output
+// typing is part of EvalArith's contract).
+func cellEq(a, b value.Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case int64:
+		y, ok := b.(int64)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		if !ok {
+			return false
+		}
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	default:
+		return value.Equal(a, b)
+	}
+}
+
+// TestArithColumnsProperty compares ArithColumns against nrc.EvalArith over
+// every kind pairing and op: native wrapping int arithmetic, float promotion,
+// NULL propagation, and Div-by-zero → 0.0.
+func TestArithColumnsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ops := []ArithOp{ArithAdd, ArithSub, ArithMul, ArithDiv}
+	kinds := []Kind{KindInt64, KindFloat64}
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(130)
+		nf := []float64{0, 0.3, 1}[rng.Intn(3)]
+		lk := kinds[rng.Intn(2)]
+		rk := kinds[rng.Intn(2)]
+		l := randColumn(rng, lk, n, nf)
+		r := randColumn(rng, rk, n, nf)
+		for _, op := range ops {
+			out, ok := ArithColumns(op, &l, &r)
+			if !ok {
+				t.Fatalf("ArithColumns refused %v×%v", lk, rk)
+			}
+			if out.Len != n {
+				t.Fatalf("len=%d want %d", out.Len, n)
+			}
+			for i := 0; i < n; i++ {
+				want := nrc.EvalArith(arithToNrc(op), l.Get(i), r.Get(i))
+				if got := out.Get(i); !cellEq(got, want) {
+					t.Fatalf("op %v at %d: %v %T, interpreter %v %T (l=%v r=%v)",
+						op, i, got, got, want, want, l.Get(i), r.Get(i))
+				}
+			}
+		}
+	}
+}
+
+// TestArithColumnsRefuses pins fallback for kinds the kernels don't cover.
+func TestArithColumnsRefuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	strs := randColumn(rng, KindString, 5, 0)
+	ints := randColumn(rng, KindInt64, 5, 0)
+	if _, ok := ArithColumns(ArithAdd, &strs, &ints); ok {
+		t.Fatal("string arithmetic must refuse")
+	}
+}
+
+// TestCoerceBoolProperty pins the predicate coercion: NULL counts as false,
+// exactly like the row engine's `b, _ := pred.Eval(r).(bool)`.
+func TestCoerceBoolProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(130)
+		c := randColumn(rng, KindBool, n, 0.4)
+		bits, ok := CoerceBool(&c)
+		if !ok {
+			t.Fatal("CoerceBool refused a bool column")
+		}
+		checkBits(t, "coerce", bits, n, func(i int) bool {
+			b, _ := c.Get(i).(bool)
+			return b
+		})
+		ints := randColumn(rng, KindInt64, n, 0)
+		if _, ok := CoerceBool(&ints); ok {
+			t.Fatal("CoerceBool must refuse non-bool columns")
+		}
+	}
+}
+
+// TestBitmapLogicProperty checks the word-wise bitmap combinators bit-for-bit
+// against their boolean definitions, over lengths that straddle word
+// boundaries, including nil (all-clear) inputs and tail-bit hygiene.
+func TestBitmapLogicProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	randBits := func(n int) Bitmap {
+		if rng.Intn(4) == 0 {
+			return nil
+		}
+		b := NewBitmap(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				b.Set(i)
+			}
+		}
+		return b
+	}
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 200} {
+		for trial := 0; trial < 20; trial++ {
+			a, b := randBits(n), randBits(n)
+			checkBits(t, "and", AndBitmaps(a, b, n), n, func(i int) bool { return a.Get(i) && b.Get(i) })
+			checkBits(t, "or", OrBitmaps(a, b, n), n, func(i int) bool { return a.Get(i) || b.Get(i) })
+			checkBits(t, "andnot", AndNotBitmap(a, b, n), n, func(i int) bool { return a.Get(i) && !b.Get(i) })
+			checkBits(t, "not", NotBitmap(a, n), n, func(i int) bool { return !a.Get(i) })
+			checkBits(t, "full", FullBitmap(n), n, func(i int) bool { return true })
+		}
+	}
+}
+
+// TestConstColumn pins the constant materializer: nil constants are all-NULL,
+// true bool columns keep tail bits clear, and a kind/value mismatch demotes
+// to boxed instead of producing a wrong typed vector.
+func TestConstColumn(t *testing.T) {
+	for _, kind := range []Kind{KindInt64, KindFloat64, KindString, KindBool, KindDate, KindBoxed} {
+		c := ConstColumn(kind, nil, 70)
+		for i := 0; i < 70; i++ {
+			if c.Get(i) != nil {
+				t.Fatalf("%v nil const: Get(%d)=%v", kind, i, c.Get(i))
+			}
+		}
+		if c.Nulls.Count() != 70 {
+			t.Fatalf("%v nil const: null count %d (tail bits?)", kind, c.Nulls.Count())
+		}
+	}
+	c := ConstColumn(KindBool, true, 70)
+	if c.Bools.Count() != 70 {
+		t.Fatalf("true const: %d bits set, want 70 with clear tail", c.Bools.Count())
+	}
+	c = ConstColumn(KindInt64, "oops", 3)
+	if c.Kind != KindBoxed || !value.Equal(c.Get(2), "oops") {
+		t.Fatalf("mismatched const must demote to boxed, got %v %v", c.Kind, c.Get(2))
+	}
+	c = ConstColumn(KindDate, value.Date(42), 3)
+	if c.Kind != KindDate || !value.Equal(c.Get(0), value.Date(42)) {
+		t.Fatalf("date const: %v %v", c.Kind, c.Get(0))
+	}
+}
+
+// TestTransposeColDemotes pins schema-contradiction handling: a single value
+// of the wrong dynamic type demotes the whole column to boxed, losslessly.
+func TestTransposeColDemotes(t *testing.T) {
+	rows := []Row{{int64(1)}, {"surprise"}, {nil}, {int64(3)}}
+	c := TransposeCol(rows, 0, KindInt64)
+	if c.Kind != KindBoxed {
+		t.Fatalf("kind=%v want boxed", c.Kind)
+	}
+	for i, r := range rows {
+		if !value.Equal(c.Get(i), r[0]) && !(c.Get(i) == nil && r[0] == nil) {
+			t.Fatalf("demoted column lost cell %d: %v != %v", i, c.Get(i), r[0])
+		}
+	}
+}
+
+// decodeFuzzRows derives a deterministic row set from a fuzz byte stream:
+// width and per-column kind come from the header, cells from the tail, with
+// NULLs, negative ints, dates, empty strings, and boxed nested values all
+// reachable.
+func decodeFuzzRows(data []byte) []Row {
+	if len(data) < 2 {
+		return nil
+	}
+	width := 1 + int(data[0])%4
+	kinds := make([]byte, width)
+	for c := 0; c < width; c++ {
+		kinds[c] = data[1+c%max(1, len(data)-1)] % 8
+	}
+	pos := 1 + width
+	next := func() byte {
+		if pos >= len(data) {
+			pos = 1 + width
+			if pos >= len(data) {
+				return 0
+			}
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	nRows := int(next()) % 70
+	rows := make([]Row, nRows)
+	for i := range rows {
+		r := make(Row, width)
+		for c := 0; c < width; c++ {
+			k := kinds[c]
+			if k == 7 { // mixed column: re-draw the kind per cell
+				k = next() % 7
+			}
+			switch sel := next(); k {
+			case 0:
+				r[c] = nil
+			case 1:
+				r[c] = int64(sel) - 128 // negative and positive ints
+			case 2:
+				r[c] = (float64(sel) - 128) / 4
+			case 3:
+				r[c] = string([]byte{'a' + sel%3})[:int(sel)%2] // "" or one char
+			case 4:
+				r[c] = sel%2 == 1
+			case 5:
+				r[c] = value.Date(int64(sel) - 128)
+			default:
+				r[c] = value.Tuple{int64(sel)} // boxed fallback
+			}
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// FuzzColumnRoundTrip fuzzes transpose → columns → rows losslessness: every
+// cell must survive under value.Equal for inferred kinds, for the boxed
+// fallback, and for deliberately wrong schema kinds (which must demote, not
+// corrupt).
+func FuzzColumnRoundTrip(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 10, 200, 30, 4, 250, 6})      // typed columns
+	f.Add([]byte{0, 0, 9, 1, 2, 3})                              // all-NULL column
+	f.Add([]byte{1, 5, 5, 0, 127, 255, 64})                      // dates incl. negatives
+	f.Add([]byte{2, 3, 3, 8, 0, 1, 2, 3, 4, 5, 6, 7})            // empty strings
+	f.Add([]byte{3, 6, 7, 1, 12, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0})  // boxed + mixed
+	f.Add([]byte{1, 1, 66, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251}) // >64 rows, word boundary
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows := decodeFuzzRows(data)
+		b := Transpose(rows)
+		if b.Len != len(rows) {
+			t.Fatalf("batch len %d != %d rows", b.Len, len(rows))
+		}
+		back := b.Rows()
+		for i, r := range rows {
+			for c := range r {
+				got := back[i][c]
+				if r[c] == nil {
+					if got != nil {
+						t.Fatalf("row %d col %d: NULL became %v", i, c, got)
+					}
+					continue
+				}
+				if !value.Equal(got, r[c]) {
+					t.Fatalf("row %d col %d: %v (%T) != %v (%T)", i, c, got, got, r[c], r[c])
+				}
+			}
+		}
+		if len(rows) == 0 {
+			return
+		}
+		// Transposing under a wrong static kind must demote to boxed (or
+		// accept, for the kind that happens to match) — never corrupt cells.
+		for c := range rows[0] {
+			for _, kind := range []Kind{KindInt64, KindString, KindBoxed} {
+				col := TransposeCol(rows, c, kind)
+				for i := range rows {
+					got := col.Get(i)
+					if rows[i][c] == nil {
+						if got != nil {
+							t.Fatalf("kind %v: NULL became %v", kind, got)
+						}
+					} else if !value.Equal(got, rows[i][c]) {
+						t.Fatalf("kind %v row %d col %d: %v != %v", kind, i, c, got, rows[i][c])
+					}
+				}
+			}
+		}
+	})
+}

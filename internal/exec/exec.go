@@ -14,6 +14,7 @@ package exec
 import (
 	"fmt"
 	"runtime/debug"
+	"sync"
 
 	"github.com/trance-go/trance/internal/core"
 	"github.com/trance-go/trance/internal/dataflow"
@@ -29,6 +30,10 @@ type Executor struct {
 	// SkewAware enables the skew-resilient operator implementations of
 	// paper Section 5 for joins and BagToDict.
 	SkewAware bool
+	// Vectorize routes narrow operators whose expressions compile to vector
+	// kernels (see vector.go) through the engine's columnar batch stages.
+	// Results are bit-identical to the row interpreter either way.
+	Vectorize bool
 
 	stage int
 }
@@ -111,21 +116,21 @@ func (ex *Executor) run(op plan.Op) (*dataflow.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		return applySelect(in, x), nil
+		return ex.applySelect(in, x), nil
 
 	case *plan.Extend:
 		in, err := ex.run(x.In)
 		if err != nil {
 			return nil, err
 		}
-		return applyExtend(in, x), nil
+		return ex.applyExtend(in, x), nil
 
 	case *plan.Project:
 		in, err := ex.run(x.In)
 		if err != nil {
 			return nil, err
 		}
-		return applyProject(in, x), nil
+		return ex.applyProject(in, x), nil
 
 	case *plan.AddIndex:
 		in, err := ex.run(x.In)
@@ -218,27 +223,103 @@ func (ex *Executor) join(l, r *dataflow.Dataset, x *plan.Join) (*dataflow.Datase
 	return l.Join(ex.nextStage("join"), r, x.LCols, x.RCols, rw, x.Outer)
 }
 
-func applySelect(in *dataflow.Dataset, x *plan.Select) *dataflow.Dataset {
+// arenaPool pools vectorized-stage scratch; one pool per stage keeps arena
+// shapes (row width, slot count) consistent.
+func arenaPool() *sync.Pool {
+	return &sync.Pool{New: func() any { return &vecArena{} }}
+}
+
+func (ex *Executor) applySelect(in *dataflow.Dataset, x *plan.Select) *dataflow.Dataset {
+	var prog vexpr
+	if ex.Vectorize {
+		prog, _ = compileVexpr(x.Pred)
+	}
 	if x.NullifyCols == nil {
+		if prog != nil {
+			pool := arenaPool()
+			return in.FilterVec(func(rows []dataflow.Row) dataflow.Bitmap {
+				ar := pool.Get().(*vecArena)
+				defer pool.Put(ar)
+				vb := newVecBatchArena(rows, ar)
+				vals, nulls, ok := evalBits(prog, vb)
+				if !ok {
+					// Dynamic types contradicted the schema for this batch:
+					// row interpreter, same result.
+					out := dataflow.NewBitmap(len(rows))
+					for i, r := range rows {
+						if b, _ := x.Pred.Eval(r).(bool); b {
+							out.Set(i)
+						}
+					}
+					return out
+				}
+				// Always materialize a fresh bitmap: vals may be backed by the
+				// arena (a bare bool column predicate), which goes back to the
+				// pool before the caller reads the selection.
+				return dataflow.AndNotBitmap(vals, nulls, len(rows))
+			})
+		}
 		return in.Filter(func(r dataflow.Row) bool {
 			b, _ := x.Pred.Eval(r).(bool)
 			return b
 		})
 	}
-	return in.MapPreserving(func(r dataflow.Row) dataflow.Row {
-		if b, _ := x.Pred.Eval(r).(bool); b {
-			return r
-		}
+	nullify := func(r dataflow.Row) dataflow.Row {
 		nr := make(dataflow.Row, len(r))
 		copy(nr, r)
 		for _, c := range x.NullifyCols {
 			nr[c] = nil
 		}
 		return nr
+	}
+	if prog != nil {
+		pool := arenaPool()
+		return in.MapVecPreserving(func(rows []dataflow.Row) []dataflow.Row {
+			ar := pool.Get().(*vecArena)
+			defer pool.Put(ar)
+			vb := newVecBatchArena(rows, ar)
+			out := make([]dataflow.Row, len(rows))
+			vals, nulls, ok := evalBits(prog, vb)
+			if !ok {
+				for i, r := range rows {
+					if b, _ := x.Pred.Eval(r).(bool); b {
+						out[i] = r
+					} else {
+						out[i] = nullify(r)
+					}
+				}
+				return out
+			}
+			sel := dataflow.AndNotBitmap(vals, nulls, len(rows))
+			for i, r := range rows {
+				if sel.Get(i) {
+					out[i] = r
+				} else {
+					out[i] = nullify(r)
+				}
+			}
+			return out
+		})
+	}
+	return in.MapPreserving(func(r dataflow.Row) dataflow.Row {
+		if b, _ := x.Pred.Eval(r).(bool); b {
+			return r
+		}
+		return nullify(r)
 	})
 }
 
-func applyExtend(in *dataflow.Dataset, x *plan.Extend) *dataflow.Dataset {
+func (ex *Executor) applyExtend(in *dataflow.Dataset, x *plan.Extend) *dataflow.Dataset {
+	if ex.Vectorize {
+		if outs, _ := compileOuts(x.Exprs); outs != nil {
+			pool := arenaPool()
+			return in.MapVecPreserving(func(rows []dataflow.Row) []dataflow.Row {
+				ar := pool.Get().(*vecArena)
+				defer pool.Put(ar)
+				return extendBatch(newVecBatchArena(rows, ar), x, outs)
+			})
+		}
+	}
 	return in.MapPreserving(func(r dataflow.Row) dataflow.Row {
 		nr := make(dataflow.Row, len(r)+len(x.Exprs))
 		copy(nr, r)
@@ -249,10 +330,48 @@ func applyExtend(in *dataflow.Dataset, x *plan.Extend) *dataflow.Dataset {
 	})
 }
 
-func applyProject(in *dataflow.Dataset, x *plan.Project) *dataflow.Dataset {
+// extendBatch evaluates one batch of a vectorized Extend: kernel expressions
+// compute whole columns first, then rows are assembled with direct copies for
+// bare column/constant outputs. Falls back to per-row Eval if any column
+// demoted.
+func extendBatch(vb *vecBatch, x *plan.Extend, outs []outExpr) []dataflow.Row {
+	rows := vb.rows
+	cols, ok := evalOutCols(vb, outs)
+	res := make([]dataflow.Row, len(rows))
+	for i, r := range rows {
+		nr := make(dataflow.Row, len(r)+len(outs))
+		copy(nr, r)
+		for j, oe := range outs {
+			switch {
+			case !ok:
+				nr[len(r)+j] = x.Exprs[j].Expr.Eval(r)
+			case oe.kernel != nil:
+				nr[len(r)+j] = cols[j].Get(i)
+			case oe.copyIdx >= 0:
+				nr[len(r)+j] = r[oe.copyIdx]
+			default:
+				nr[len(r)+j] = oe.rowExpr.Eval(r)
+			}
+		}
+		res[i] = nr
+	}
+	return res
+}
+
+func (ex *Executor) applyProject(in *dataflow.Dataset, x *plan.Project) *dataflow.Dataset {
 	bagOut := make([]bool, len(x.Outs))
 	for i, ne := range x.Outs {
 		_, bagOut[i] = ne.Expr.Type().(nrc.BagType)
+	}
+	if ex.Vectorize {
+		if outs, _ := compileOuts(x.Outs); outs != nil {
+			pool := arenaPool()
+			return in.MapVec(func(rows []dataflow.Row) []dataflow.Row {
+				ar := pool.Get().(*vecArena)
+				defer pool.Put(ar)
+				return projectBatch(newVecBatchArena(rows, ar), x, outs, bagOut)
+			})
+		}
 	}
 	return in.Map(func(r dataflow.Row) dataflow.Row {
 		nr := make(dataflow.Row, len(x.Outs))
@@ -265,6 +384,53 @@ func applyProject(in *dataflow.Dataset, x *plan.Project) *dataflow.Dataset {
 		}
 		return nr
 	})
+}
+
+// projectBatch evaluates one batch of a vectorized Project, applying the
+// NULL→empty-bag cast exactly like the row path.
+func projectBatch(vb *vecBatch, x *plan.Project, outs []outExpr, bagOut []bool) []dataflow.Row {
+	rows := vb.rows
+	cols, ok := evalOutCols(vb, outs)
+	res := make([]dataflow.Row, len(rows))
+	for i, r := range rows {
+		nr := make(dataflow.Row, len(outs))
+		for j, oe := range outs {
+			var v value.Value
+			switch {
+			case !ok:
+				v = x.Outs[j].Expr.Eval(r)
+			case oe.kernel != nil:
+				v = cols[j].Get(i)
+			case oe.copyIdx >= 0:
+				v = r[oe.copyIdx]
+			default:
+				v = oe.rowExpr.Eval(r)
+			}
+			if v == nil && x.CastBags && bagOut[j] {
+				v = value.Bag{}
+			}
+			nr[j] = v
+		}
+		res[i] = nr
+	}
+	return res
+}
+
+// evalOutCols runs every kernel output over the batch; ok=false reverts the
+// whole batch to row evaluation.
+func evalOutCols(vb *vecBatch, outs []outExpr) ([]dataflow.Column, bool) {
+	cols := make([]dataflow.Column, len(outs))
+	for j, oe := range outs {
+		if oe.kernel == nil {
+			continue
+		}
+		c, ok := oe.kernel.evalCol(vb)
+		if !ok {
+			return nil, false
+		}
+		cols[j] = c
+	}
+	return cols, true
 }
 
 func applyUnnest(in *dataflow.Dataset, x *plan.Unnest) *dataflow.Dataset {

@@ -66,21 +66,21 @@ func (ex *Executor) runSkew(op plan.Op) (triple, error) {
 		if err != nil {
 			return triple{}, err
 		}
-		return in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return applySelect(d, x) }), nil
+		return in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return ex.applySelect(d, x) }), nil
 
 	case *plan.Extend:
 		in, err := ex.runSkew(x.In)
 		if err != nil {
 			return triple{}, err
 		}
-		return in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return applyExtend(d, x) }), nil
+		return in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return ex.applyExtend(d, x) }), nil
 
 	case *plan.Project:
 		in, err := ex.runSkew(x.In)
 		if err != nil {
 			return triple{}, err
 		}
-		out := in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return applyProject(d, x) })
+		out := in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return ex.applyProject(d, x) })
 		out.keys, out.keyCols = nil, nil // projection changes the layout
 		return out, nil
 

@@ -1,0 +1,294 @@
+// Property tests for the vectorized expression compiler: randomly generated
+// well-typed plan expressions are compiled to vector-kernel trees and
+// evaluated over columnar batches, and every cell is compared against the
+// row interpreter (Expr.Eval). NULL coercion cases (true && NULL, NULL
+// predicates, comparisons against NULL constants) are pinned explicitly.
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
+	"github.com/trance-go/trance/internal/value"
+)
+
+// The test schema: one column per scalar kind.
+var vecSchema = []struct {
+	name string
+	typ  nrc.Type
+}{
+	{"i", nrc.IntT},
+	{"f", nrc.RealT},
+	{"s", nrc.StringT},
+	{"b", nrc.BoolT},
+	{"d", nrc.DateT},
+}
+
+func vecCol(idx int) *plan.Col {
+	return &plan.Col{Idx: idx, Name: vecSchema[idx].name, Typ: vecSchema[idx].typ}
+}
+
+// randVecCell draws a cell for schema column idx (nil with 25% probability).
+func randVecCell(rng *rand.Rand, idx int) value.Value {
+	if rng.Intn(4) == 0 {
+		return nil
+	}
+	switch idx {
+	case 0:
+		return []int64{0, 1, -1, 42, math.MaxInt64, math.MinInt64}[rng.Intn(6)]
+	case 1:
+		return []float64{0, 1.5, -2.5, math.NaN(), math.Inf(1), math.Inf(-1)}[rng.Intn(6)]
+	case 2:
+		return []string{"", "a", "ab", "zzz"}[rng.Intn(4)]
+	case 3:
+		return rng.Intn(2) == 1
+	default:
+		return value.Date(rng.Int63n(400) - 200)
+	}
+}
+
+func randVecRows(rng *rand.Rand, n int) []dataflow.Row {
+	rows := make([]dataflow.Row, n)
+	for i := range rows {
+		r := make(dataflow.Row, len(vecSchema))
+		for c := range r {
+			r[c] = randVecCell(rng, c)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// genNumeric builds a random numeric-typed expression (int or real).
+func genNumeric(rng *rand.Rand, depth int) plan.Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return vecCol(0)
+		case 1:
+			return vecCol(1)
+		case 2:
+			return &plan.ConstE{Val: int64(rng.Intn(10) - 5), Typ: nrc.IntT}
+		default:
+			return &plan.ConstE{Val: float64(rng.Intn(10)) / 2, Typ: nrc.RealT}
+		}
+	}
+	op := []nrc.ArithOp{nrc.Add, nrc.Sub, nrc.Mul, nrc.Div}[rng.Intn(4)]
+	typ := nrc.Type(nrc.RealT)
+	l, r := genNumeric(rng, depth-1), genNumeric(rng, depth-1)
+	if op != nrc.Div && l.Type() == nrc.IntT && r.Type() == nrc.IntT {
+		typ = nrc.IntT
+	}
+	return &plan.ArithE{Op: op, L: l, R: r, Typ: typ}
+}
+
+// genBool builds a random bool-typed expression: comparisons over every
+// scalar kind (including NULL constants), &&/||, and negation.
+func genBool(rng *rand.Rand, depth int) plan.Expr {
+	ops := []nrc.CmpOp{nrc.Eq, nrc.Ne, nrc.Lt, nrc.Le, nrc.Gt, nrc.Ge}
+	op := ops[rng.Intn(len(ops))]
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(6) {
+		case 0: // numeric comparison (possibly cross-typed)
+			return &plan.CmpE{Op: op, L: genNumeric(rng, 0), R: genNumeric(rng, 0)}
+		case 1: // string comparison, const on either side
+			c := &plan.ConstE{Val: []string{"", "a", "zz"}[rng.Intn(3)], Typ: nrc.StringT}
+			if rng.Intn(2) == 0 {
+				return &plan.CmpE{Op: op, L: vecCol(2), R: c}
+			}
+			return &plan.CmpE{Op: op, L: c, R: vecCol(2)}
+		case 2: // date comparison
+			return &plan.CmpE{Op: op, L: vecCol(4), R: &plan.ConstE{Val: value.Date(rng.Int63n(100) - 50), Typ: nrc.DateT}}
+		case 3: // bool column / bool const comparison
+			return &plan.CmpE{Op: op, L: vecCol(3), R: &plan.ConstE{Val: rng.Intn(2) == 1, Typ: nrc.BoolT}}
+		case 4: // comparison against a NULL constant → constant false
+			return &plan.CmpE{Op: op, L: vecCol(rng.Intn(5)), R: &plan.ConstE{Val: nil, Typ: vecSchema[rng.Intn(5)].typ}}
+		default: // bare bool column (NULL coerces to false under && / ||)
+			return vecCol(3)
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &plan.NotE{E: genBool(rng, depth-1)}
+	case 1:
+		return &plan.BoolE{And: true, L: genBool(rng, depth-1), R: genBool(rng, depth-1)}
+	default:
+		return &plan.BoolE{And: false, L: genBool(rng, depth-1), R: genBool(rng, depth-1)}
+	}
+}
+
+// vecCellEq is exact cell equality: same type, same value, NaN == NaN.
+func vecCellEq(a, b value.Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case float64:
+		y, ok := b.(float64)
+		if !ok {
+			return false
+		}
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	case int64:
+		y, ok := b.(int64)
+		return ok && x == y
+	default:
+		return value.Equal(a, b)
+	}
+}
+
+// checkVexpr compiles e and compares vector evaluation against Expr.Eval on
+// every row.
+func checkVexpr(t *testing.T, e plan.Expr, rows []dataflow.Row) {
+	t.Helper()
+	ve, reason := compileVexpr(e)
+	if ve == nil {
+		t.Fatalf("generated expr did not compile (%s): %s", reason, e)
+	}
+	vb := newVecBatch(rows)
+	c, ok := ve.evalCol(vb)
+	if !ok {
+		t.Fatalf("evalCol fell back on a clean batch: %s", e)
+	}
+	if c.Len != len(rows) {
+		t.Fatalf("column len %d != %d rows: %s", c.Len, len(rows), e)
+	}
+	for i, r := range rows {
+		want := e.Eval(r)
+		if got := c.Get(i); !vecCellEq(got, want) {
+			t.Fatalf("row %d: vector %v (%T) != interpreter %v (%T)\nexpr: %s\nrow: %v",
+				i, got, got, want, want, e, r)
+		}
+	}
+	// Boolean nodes additionally expose the bitmap fast path used by σ.
+	if _, isBool := e.Type().(nrc.ScalarType); isBool && e.Type() == nrc.BoolT {
+		vals, nulls, ok := evalBits(ve, vb)
+		if !ok {
+			t.Fatalf("evalBits fell back: %s", e)
+		}
+		sel := dataflow.AndNotBitmap(vals, nulls, len(rows))
+		if nulls == nil {
+			sel = vals
+		}
+		for i, r := range rows {
+			b, _ := e.Eval(r).(bool)
+			if sel.Get(i) != b {
+				t.Fatalf("row %d: coerced bit %t != interpreter %t\nexpr: %s\nrow: %v",
+					i, sel.Get(i), b, e, r)
+			}
+		}
+	}
+}
+
+// TestVexprProperty is the headline generator test: random well-typed
+// predicate and arithmetic trees, random batches with 25% NULL cells, every
+// cell checked against the row interpreter.
+func TestVexprProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 400; trial++ {
+		// Batches are never empty in production (the vectorized stages only
+		// flush non-empty buffers), and an empty batch has no width to read.
+		rows := randVecRows(rng, 1+rng.Intn(79))
+		checkVexpr(t, genBool(rng, 3), rows)
+		checkVexpr(t, genNumeric(rng, 3), rows)
+	}
+}
+
+// TestVexprNullCoercion pins the NULL edge cases one by one: true && NULL,
+// NULL || true, ¬NULL, NULL comparisons, and a coerced bool column predicate.
+func TestVexprNullCoercion(t *testing.T) {
+	boolCol := vecCol(3)
+	tru := &plan.ConstE{Val: true, Typ: nrc.BoolT}
+	rows := []dataflow.Row{
+		{int64(1), 1.0, "x", true, value.Date(0)},
+		{int64(2), 2.0, "y", false, value.Date(1)},
+		{int64(3), 3.0, "z", nil, value.Date(2)},
+		{nil, nil, nil, nil, nil},
+	}
+	cases := []plan.Expr{
+		&plan.BoolE{And: true, L: tru, R: boolCol},  // true && NULL → false
+		&plan.BoolE{And: false, L: boolCol, R: tru}, // NULL || true → true
+		&plan.NotE{E: boolCol},                      // ¬NULL → false
+		&plan.CmpE{Op: nrc.Eq, L: vecCol(0), R: &plan.ConstE{Val: nil, Typ: nrc.IntT}},
+		&plan.CmpE{Op: nrc.Lt, L: vecCol(0), R: vecCol(1)}, // NULL operand compares false
+		boolCol, // bare bool column coerced by σ
+	}
+	for _, e := range cases {
+		checkVexpr(t, e, rows)
+	}
+}
+
+// TestVexprFallbacks pins what must NOT compile (with its Explain reason) and
+// that a batch whose dynamic values contradict the schema makes evaluation
+// fall back rather than return wrong columns.
+func TestVexprFallbacks(t *testing.T) {
+	bagCol := &plan.Col{Idx: 0, Name: "nested", Typ: nrc.BagType{Elem: nrc.TupleType{}}}
+	if ve, reason := compileVexpr(bagCol); ve != nil || reason == "" {
+		t.Fatalf("non-scalar column must not compile (reason %q)", reason)
+	}
+	if ve, reason := compileVexpr(&plan.MkTuple{}); ve != nil || reason != "tuple constructor" {
+		t.Fatalf("MkTuple: ve=%v reason=%q", ve, reason)
+	}
+
+	// A string where the schema promises int64 demotes the transposed column;
+	// the compiled kernel must refuse the batch (the stage then re-runs it
+	// through the row interpreter).
+	e := &plan.CmpE{Op: nrc.Lt, L: vecCol(0), R: &plan.ConstE{Val: int64(5), Typ: nrc.IntT}}
+	ve, reason := compileVexpr(e)
+	if ve == nil {
+		t.Fatalf("did not compile: %s", reason)
+	}
+	rows := []dataflow.Row{{int64(1), nil, nil, nil, nil}, {"poison", nil, nil, nil, nil}}
+	if _, ok := ve.evalCol(newVecBatch(rows)); ok {
+		t.Fatal("demoted batch must force the row fallback")
+	}
+}
+
+// TestCompileOuts pins the Extend/Project classification: bare copies and
+// constants alone stay on the row path, one kernel expression flips the
+// stage to vectorized.
+func TestCompileOuts(t *testing.T) {
+	copyOnly := []plan.NamedExpr{
+		{Name: "a", Expr: vecCol(0)},
+		{Name: "b", Expr: &plan.ConstE{Val: int64(1), Typ: nrc.IntT}},
+	}
+	if outs, reason := compileOuts(copyOnly); outs != nil || reason != "no computed scalar expressions" {
+		t.Fatalf("copy-only outs: %v %q", outs, reason)
+	}
+	withKernel := append(copyOnly, plan.NamedExpr{
+		Name: "c",
+		Expr: &plan.ArithE{Op: nrc.Mul, L: vecCol(0), R: vecCol(0), Typ: nrc.IntT},
+	})
+	outs, reason := compileOuts(withKernel)
+	if outs == nil {
+		t.Fatalf("kernel outs refused: %s", reason)
+	}
+	rng := rand.New(rand.NewSource(12))
+	rows := randVecRows(rng, 50)
+	vb := newVecBatch(rows)
+	cols, ok := evalOutCols(vb, outs)
+	if !ok {
+		t.Fatal("evalOutCols fell back on a clean batch")
+	}
+	for i, r := range rows {
+		for j, o := range outs {
+			want := o.rowExpr.Eval(r)
+			var got value.Value
+			switch {
+			case o.copyIdx >= 0:
+				got = r[o.copyIdx]
+			case o.isConst:
+				got = o.rowExpr.Eval(r)
+			default:
+				got = cols[j].Get(i)
+			}
+			if !vecCellEq(got, want) {
+				t.Fatalf("out %d row %d: %v != %v", j, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package plan
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// VecNote records the vectorizer's verdict for one narrow operator. The
+// executor's kernel compiler (internal/exec) is the authority: it annotates
+// plans after optimization, so Explain always shows exactly what the engine
+// will do. OK means the operator's expressions compile to vector kernels;
+// otherwise Reason names the first construct that forced the row interpreter.
+type VecNote struct {
+	OK     bool
+	Reason string
+}
+
+func (v *VecNote) describe() string {
+	if v == nil {
+		return ""
+	}
+	if v.OK {
+		return " [vec]"
+	}
+	return " [no-vec: " + v.Reason + "]"
+}
+
+// VecStats counts vectorization outcomes over the narrow operators of a
+// compiled plan (per compilation when returned by the annotator;
+// GlobalVecStats aggregates process-wide for serving metrics).
+type VecStats struct {
+	// OpsVectorized counts Select/Extend/Project operators taking the
+	// columnar batch path.
+	OpsVectorized int64
+	// OpsFallback counts narrow operators kept on the row interpreter, with
+	// the reason rendered in Explain.
+	OpsFallback int64
+}
+
+// Add accumulates o into s.
+func (s *VecStats) Add(o VecStats) {
+	s.OpsVectorized += o.OpsVectorized
+	s.OpsFallback += o.OpsFallback
+}
+
+// Total returns the number of annotated operators.
+func (s *VecStats) Total() int64 { return s.OpsVectorized + s.OpsFallback }
+
+func (s *VecStats) String() string {
+	return fmt.Sprintf("vectorized=%d fallback=%d", s.OpsVectorized, s.OpsFallback)
+}
+
+// globalVec aggregates vectorization verdicts across every annotation call in
+// the process, for serving-layer metrics (tranced /metrics).
+var globalVec struct {
+	vectorized, fallback atomic.Int64
+}
+
+// RecordVecStats folds one compilation's verdicts into the process-wide
+// counters.
+func RecordVecStats(st VecStats) {
+	globalVec.vectorized.Add(st.OpsVectorized)
+	globalVec.fallback.Add(st.OpsFallback)
+}
+
+// GlobalVecStats returns the process-wide vectorization counters.
+func GlobalVecStats() VecStats {
+	return VecStats{
+		OpsVectorized: globalVec.vectorized.Load(),
+		OpsFallback:   globalVec.fallback.Load(),
+	}
+}

@@ -315,12 +315,15 @@ func (g *dgen) query() nrc.Expr {
 // collected statistics and a generator-chosen broadcast limit; the ablated
 // configuration disables both the rule-based optimizer and the cost model
 // (so every seed also runs the un-annotated plans Auto degrades to Standard
-// on).
-func diffConfig(full bool, ests map[string]plan.TableEstimate, limit int64) runner.Config {
+// on). vec toggles the columnar batch path independently, so every seed runs
+// both the vectorized kernels and the row-at-a-time interpreter they must be
+// bit-identical to.
+func diffConfig(full, vec bool, ests map[string]plan.TableEstimate, limit int64) runner.Config {
 	cfg := runner.DefaultConfig()
 	cfg.Parallelism = 3
 	cfg.NoPredicatePushdown = !full
 	cfg.NoCostModel = !full
+	cfg.NoVectorize = !vec
 	cfg.Stats = ests
 	cfg.BroadcastLimit = limit
 	return cfg
@@ -387,12 +390,14 @@ var diffStrategies = append(runner.AllStrategies(), runner.Auto)
 // differential scale.
 var diffBroadcastLimits = []int64{0, 200, 64 << 10}
 
-// runDifferential executes one generated query under all sixteen strategy ×
-// {full, ablated} settings and compares each against the oracle. The query is
-// regenerated from the same bytes for every compilation (compilation
-// annotates ASTs in place). Returns the number of runs whose plans the
-// optimizer changed, or an error describing the first divergence.
-func runDifferential(data []byte, strict bool) (optimized int, err error) {
+// runDifferential executes one generated query under all thirty-two
+// strategy × {full, ablated} × {vectorized, row-only} settings and compares
+// each against the oracle. The query is regenerated from the same bytes for
+// every compilation (compilation annotates ASTs in place). Returns the number
+// of runs whose plans the optimizer changed and the number of vectorized runs
+// that actually executed at least one columnar batch, or an error describing
+// the first divergence.
+func runDifferential(data []byte, strict bool) (optimized, vectorized int, err error) {
 	env := diffEnv()
 	g := &dgen{data: data}
 	inputs := g.dataset()
@@ -406,43 +411,48 @@ func runDifferential(data []byte, strict bool) (optimized int, err error) {
 
 	want, err := oracleEval(q, env, inputs)
 	if err != nil {
-		return 0, fmt.Errorf("generated query fails Check (generator bug): %v\n%s", err, nrc.Print(q))
+		return 0, 0, fmt.Errorf("generated query fails Check (generator bug): %v\n%s", err, nrc.Print(q))
 	}
 	ests := collectDiffStats(env, inputs)
 
 	for _, strat := range diffStrategies {
 		for _, full := range []bool{true, false} {
-			cfg := diffConfig(full, ests, limit)
-			cq, cerr := runner.Compile(mkQuery(), env, strat, cfg)
-			if cerr != nil {
-				if strict {
-					return optimized, fmt.Errorf("%s (full=%t) does not compile: %v\n%s",
-						strat, full, cerr, nrc.Print(q))
+			for _, vec := range []bool{true, false} {
+				cfg := diffConfig(full, vec, ests, limit)
+				cq, cerr := runner.Compile(mkQuery(), env, strat, cfg)
+				if cerr != nil {
+					if strict {
+						return optimized, vectorized, fmt.Errorf("%s (full=%t, vec=%t) does not compile: %v\n%s",
+							strat, full, vec, cerr, nrc.Print(q))
+					}
+					return optimized, vectorized, errSkip
 				}
-				return optimized, errSkip
-			}
-			if full && cq.Opt.Total() > 0 {
-				optimized++
-			}
-			res := cq.Execute(context.Background(), inputs, runner.NewRunContext(cfg, cq.Strategy))
-			if res.Failed() {
-				return optimized, fmt.Errorf("%s (full=%t) failed: %v\n%s",
-					strat, full, res.Err, nrc.Print(q))
-			}
-			got, gerr := nestedOutput(cq, res)
-			if gerr != nil {
-				return optimized, fmt.Errorf("%s (full=%t) unshred: %v\n%s",
-					strat, full, gerr, nrc.Print(q))
-			}
-			if !value.Equal(got, want) {
-				return optimized, fmt.Errorf(
-					"%s (full=%t, resolved %s, bcast=%d) diverges from the nrc.Eval oracle\nquery:\n%s\ninputs: %s\n got: %s\nwant: %s\nexplain:\n%s",
-					strat, full, cq.Strategy, limit, nrc.Print(q), value.Format(value.Tuple{inputs["R"], inputs["S"]}),
-					value.Format(got), value.Format(want), cq.Explain())
+				if full && vec && cq.Opt.Total() > 0 {
+					optimized++
+				}
+				res := cq.Execute(context.Background(), inputs, runner.NewRunContext(cfg, cq.Strategy))
+				if res.Failed() {
+					return optimized, vectorized, fmt.Errorf("%s (full=%t, vec=%t) failed: %v\n%s",
+						strat, full, vec, res.Err, nrc.Print(q))
+				}
+				if vec && res.Metrics.VectorizedBatches > 0 {
+					vectorized++
+				}
+				got, gerr := nestedOutput(cq, res)
+				if gerr != nil {
+					return optimized, vectorized, fmt.Errorf("%s (full=%t, vec=%t) unshred: %v\n%s",
+						strat, full, vec, gerr, nrc.Print(q))
+				}
+				if !value.Equal(got, want) {
+					return optimized, vectorized, fmt.Errorf(
+						"%s (full=%t, vec=%t, resolved %s, bcast=%d) diverges from the nrc.Eval oracle\nquery:\n%s\ninputs: %s\n got: %s\nwant: %s\nexplain:\n%s",
+						strat, full, vec, cq.Strategy, limit, nrc.Print(q), value.Format(value.Tuple{inputs["R"], inputs["S"]}),
+						value.Format(got), value.Format(want), cq.Explain())
+				}
 			}
 		}
 	}
-	return optimized, nil
+	return optimized, vectorized, nil
 }
 
 // errSkip marks an uncompilable fuzz-generated query (tolerated only in the
@@ -460,17 +470,19 @@ func seedBytes(seed int) []byte {
 }
 
 // TestDifferentialOracle is the headline soundness gate: 300 generated
-// queries × (7 strategies + AUTO) × {full, ablated}, every run compared
-// against the reference evaluator. Runs under -race in CI.
+// queries × (7 strategies + AUTO) × {full, ablated} × {vectorized,
+// row-only}, every run compared against the reference evaluator. Runs under
+// -race in CI.
 func TestDifferentialOracle(t *testing.T) {
 	n := 300
 	if testing.Short() {
 		n = 60
 	}
-	optimized := 0
+	optimized, vectorized := 0, 0
 	for seed := 0; seed < n; seed++ {
-		opt, err := runDifferential(seedBytes(seed), true)
+		opt, vec, err := runDifferential(seedBytes(seed), true)
 		optimized += opt
+		vectorized += vec
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -480,7 +492,12 @@ func TestDifferentialOracle(t *testing.T) {
 	if optimized < n/4 {
 		t.Fatalf("only %d/%d×8 optimized runs changed a plan — generator no longer exercises the optimizer", optimized, n)
 	}
-	t.Logf("%d queries × 16 runs agreed with the oracle; optimizer changed plans in %d runs", n, optimized)
+	// Likewise the vectorized half of the matrix must actually run columnar
+	// batches, not silently fall back to the row interpreter everywhere.
+	if vectorized < n/4 {
+		t.Fatalf("only %d/%d×16 vectorized runs executed a columnar batch — generator no longer exercises the vectorizer", vectorized, n)
+	}
+	t.Logf("%d queries × 32 runs agreed with the oracle; optimizer changed plans in %d runs; %d runs executed columnar batches", n, optimized, vectorized)
 }
 
 // FuzzDifferential lets the fuzzer drive the generator byte stream directly.
@@ -493,7 +510,7 @@ func FuzzDifferential(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{255, 1, 254, 3, 252, 7, 248, 15, 240, 31, 224, 63, 192, 127, 128})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if _, err := runDifferential(data, false); err != nil {
+		if _, _, err := runDifferential(data, false); err != nil {
 			if err == errSkip {
 				t.Skip("generated query outside the compilable fragment")
 			}

@@ -28,6 +28,11 @@ func (cq *Compiled) Explain() string {
 	} else {
 		fmt.Fprintf(&sb, "optimizer: %s\n", cq.Opt.String())
 	}
+	if cq.Cfg.NoVectorize {
+		sb.WriteString("vectorize: disabled (NoVectorize)\n")
+	} else {
+		fmt.Fprintf(&sb, "vectorize: %s\n", cq.Vec.String())
+	}
 	if cq.Plan != nil {
 		explainPair(&sb, "plan", cq.RawPlan, cq.Plan)
 	}

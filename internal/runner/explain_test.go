@@ -88,6 +88,21 @@ func TestGoldenExplains(t *testing.T) {
 		write("biomed-selective.explain", sb.String())
 	}
 
+	// The all-narrow Q6-style scan pipeline of the vectorize ablation: every
+	// operator annotated, two [vec] and one fallback with its reason.
+	{
+		var sb strings.Builder
+		for _, strat := range []runner.Strategy{runner.Standard, runner.ShredUnshred} {
+			cq, err := runner.Compile(tpch.FlatSelective(), tpch.FlatEnv(), strat, cfg)
+			if err != nil {
+				t.Fatalf("flat selective %s: %v", strat, err)
+			}
+			sb.WriteString(cq.Explain())
+			sb.WriteString("\n")
+		}
+		write("tpch-flat-selective.explain", sb.String())
+	}
+
 	// The five-step biomedical pipeline under the standard route.
 	{
 		cp, err := runner.CompilePipeline(biomed.Steps(), biomed.Env(), runner.Standard, cfg)

@@ -191,6 +191,36 @@ func NestedToFlatSelective(level int) nrc.Expr {
 	return nrc.SumByOf(nrc.ForIn(tv, nrc.V("NDB"), body), []string{"name"}, []string{"total"})
 }
 
+// FlatSelective is a pure scan → select → project pipeline over the flat
+// Lineitem relation, in the spirit of TPC-H Q6: keep lineitems whose
+// discounted revenue l_extendedprice·(1−l_discount) clears a threshold and
+// that are large and lightly discounted (~2% of generated rows survive all
+// three conjuncts). The revenue conjunct is deliberately first: the row
+// interpreter must box two intermediate floats per scanned row to evaluate
+// it, while the vector kernels compute the whole expression in reused column
+// scratch. Every operator in the compiled plan is narrow and every
+// expression scalar, so the query isolates the columnar path's win from
+// join/shuffle costs — BenchmarkVectorizeAblation runs it both ways.
+func FlatSelective() nrc.Expr {
+	l := nrc.V("l")
+	revenue := func() nrc.Expr {
+		return nrc.MulOf(
+			nrc.P(l, "l_extendedprice"),
+			nrc.SubOf(nrc.C(1.0), nrc.P(l, "l_discount")))
+	}
+	return nrc.ForIn("l", nrc.V("Lineitem"),
+		nrc.IfThen(
+			nrc.AndOf(
+				nrc.GtOf(revenue(), nrc.C(60000.0)),
+				nrc.AndOf(
+					nrc.GtOf(nrc.P(l, "l_quantity"), nrc.C(45.0)),
+					nrc.LtOf(nrc.P(l, "l_discount"), nrc.C(0.05)))),
+			nrc.SingOf(nrc.Record(
+				"l_orderkey", nrc.P(l, "l_orderkey"),
+				"revenue", revenue(),
+			))))
+}
+
 // ValidateLevel reports whether level is a supported nesting depth; CLIs use
 // it to reject bad input with a friendly error before Query/Env panic.
 func ValidateLevel(level int) error {

@@ -288,6 +288,17 @@ type OptimizerStats = plan.OptStats
 // /metrics). Per-query counters appear in PreparedQuery.Explain output.
 func OptimizerCounters() OptimizerStats { return plan.GlobalOptStats() }
 
+// VectorizeStats counts, per compilation, how many narrow operators
+// (selections, extensions, projections) compiled to columnar batch kernels
+// versus fell back to the row-at-a-time interpreter. See docs/VECTORIZE.md.
+type VectorizeStats = plan.VecStats
+
+// VectorizeCounters returns the process-wide vectorizer counters, aggregated
+// over every compilation since start (served by tranced /metrics). Per-query
+// counters and per-operator fallback reasons appear in PreparedQuery.Explain
+// output.
+func VectorizeCounters() VectorizeStats { return plan.GlobalVecStats() }
+
 // ExplainStandard compiles a query through the standard route and renders the
 // algebraic plan (paper Figure 3 style), before the rule-based optimizer
 // pass. For the before/after-optimizer view use PreparedQuery.Explain (or
