@@ -6,14 +6,17 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/index"
 	"github.com/trance-go/trance/internal/ingest"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/parse"
 	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/runner"
+	"github.com/trance-go/trance/internal/shred"
 	"github.com/trance-go/trance/internal/stats"
 	"github.com/trance-go/trance/internal/value"
 )
@@ -22,8 +25,12 @@ import (
 // answer to hand-assembling Env + input maps: data is registered once (from
 // Go values or straight from JSON, with the schema inferred), and sessions
 // resolve queries' free variables against it. All methods are safe for
-// concurrent use; datasets are immutable once registered (Register captures
-// the bag by reference — do not mutate it afterwards).
+// concurrent use. Datasets mutate only through the catalog (Append, Delete,
+// DeleteWhere — never mutate a registered bag directly): every mutation
+// installs a fresh immutable entry under a new generation, maintaining the
+// dataset's statistics and secondary indexes, so queries already running keep
+// a consistent snapshot while a session's next Run re-resolves against the
+// new generation (see docs/INDEXES.md).
 type Catalog struct {
 	mu      sync.RWMutex
 	entries map[string]*catalogEntry
@@ -31,16 +38,30 @@ type Catalog struct {
 	nextGen int64
 }
 
+// catalogEntry is one immutable registration generation of a dataset. Every
+// mutation (Append, Delete, CreateIndex, Drop + Register) replaces the entry
+// pointer wholesale rather than editing it, which is what makes concurrent
+// readers (resolve, Analyze's install check, running queries holding the bag)
+// race-free without copying data per read.
 type catalogEntry struct {
 	info DatasetInfo
 	bag  Bag
-	// gen distinguishes re-registrations of the same name (Drop + Register):
-	// session row caches and cached statistics key on it, so a replaced
-	// dataset never serves stale converted rows or stale plan decisions.
+	// gen distinguishes generations of the same name (mutations and Drop +
+	// Register alike): session row caches, cached statistics, and prepared
+	// plans key on it, so a changed dataset never serves stale converted rows
+	// or stale plan decisions.
 	gen int64
 	// stats are the dataset's collected statistics (stats.Collect at
-	// registration; refreshed by Analyze). Generation-stamped with gen.
+	// registration; recollected by mutations and Analyze). Generation-stamped
+	// with gen.
 	stats *stats.Table
+	// idx holds the dataset's secondary indexes: auto-built at registration
+	// for columns the statistics flag as selective, extended by CreateIndex,
+	// maintained incrementally by Append and rebuilt by Delete.
+	idx *index.Set
+	// auto marks the idx columns that were auto-built (statistics-driven)
+	// rather than requested via CreateIndex.
+	auto map[string]bool
 }
 
 // DatasetInfo describes one catalog entry.
@@ -100,8 +121,10 @@ func (c *Catalog) add(name string, t nrc.BagType, b Bag, source string) (Dataset
 	if name == "" {
 		return DatasetInfo{}, fmt.Errorf("catalog: dataset name must not be empty")
 	}
-	// Collect statistics outside the lock — a full pass over the data.
+	// Collect statistics and build the auto indexes outside the lock — both
+	// are full passes over the data.
 	st := stats.Collect(b, t, stats.Options{})
+	idx, auto := autoIndexes(b, t, st)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.entries[name]; dup {
@@ -110,9 +133,396 @@ func (c *Catalog) add(name string, t nrc.BagType, b Bag, source string) (Dataset
 	info := DatasetInfo{Name: name, Type: t, Rows: len(b), Bytes: value.Size(b), Source: source}
 	c.nextGen++
 	st.Generation = c.nextGen
-	c.entries[name] = &catalogEntry{info: info, bag: b, gen: c.nextGen, stats: st}
+	c.entries[name] = &catalogEntry{info: info, bag: b, gen: c.nextGen, stats: st, idx: idx, auto: auto}
 	c.order = append(c.order, name)
 	return info, nil
+}
+
+// autoIndexes builds the registration-time secondary indexes of a dataset:
+// one hash+range index per column the statistics flag as selective (see
+// stats.Table.SelectiveColumns). Build refusals (label columns, mixed-type
+// keys) are counted under their reason in IndexCounters and skipped.
+func autoIndexes(b Bag, bt nrc.BagType, st *stats.Table) (*index.Set, map[string]bool) {
+	set := index.NewSet()
+	var auto map[string]bool
+	for _, col := range st.SelectiveColumns() {
+		vals, ok := columnValues(b, bt, col)
+		if !ok {
+			continue
+		}
+		ci, err := index.Build(col, true, true, vals)
+		if err != nil {
+			continue
+		}
+		set.Put(ci)
+		if auto == nil {
+			auto = map[string]bool{}
+		}
+		auto[col] = true
+	}
+	return set, auto
+}
+
+// columnOffset finds a top-level scalar column's tuple offset ("_value" for
+// scalar-element bags); -1 when the column is absent or not scalar.
+func columnOffset(bt nrc.BagType, col string) int {
+	if tt, ok := bt.Elem.(nrc.TupleType); ok {
+		for i, f := range tt.Fields {
+			if f.Name == col {
+				if _, scalar := f.Type.(nrc.ScalarType); scalar {
+					return i
+				}
+				return -1
+			}
+		}
+		return -1
+	}
+	if _, scalar := bt.Elem.(nrc.ScalarType); scalar && col == "_value" {
+		return 0
+	}
+	return -1
+}
+
+// columnValues extracts one top-level scalar column of a bag; vals[i] is the
+// key of row i (nil for NULL).
+func columnValues(b Bag, bt nrc.BagType, col string) ([]value.Value, bool) {
+	off := columnOffset(bt, col)
+	if off < 0 {
+		return nil, false
+	}
+	vals := make([]value.Value, len(b))
+	for i, e := range b {
+		if t, ok := e.(value.Tuple); ok {
+			vals[i] = t[off]
+		} else {
+			vals[i] = e
+		}
+	}
+	return vals, true
+}
+
+// replace installs a successor entry under name, bumping the catalog
+// generation, provided old is still the current entry. Mutations are
+// optimistic: the expensive work (copying, statistics, index maintenance)
+// happens outside the lock, and a caller that lost the race retries over the
+// winner's data. mk receives the fresh generation.
+func (c *Catalog) replace(name string, old *catalogEntry, mk func(gen int64) *catalogEntry) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[name]; !ok || cur != old {
+		return false
+	}
+	c.nextGen++
+	c.entries[name] = mk(c.nextGen)
+	return true
+}
+
+// entry returns the current immutable entry of a dataset.
+func (c *Catalog) entry(name string) (*catalogEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[name]
+	return e, ok
+}
+
+// IndexInfo describes one secondary index of a catalog dataset.
+type IndexInfo struct {
+	// Dataset and Column name the indexed data.
+	Dataset string
+	Column  string
+	// Kind is "hash", "range", or "hash+range".
+	Kind string
+	// Keys is the number of distinct non-NULL keys; Nulls counts the NULL
+	// rows every span excludes; Rows is the covered row count.
+	Keys, Nulls, Rows int64
+	// Generation is the dataset generation the index describes.
+	Generation int64
+	// Auto reports a registration-time statistics-driven build rather than an
+	// explicit CreateIndex.
+	Auto bool
+}
+
+func indexInfoOf(dataset string, ci *index.ColumnIndex, gen int64, auto bool) IndexInfo {
+	return IndexInfo{
+		Dataset: dataset, Column: ci.Col, Kind: ci.KindString(),
+		Keys: ci.Keys(), Nulls: ci.Nulls(), Rows: int64(ci.Len()),
+		Generation: gen, Auto: auto,
+	}
+}
+
+// CreateIndex builds a secondary index on a dataset column on demand: kind is
+// "hash" (equality spans), "range"/"ordered" (range spans), or ""/"both".
+// An existing index on the column keeps its structures — kinds accumulate.
+// The build runs outside the catalog lock; installing it bumps the dataset's
+// generation so sessions re-plan with the index available.
+func (c *Catalog) CreateIndex(dataset, column, kind string) (IndexInfo, error) {
+	wantHash, wantOrdered, err := index.ParseKind(kind)
+	if err != nil {
+		return IndexInfo{}, fmt.Errorf("catalog: dataset %s: %w", dataset, err)
+	}
+	for {
+		e, ok := c.entry(dataset)
+		if !ok {
+			return IndexInfo{}, fmt.Errorf("catalog: dataset %s is not registered", dataset)
+		}
+		h, o := wantHash, wantOrdered
+		if old := e.idx.Column(column); old != nil {
+			h = h || old.HasHash()
+			o = o || old.HasOrdered()
+		}
+		vals, ok := columnValues(e.bag, e.info.Type.(nrc.BagType), column)
+		if !ok {
+			return IndexInfo{}, fmt.Errorf("catalog: dataset %s has no top-level scalar column %q", dataset, column)
+		}
+		ci, err := index.Build(column, h, o, vals)
+		if err != nil {
+			return IndexInfo{}, fmt.Errorf("catalog: dataset %s: %w", dataset, err)
+		}
+		var out IndexInfo
+		if c.replace(dataset, e, func(gen int64) *catalogEntry {
+			ne := e.successor(gen)
+			ne.idx = e.idx.Clone()
+			ne.idx.Put(ci)
+			if e.auto[column] {
+				ne.auto = make(map[string]bool, len(e.auto))
+				for k, v := range e.auto {
+					ne.auto[k] = v
+				}
+				delete(ne.auto, column)
+			}
+			out = indexInfoOf(dataset, ci, gen, false)
+			return ne
+		}) {
+			return out, nil
+		}
+	}
+}
+
+// Indexes lists a dataset's secondary indexes in column-name order.
+func (c *Catalog) Indexes(name string) ([]IndexInfo, bool) {
+	e, ok := c.entry(name)
+	if !ok {
+		return nil, false
+	}
+	var out []IndexInfo
+	for _, col := range e.idx.Names() {
+		out = append(out, indexInfoOf(name, e.idx.Column(col), e.gen, e.auto[col]))
+	}
+	return out, true
+}
+
+// successor copies the entry under a fresh generation, re-stamping the
+// statistics; callers overwrite the fields the mutation changed.
+func (e *catalogEntry) successor(gen int64) *catalogEntry {
+	st := *e.stats
+	st.Generation = gen
+	return &catalogEntry{info: e.info, bag: e.bag, gen: gen, stats: &st, idx: e.idx, auto: e.auto}
+}
+
+// Append adds rows to a registered dataset. The rows are validated against
+// the dataset's element type up front, statistics are recollected over the
+// combined data, and every secondary index is maintained incrementally
+// (index extension over the tail — IndexCounters.Maintained). The new entry
+// carries a fresh generation, so a session's next Run re-resolves data,
+// statistics, and plans — an append is never served from stale rows or a
+// stale plan — while queries already executing keep their snapshot.
+func (c *Catalog) Append(name string, rows Bag) (DatasetInfo, error) {
+	if len(rows) == 0 {
+		info, ok := c.Info(name)
+		if !ok {
+			return DatasetInfo{}, fmt.Errorf("catalog: dataset %s is not registered", name)
+		}
+		return info, nil
+	}
+	for {
+		e, ok := c.entry(name)
+		if !ok {
+			return DatasetInfo{}, fmt.Errorf("catalog: dataset %s is not registered", name)
+		}
+		bt := e.info.Type.(nrc.BagType)
+		if err := conforms(rows, bt); err != nil {
+			return DatasetInfo{}, fmt.Errorf("catalog: dataset %s: append: %w", name, err)
+		}
+		nb := make(Bag, 0, len(e.bag)+len(rows))
+		nb = append(append(nb, e.bag...), rows...)
+		st := stats.Collect(nb, bt, stats.Options{})
+		nidx := index.NewSet()
+		for _, col := range e.idx.Names() {
+			tail, ok := columnValues(rows, bt, col)
+			if !ok {
+				continue
+			}
+			ci, err := e.idx.Column(col).Extend(tail)
+			if err != nil {
+				// The tail broke the index's key invariant (cannot happen for
+				// conforming rows, but Extend is defensive): rebuild outright.
+				old := e.idx.Column(col)
+				vals, vok := columnValues(nb, bt, col)
+				if !vok {
+					continue
+				}
+				if ci, err = index.Build(col, old.HasHash(), old.HasOrdered(), vals); err != nil {
+					continue
+				}
+				index.RecordRebuild()
+			}
+			nidx.Put(ci)
+		}
+		var out DatasetInfo
+		if c.replace(name, e, func(gen int64) *catalogEntry {
+			st.Generation = gen
+			info := e.info
+			info.Rows = len(nb)
+			info.Bytes = value.Size(nb)
+			out = info
+			return &catalogEntry{info: info, bag: nb, gen: gen, stats: st, idx: nidx, auto: e.auto}
+		}) {
+			return out, nil
+		}
+	}
+}
+
+// AppendJSON is Append over a JSON body — NDJSON or a single JSON array, as
+// RegisterJSON reads — converted against the dataset's registered element
+// type. It returns the updated info and how many rows the body held.
+func (c *Catalog) AppendJSON(name string, r io.Reader) (DatasetInfo, int, error) {
+	e, ok := c.entry(name)
+	if !ok {
+		return DatasetInfo{}, 0, fmt.Errorf("catalog: dataset %s is not registered", name)
+	}
+	rows, err := ingest.ReadJSONAs(r, e.info.Type.(nrc.BagType).Elem)
+	if err != nil {
+		return DatasetInfo{}, 0, fmt.Errorf("catalog: dataset %s: append: %w", name, err)
+	}
+	info, err := c.Append(name, rows)
+	return info, len(rows), err
+}
+
+// DeleteJSON is Delete with the key given as a JSON scalar literal (the form
+// an HTTP parameter arrives in), parsed against the column's registered type;
+// unquoted text is accepted for string and date columns.
+func (c *Catalog) DeleteJSON(name, column, raw string) (int, error) {
+	e, ok := c.entry(name)
+	if !ok {
+		return 0, fmt.Errorf("catalog: dataset %s is not registered", name)
+	}
+	st, ok := columnScalarType(e.info.Type.(nrc.BagType), column)
+	if !ok {
+		return 0, fmt.Errorf("catalog: dataset %s has no top-level scalar column %q", name, column)
+	}
+	v, err := ingest.ScalarFromJSON(raw, st)
+	if err != nil {
+		return 0, fmt.Errorf("catalog: dataset %s: delete: %w", name, err)
+	}
+	return c.Delete(name, column, v)
+}
+
+// columnScalarType resolves a top-level scalar column's type (the "_value"
+// pseudo-column for scalar-element bags, mirroring columnOffset).
+func columnScalarType(bt nrc.BagType, col string) (nrc.ScalarType, bool) {
+	if tt, ok := bt.Elem.(nrc.TupleType); ok {
+		for _, f := range tt.Fields {
+			if f.Name == col {
+				st, scalar := f.Type.(nrc.ScalarType)
+				return st, scalar
+			}
+		}
+		return nrc.ScalarType{}, false
+	}
+	if st, scalar := bt.Elem.(nrc.ScalarType); scalar && col == "_value" {
+		return st, true
+	}
+	return nrc.ScalarType{}, false
+}
+
+// Delete removes every row whose column equals v (the engine's value.Compare
+// equality, so 5 matches 5.0; a NULL column value matches nothing) and
+// returns the number removed. Statistics are recollected and the dataset's
+// indexes rebuilt over the surviving rows (IndexCounters.Rebuilt); the
+// generation bump invalidates prepared routes exactly like Append.
+func (c *Catalog) Delete(name, column string, v Value) (int, error) {
+	if v == nil {
+		return 0, fmt.Errorf("catalog: dataset %s: delete key must not be NULL", name)
+	}
+	return c.deleteWhere(name, func(bt nrc.BagType) (func(Value) bool, error) {
+		off := columnOffset(bt, column)
+		if off < 0 {
+			return nil, fmt.Errorf("no top-level scalar column %q", column)
+		}
+		return func(el Value) bool {
+			var cv Value
+			if t, ok := el.(value.Tuple); ok {
+				cv = t[off]
+			} else {
+				cv = el
+			}
+			return cv != nil && value.Compare(cv, v) == 0
+		}, nil
+	})
+}
+
+// DeleteWhere removes every top-level row matching pred and returns the
+// number removed; index and statistics maintenance and generation semantics
+// are those of Delete. pred must be pure — it may run more than once per row
+// when a concurrent mutation forces a retry.
+func (c *Catalog) DeleteWhere(name string, pred func(Value) bool) (int, error) {
+	return c.deleteWhere(name, func(nrc.BagType) (func(Value) bool, error) { return pred, nil })
+}
+
+func (c *Catalog) deleteWhere(name string, mk func(nrc.BagType) (func(Value) bool, error)) (int, error) {
+	for {
+		e, ok := c.entry(name)
+		if !ok {
+			return 0, fmt.Errorf("catalog: dataset %s is not registered", name)
+		}
+		bt := e.info.Type.(nrc.BagType)
+		pred, err := mk(bt)
+		if err != nil {
+			return 0, fmt.Errorf("catalog: dataset %s: delete: %w", name, err)
+		}
+		nb := make(Bag, 0, len(e.bag))
+		for _, el := range e.bag {
+			if !pred(el) {
+				nb = append(nb, el)
+			}
+		}
+		removed := len(e.bag) - len(nb)
+		if removed == 0 {
+			return 0, nil
+		}
+		st := stats.Collect(nb, bt, stats.Options{})
+		nidx := rebuildIndexes(e.idx, nb, bt)
+		if c.replace(name, e, func(gen int64) *catalogEntry {
+			st.Generation = gen
+			info := e.info
+			info.Rows = len(nb)
+			info.Bytes = value.Size(nb)
+			return &catalogEntry{info: info, bag: nb, gen: gen, stats: st, idx: nidx, auto: e.auto}
+		}) {
+			return removed, nil
+		}
+	}
+}
+
+// rebuildIndexes rebuilds every index of a set over new data — deletions
+// invalidate row positions wholesale. Each rebuild is counted
+// (IndexCounters.Rebuilt); a column that is no longer indexable is dropped.
+func rebuildIndexes(old *index.Set, b Bag, bt nrc.BagType) *index.Set {
+	out := index.NewSet()
+	for _, col := range old.Names() {
+		oc := old.Column(col)
+		vals, ok := columnValues(b, bt, col)
+		if !ok {
+			continue
+		}
+		ci, err := index.Build(col, oc.HasHash(), oc.HasOrdered(), vals)
+		if err != nil {
+			continue
+		}
+		index.RecordRebuild()
+		out.Put(ci)
+	}
+	return out
 }
 
 // Stats returns a dataset's collected statistics (row/byte counts, per-column
@@ -152,8 +562,9 @@ func (c *Catalog) Analyze(name string, opts StatsOptions) (*DatasetStats, error)
 	return st, nil
 }
 
-// Drop removes a dataset. Sessions and queries prepared before the Drop keep
-// serving their snapshot of the data.
+// Drop removes a dataset. Session queries prepared before the Drop keep
+// serving their last snapshot while no dataset is registered under the name;
+// re-registering one makes their next Run re-resolve to it.
 func (c *Catalog) Drop(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -241,15 +652,21 @@ func (e *UnknownDatasetError) Error() string {
 		e.Var, e.Dataset, e.Have)
 }
 
-// resolve snapshots the env, data, entry generations, and table statistics
-// for the given variable names, applying the session's bindings.
-func (c *Catalog) resolve(vars []string, bindings map[string]string) (Env, map[string]Bag, map[string]int64, map[string]plan.TableEstimate, error) {
+// resolve snapshots the env, data, entry generations, table statistics, and
+// secondary indexes for the given variable names, applying the session's
+// bindings. Statistics of indexed columns carry the index flags the planner's
+// Select→IndexScan conversion keys on, and indexed datasets additionally
+// publish their estimate under the shredded top-component name — value
+// shredding preserves top-level row order and scalar column positions, so the
+// same indexes (re-keyed by runner.Compiled.MapIndexes) serve both routes.
+func (c *Catalog) resolve(vars []string, bindings map[string]string) (Env, map[string]Bag, map[string]int64, map[string]plan.TableEstimate, map[string]*index.Set, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	env := Env{}
 	inputs := map[string]Bag{}
 	gens := map[string]int64{}
 	ests := map[string]plan.TableEstimate{}
+	var idxs map[string]*index.Set
 	for _, v := range vars {
 		ds := v
 		if b, ok := bindings[v]; ok {
@@ -257,16 +674,51 @@ func (c *Catalog) resolve(vars []string, bindings map[string]string) (Env, map[s
 		}
 		e, ok := c.entries[ds]
 		if !ok {
-			return nil, nil, nil, nil, &UnknownDatasetError{Var: v, Dataset: ds, Have: append([]string(nil), c.order...)}
+			return nil, nil, nil, nil, nil, &UnknownDatasetError{Var: v, Dataset: ds, Have: append([]string(nil), c.order...)}
 		}
 		env[v] = e.info.Type
 		inputs[v] = e.bag
 		gens[v] = e.gen
-		if e.stats != nil {
-			ests[v] = e.stats.Estimate()
+		if e.stats == nil {
+			continue
+		}
+		te := e.stats.Estimate()
+		if e.idx.Len() > 0 {
+			for _, col := range e.idx.Names() {
+				ci := e.idx.Column(col)
+				ce := te.Cols[col]
+				ce.IndexHash = ci.HasHash()
+				ce.IndexOrdered = ci.HasOrdered()
+				te.Cols[col] = ce
+			}
+			ests[shred.MatName(v, nil)] = te
+			if idxs == nil {
+				idxs = map[string]*index.Set{}
+			}
+			idxs[v] = e.idx
+		}
+		ests[v] = te
+	}
+	return env, inputs, gens, ests, idxs, nil
+}
+
+// generationsUnchanged reports whether every dataset the variables resolve to
+// still carries the given generation — the sessions' cheap staleness probe
+// (one read-locked map walk per Run).
+func (c *Catalog) generationsUnchanged(vars []string, bindings map[string]string, gens map[string]int64) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, v := range vars {
+		ds := v
+		if b, ok := bindings[v]; ok {
+			ds = b
+		}
+		e, ok := c.entries[ds]
+		if !ok || e.gen != gens[v] {
+			return false
 		}
 	}
-	return env, inputs, gens, ests, nil
+	return true
 }
 
 // conforms structurally validates a value against a type. NULL conforms to
@@ -342,15 +794,20 @@ type SessionOptions struct {
 }
 
 // Session prepares and runs queries whose free variables resolve against a
-// catalog. Prepare snapshots the referenced datasets, so a session query
-// keeps serving consistent data even if the catalog changes afterwards.
-// Sessions are safe for concurrent use.
+// catalog. A session query is generation-aware: each Run probes the catalog
+// and, when any referenced dataset mutated since the last resolution (Append,
+// Delete, CreateIndex, Drop + re-Register), re-resolves data, statistics, and
+// indexes and re-prepares through the plan cache — a mutation is never served
+// from stale rows or a stale plan. Runs already executing keep the snapshot
+// they started with; a dataset that is dropped and not re-registered keeps
+// serving its last snapshot. Sessions are safe for concurrent use.
 //
 // A session shares converted input rows across everything it prepares: the
 // nested→engine-row conversion (value shredding on shredded routes) of each
-// (variable, dataset, route) happens once per session, no matter how many
-// queries reference the dataset — so a service preparing many ad-hoc text
-// queries over one dataset holds one converted copy, not one per query.
+// (variable, dataset generation, route) happens once per session, no matter
+// how many queries reference the dataset — so a service preparing many
+// ad-hoc text queries over one dataset holds one converted copy, not one per
+// query.
 type Session struct {
 	cat  *Catalog
 	cfg  Config
@@ -403,6 +860,25 @@ func (s *Session) converter(gens map[string]int64) func(cq *runner.Compiled, nam
 	}
 }
 
+// pruneRows drops cached conversions of superseded generations: a mutating
+// dataset must not pin the converted rows of every generation it ever had.
+// Conversions another query is still serving re-enter the cache on their next
+// first use (their PreparedData keeps its own reference meanwhile).
+func (s *Session) pruneRows(gens map[string]int64) {
+	s.rowMu.Lock()
+	defer s.rowMu.Unlock()
+	for key := range s.rowCache {
+		name, rest, ok := strings.Cut(key, "\x00")
+		if !ok {
+			continue
+		}
+		genStr, _, _ := strings.Cut(rest, "\x00")
+		if keep, tracked := gens[name]; tracked && genStr != fmt.Sprint(keep) {
+			delete(s.rowCache, key)
+		}
+	}
+}
+
 // Prepare resolves the query's free variables against the catalog,
 // typechecks and sets up compile-once evaluation (see Prepare), and binds
 // the resolved datasets for repeated runs (see PreparedQuery.BindData). The
@@ -411,22 +887,13 @@ func (s *Session) Prepare(q Expr) (*SessionQuery, error) { return s.PrepareNamed
 
 // PrepareNamed is Prepare with a label used in errors and metrics.
 func (s *Session) PrepareNamed(name string, q Expr) (*SessionQuery, error) {
-	vars := sortedVars(nrc.FreeVars(q))
-	env, inputs, gens, ests, err := s.cat.resolve(vars, s.bind)
-	if err != nil {
+	sq := &SessionQuery{s: s, name: name, q: q, vars: sortedVars(nrc.FreeVars(q))}
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	if err := sq.refreshLocked(); err != nil {
 		return nil, err
 	}
-	cfg := s.cfg
-	if len(ests) > 0 {
-		cfg.Stats = ests
-	}
-	pq, err := Prepare(q, PrepareOptions{Name: name, Env: env, Config: &cfg, Pool: s.pool})
-	if err != nil {
-		return nil, err
-	}
-	data := pq.BindData(inputs)
-	data.convert = s.converter(gens)
-	return &SessionQuery{pq: pq, data: data}, nil
+	return sq, nil
 }
 
 // PrepareText parses a query written in the textual surface syntax (see
@@ -482,28 +949,20 @@ func diagnose(src *parse.Source, err error) error {
 // PreparePipeline resolves the steps' free variables (outputs of earlier
 // steps are not free) against the catalog and sets up compile-once
 // evaluation of the whole pipeline (see PreparePipeline): repeated runs hit
-// the plan cache for every step.
+// the plan cache for every step and re-resolve when a referenced dataset
+// mutates, like SessionQuery.
 func (s *Session) PreparePipeline(steps []PipelineStep) (*SessionPipeline, error) {
 	asg := make([]nrc.Assignment, len(steps))
 	for i, st := range steps {
 		asg[i] = nrc.Assignment{Name: st.Name, Expr: st.Query}
 	}
-	vars := sortedVars(nrc.FreeVarsProgram(asg))
-	env, inputs, gens, ests, err := s.cat.resolve(vars, s.bind)
-	if err != nil {
+	sp := &SessionPipeline{s: s, steps: steps, vars: sortedVars(nrc.FreeVarsProgram(asg))}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if err := sp.refreshLocked(); err != nil {
 		return nil, err
 	}
-	cfg := s.cfg
-	if len(ests) > 0 {
-		cfg.Stats = ests
-	}
-	pp, err := PreparePipeline(steps, PrepareOptions{Env: env, Config: &cfg, Pool: s.pool})
-	if err != nil {
-		return nil, err
-	}
-	data := pp.BindData(inputs)
-	data.convert = s.converter(gens)
-	return &SessionPipeline{pp: pp, data: data}, nil
+	return sp, nil
 }
 
 func sortedVars(set map[string]bool) []string {
@@ -517,20 +976,102 @@ func sortedVars(set map[string]bool) []string {
 
 // SessionQuery is a query prepared against a catalog: compiled plans come
 // from the process-wide plan cache, input conversion is cached per route,
-// and any number of goroutines may Run concurrently.
+// any number of goroutines may Run concurrently, and every Run re-resolves
+// against the catalog when a referenced dataset's generation moved (see
+// Session).
 type SessionQuery struct {
+	s    *Session
+	name string
+	q    Expr
+	vars []string
+
+	mu   sync.Mutex // guards the cached resolution below
 	pq   *PreparedQuery
 	data *PreparedData
+	gens map[string]int64
 }
 
-// Prepared exposes the underlying prepared query (output types, columns,
-// fingerprint).
-func (sq *SessionQuery) Prepared() *PreparedQuery { return sq.pq }
+// refreshLocked re-resolves the query against the catalog's current
+// generations and re-prepares it. Caller holds sq.mu.
+func (sq *SessionQuery) refreshLocked() error {
+	s := sq.s
+	env, inputs, gens, ests, idxs, err := s.cat.resolve(sq.vars, s.bind)
+	if err != nil {
+		return err
+	}
+	cfg := s.cfg
+	if len(ests) > 0 {
+		cfg.Stats = ests
+	}
+	// Re-preparing shares the query AST with the prior generation's prepared
+	// query, and both Prepare's typecheck and lazy compilation annotate it in
+	// place — so every generation serializes on one compile mutex.
+	var pq *PreparedQuery
+	if sq.pq != nil {
+		mu := sq.pq.compileMu
+		mu.Lock()
+		pq, err = Prepare(sq.q, PrepareOptions{Name: sq.name, Env: env, Config: &cfg, Pool: s.pool})
+		if pq != nil {
+			pq.compileMu = mu
+		}
+		mu.Unlock()
+	} else {
+		pq, err = Prepare(sq.q, PrepareOptions{Name: sq.name, Env: env, Config: &cfg, Pool: s.pool})
+	}
+	if err != nil {
+		return err
+	}
+	data := pq.BindData(inputs)
+	data.convert = s.converter(gens)
+	data.idxs = idxs
+	s.pruneRows(gens)
+	sq.pq, sq.data, sq.gens = pq, data, gens
+	return nil
+}
 
-// Run evaluates the query under the strategy over the datasets snapshotted
-// at Prepare time.
+// current returns the prepared artifacts for a run, re-resolving when any
+// referenced dataset's generation moved. The staleness probe is one
+// read-locked walk; a refresh re-prepares through the plan cache (a
+// generation-stamped fingerprint, so unchanged plans are cache hits).
+func (sq *SessionQuery) current() (*PreparedQuery, *PreparedData, error) {
+	sq.mu.Lock()
+	defer sq.mu.Unlock()
+	if sq.pq != nil && sq.s.cat.generationsUnchanged(sq.vars, sq.s.bind, sq.gens) {
+		return sq.pq, sq.data, nil
+	}
+	if err := sq.refreshLocked(); err != nil {
+		// A referenced dataset was dropped without a replacement: keep
+		// serving the last snapshot rather than failing the serving path.
+		var ue *UnknownDatasetError
+		if errors.As(err, &ue) && sq.pq != nil {
+			return sq.pq, sq.data, nil
+		}
+		return nil, nil, err
+	}
+	return sq.pq, sq.data, nil
+}
+
+// Prepared exposes the current underlying prepared query (output types,
+// columns, fingerprint), refreshed against the catalog like Run.
+func (sq *SessionQuery) Prepared() *PreparedQuery {
+	pq, _, err := sq.current()
+	if err != nil {
+		sq.mu.Lock()
+		defer sq.mu.Unlock()
+		return sq.pq
+	}
+	return pq
+}
+
+// Run evaluates the query under the strategy over the current catalog
+// generations of the referenced datasets (re-resolving after mutations; see
+// Session).
 func (sq *SessionQuery) Run(ctx context.Context, strat Strategy) (*Result, error) {
-	return sq.pq.RunBound(ctx, sq.data, strat)
+	pq, data, err := sq.current()
+	if err != nil {
+		return nil, err
+	}
+	return pq.RunBound(ctx, data, strat)
 }
 
 // RunJSON is Run plus JSON encoding: the result rows rendered as objects
@@ -563,20 +1104,94 @@ func encodeRowsJSON(rows []dataflow.Row, cols []OutputColumn) []map[string]any {
 }
 
 // SessionPipeline is a pipeline prepared against a catalog: compiled step
-// plans come from the process-wide plan cache and input conversion is
-// cached per route.
+// plans come from the process-wide plan cache, input conversion is cached
+// per route, and every Run re-resolves against the catalog when a referenced
+// dataset's generation moved (see Session).
 type SessionPipeline struct {
+	s     *Session
+	steps []PipelineStep
+	vars  []string
+
+	mu   sync.Mutex // guards the cached resolution below
 	pp   *PreparedPipeline
 	data *PreparedData
+	gens map[string]int64
 }
 
-// Prepared exposes the underlying prepared pipeline.
-func (sp *SessionPipeline) Prepared() *PreparedPipeline { return sp.pp }
+// refreshLocked re-resolves the pipeline against the catalog's current
+// generations and re-prepares it. Caller holds sp.mu.
+func (sp *SessionPipeline) refreshLocked() error {
+	s := sp.s
+	env, inputs, gens, ests, idxs, err := s.cat.resolve(sp.vars, s.bind)
+	if err != nil {
+		return err
+	}
+	cfg := s.cfg
+	if len(ests) > 0 {
+		cfg.Stats = ests
+	}
+	// Step ASTs are shared across generations; serialize their annotation on
+	// one compile mutex exactly like SessionQuery.refreshLocked.
+	var pp *PreparedPipeline
+	if sp.pp != nil {
+		mu := sp.pp.compileMu
+		mu.Lock()
+		pp, err = PreparePipeline(sp.steps, PrepareOptions{Env: env, Config: &cfg, Pool: s.pool})
+		if pp != nil {
+			pp.compileMu = mu
+		}
+		mu.Unlock()
+	} else {
+		pp, err = PreparePipeline(sp.steps, PrepareOptions{Env: env, Config: &cfg, Pool: s.pool})
+	}
+	if err != nil {
+		return err
+	}
+	data := pp.BindData(inputs)
+	data.convert = s.converter(gens)
+	data.idxs = idxs
+	s.pruneRows(gens)
+	sp.pp, sp.data, sp.gens = pp, data, gens
+	return nil
+}
 
-// Run executes the pipeline under the strategy over the datasets
-// snapshotted (and bound once per route) at PreparePipeline time.
+func (sp *SessionPipeline) current() (*PreparedPipeline, *PreparedData, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.pp != nil && sp.s.cat.generationsUnchanged(sp.vars, sp.s.bind, sp.gens) {
+		return sp.pp, sp.data, nil
+	}
+	if err := sp.refreshLocked(); err != nil {
+		var ue *UnknownDatasetError
+		if errors.As(err, &ue) && sp.pp != nil {
+			return sp.pp, sp.data, nil
+		}
+		return nil, nil, err
+	}
+	return sp.pp, sp.data, nil
+}
+
+// Prepared exposes the current underlying prepared pipeline, refreshed
+// against the catalog like Run.
+func (sp *SessionPipeline) Prepared() *PreparedPipeline {
+	pp, _, err := sp.current()
+	if err != nil {
+		sp.mu.Lock()
+		defer sp.mu.Unlock()
+		return sp.pp
+	}
+	return pp
+}
+
+// Run executes the pipeline under the strategy over the current catalog
+// generations of the referenced datasets (re-resolving after mutations; see
+// Session).
 func (sp *SessionPipeline) Run(ctx context.Context, strat Strategy) (*PipelineResult, error) {
-	return sp.pp.RunBound(ctx, sp.data, strat)
+	pp, data, err := sp.current()
+	if err != nil {
+		return nil, err
+	}
+	return pp.RunBound(ctx, data, strat)
 }
 
 // RunJSON is Run plus JSON encoding of the final step's output, typed by the

@@ -1,0 +1,363 @@
+package trance_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/trance-go/trance"
+)
+
+// mutType is the flat dataset shape the mutation tests share.
+func mutType() trance.Type {
+	return trance.BagOf(trance.Tup("id", trance.IntT, "grp", trance.IntT, "val", trance.RealT))
+}
+
+func mutRow(id int64) trance.Tuple {
+	return trance.Tuple{id, id % 5, float64(id) / 4}
+}
+
+func mutBag(n int) trance.Bag {
+	b := make(trance.Bag, n)
+	for i := range b {
+		b[i] = mutRow(int64(i))
+	}
+	return b
+}
+
+// mutQuery builds `for x in D union if x.id == key then {⟨id, grp⟩}` fresh
+// per use (compilation annotates ASTs in place).
+func mutQuery(key int64) trance.Expr {
+	return trance.ForIn("x", trance.V("D"),
+		trance.IfThen(trance.EqOf(trance.P(trance.V("x"), "id"), trance.C(key)),
+			trance.SingOf(trance.Record(
+				"id", trance.P(trance.V("x"), "id"),
+				"grp", trance.P(trance.V("x"), "grp")))))
+}
+
+func TestCatalogAppendDelete(t *testing.T) {
+	cat := trance.NewCatalog()
+	if err := cat.Register("D", mutType(), mutBag(10)); err != nil {
+		t.Fatal(err)
+	}
+	st0, _ := cat.Stats("D")
+
+	info, err := cat.Append("D", trance.Bag{mutRow(100), mutRow(101), mutRow(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rows != 13 {
+		t.Fatalf("append: %+v", info)
+	}
+	st1, _ := cat.Stats("D")
+	if st1.Rows != 13 || st1.Generation <= st0.Generation {
+		t.Fatalf("append must recollect statistics under a new generation: %+v -> %+v", st0, st1)
+	}
+
+	// Empty appends and no-match deletes are no-ops: no generation churn.
+	if _, err := cat.Append("D", nil); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cat.Delete("D", "id", int64(999)); err != nil || n != 0 {
+		t.Fatalf("no-match delete: %d, %v", n, err)
+	}
+	if st, _ := cat.Stats("D"); st.Generation != st1.Generation {
+		t.Fatalf("no-op mutations must not bump the generation: %d -> %d", st1.Generation, st.Generation)
+	}
+
+	// Appended rows are validated against the registered element type.
+	bad := trance.Bag{trance.Tuple{"x", int64(0), 0.5}}
+	if _, err := cat.Append("D", bad); err == nil || !strings.Contains(err.Error(), "field id") {
+		t.Fatalf("type-mismatched append must name the field: %v", err)
+	}
+
+	// Delete by key: both id=7 rows (the original and the appended one) go.
+	n, err := cat.Delete("D", "id", int64(7))
+	if err != nil || n != 2 {
+		t.Fatalf("delete id=7: %d, %v", n, err)
+	}
+	if info, _ := cat.Info("D"); info.Rows != 11 {
+		t.Fatalf("rows after delete: %+v", info)
+	}
+	if _, err := cat.Delete("D", "id", nil); err == nil {
+		t.Fatal("NULL delete key must be rejected")
+	}
+	if _, err := cat.Delete("D", "nope", int64(1)); err == nil {
+		t.Fatal("unknown delete column must be rejected")
+	}
+
+	// DeleteWhere with an arbitrary predicate.
+	n, err = cat.DeleteWhere("D", func(v trance.Value) bool {
+		return v.(trance.Tuple)[1].(int64) == 3 // grp == 3
+	})
+	if err != nil || n == 0 {
+		t.Fatalf("DeleteWhere: %d, %v", n, err)
+	}
+
+	if _, err := cat.Append("ghost", trance.Bag{mutRow(1)}); err == nil {
+		t.Fatal("append to unknown dataset must fail")
+	}
+	if _, err := cat.Delete("ghost", "id", int64(1)); err == nil {
+		t.Fatal("delete on unknown dataset must fail")
+	}
+}
+
+func TestCatalogCreateIndexAndListing(t *testing.T) {
+	cat := trance.NewCatalog()
+	// 200 rows, NDV(id)=200: the statistics layer auto-indexes id (and val).
+	if err := cat.Register("D", mutType(), mutBag(200)); err != nil {
+		t.Fatal(err)
+	}
+	byCol := func() map[string]trance.IndexInfo {
+		out := map[string]trance.IndexInfo{}
+		infos, ok := cat.Indexes("D")
+		if !ok {
+			t.Fatal("Indexes: dataset missing")
+		}
+		for _, ii := range infos {
+			out[ii.Column] = ii
+		}
+		return out
+	}
+	idx := byCol()
+	if ii := idx["id"]; !ii.Auto || ii.Kind != "hash+range" || ii.Keys != 200 || ii.Nulls != 0 {
+		t.Fatalf("auto index on id: %+v", idx)
+	}
+	if _, auto := idx["grp"]; auto {
+		t.Fatalf("grp (NDV 5) must not be auto-indexed: %+v", idx)
+	}
+
+	// Explicit build on the low-NDV column; kinds accumulate across calls.
+	ii, err := cat.CreateIndex("D", "grp", "hash")
+	if err != nil || ii.Kind != "hash" || ii.Auto || ii.Keys != 5 {
+		t.Fatalf("create hash index: %+v, %v", ii, err)
+	}
+	ii, err = cat.CreateIndex("D", "grp", "range")
+	if err != nil || ii.Kind != "hash+range" {
+		t.Fatalf("kinds must accumulate: %+v, %v", ii, err)
+	}
+
+	if _, err := cat.CreateIndex("D", "nope", ""); err == nil {
+		t.Fatal("unknown column must be rejected")
+	}
+	if _, err := cat.CreateIndex("ghost", "id", ""); err == nil {
+		t.Fatal("unknown dataset must be rejected")
+	}
+	if _, err := cat.CreateIndex("D", "id", "btree"); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+
+	// Append maintains every index incrementally; Delete rebuilds them.
+	before := trance.IndexCounters()
+	if _, err := cat.Append("D", trance.Bag{mutRow(500), mutRow(501)}); err != nil {
+		t.Fatal(err)
+	}
+	if idx = byCol(); idx["id"].Rows != 202 || idx["id"].Keys != 202 || idx["grp"].Rows != 202 {
+		t.Fatalf("indexes not maintained by append: %+v", idx)
+	}
+	mid := trance.IndexCounters()
+	if mid.Maintained <= before.Maintained {
+		t.Fatalf("append must extend indexes incrementally: %+v -> %+v", before, mid)
+	}
+	if n, err := cat.Delete("D", "id", int64(500)); err != nil || n != 1 {
+		t.Fatalf("delete: %d, %v", n, err)
+	}
+	if idx = byCol(); idx["id"].Rows != 201 || idx["id"].Keys != 201 {
+		t.Fatalf("indexes not rebuilt by delete: %+v", idx)
+	}
+	if after := trance.IndexCounters(); after.Rebuilt <= mid.Rebuilt {
+		t.Fatalf("delete must rebuild indexes: %+v -> %+v", mid, after)
+	}
+}
+
+// TestSessionMutationOracle is the catalog half of the differential oracle:
+// one session with index scans enabled and one with the NoIndexScan ablation
+// run the same point query across a sequence of appends and deletes, and
+// after every mutation both must agree with the reference evaluator over a
+// mirrored copy of the data — generation invalidation must never serve stale
+// rows, a stale plan, or index results that differ from the full scan.
+func TestSessionMutationOracle(t *testing.T) {
+	cat := trance.NewCatalog()
+	if err := cat.Register("D", mutType(), mutBag(200)); err != nil {
+		t.Fatal(err)
+	}
+	mirror := append(trance.Bag{}, mutBag(200)...)
+
+	ablated := trance.DefaultConfig()
+	ablated.NoIndexScan = true
+	sessions := map[string]*trance.SessionQuery{}
+	for name, cfg := range map[string]*trance.Config{"indexed": nil, "ablated": &ablated} {
+		sq, err := cat.NewSession(trance.SessionOptions{Config: cfg}).Prepare(mutQuery(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[name] = sq
+	}
+
+	strategies := []trance.Strategy{trance.Standard, trance.StandardSkew, trance.ShredUnshred, trance.Auto}
+	env := trance.Env{"D": mutType()}
+	check := func(step string) {
+		t.Helper()
+		oq := mutQuery(7)
+		if _, err := trance.Check(oq, env); err != nil {
+			t.Fatalf("%s: oracle query check: %v", step, err)
+		}
+		want := trance.LocalEval(oq, map[string]trance.Bag{"D": mirror})
+		for name, sq := range sessions {
+			for _, strat := range strategies {
+				res, err := sq.Run(context.Background(), strat)
+				if err != nil {
+					t.Fatalf("%s: %s %s: %v", step, name, strat, err)
+				}
+				if got := collectBag(res); !trance.ValuesEqual(got, want) {
+					t.Fatalf("%s: %s %s diverges from the oracle\n got: %s\nwant: %s",
+						step, name, strat, trance.FormatValue(got), trance.FormatValue(want))
+				}
+			}
+		}
+	}
+
+	before := trance.IndexCounters()
+	check("initial")
+
+	// Append a tail including a duplicate of the probed key.
+	tail := trance.Bag{mutRow(7), mutRow(300), mutRow(301)}
+	if _, err := cat.Append("D", tail); err != nil {
+		t.Fatal(err)
+	}
+	mirror = append(mirror, tail...)
+	check("after append")
+
+	// Delete the probed key entirely.
+	if _, err := cat.Delete("D", "id", int64(7)); err != nil {
+		t.Fatal(err)
+	}
+	kept := mirror[:0:0]
+	for _, r := range mirror {
+		if r.(trance.Tuple)[0].(int64) != 7 {
+			kept = append(kept, r)
+		}
+	}
+	mirror = kept
+	check("after delete")
+
+	// Append the key back: the query must see it again.
+	if _, err := cat.Append("D", trance.Bag{mutRow(7)}); err != nil {
+		t.Fatal(err)
+	}
+	mirror = append(mirror, mutRow(7))
+	check("after re-append")
+
+	// The indexed session must actually have planned and executed index
+	// scans, or the comparison above proved nothing about them.
+	after := trance.IndexCounters()
+	if after.PlannedScans <= before.PlannedScans || after.Scans <= before.Scans {
+		t.Fatalf("no index scans planned/executed across the oracle steps: %+v -> %+v", before, after)
+	}
+	if text, err := sessions["indexed"].Prepared().Explain(trance.Standard); err != nil || !strings.Contains(text, "[index=") {
+		t.Fatalf("indexed session explain lacks [index=…]: %v\n%s", err, text)
+	}
+	if text, err := sessions["ablated"].Prepared().Explain(trance.Standard); err != nil || strings.Contains(text, "[index=") {
+		t.Fatalf("ablated session must not plan index scans: %v\n%s", err, text)
+	}
+}
+
+// TestCatalogAppendRetargetsAuto is the regression test for stale statistics
+// after a mutation: Append must recollect statistics under the new generation
+// atomically with the data swap, so the Auto route follows the data — a
+// uniform dataset that gains a heavily skewed tail re-routes to the
+// skew-aware strategy on the very next Run of an already-prepared session
+// query.
+func TestCatalogAppendRetargetsAuto(t *testing.T) {
+	dt := trance.BagOf(trance.Tup("k", trance.IntT, "v", trance.IntT))
+	uniform := make(trance.Bag, 2000)
+	for i := range uniform {
+		uniform[i] = trance.Tuple{int64(i), int64(i)}
+	}
+	mkQuery := func() trance.Expr {
+		return trance.ForIn("x", trance.V("D"),
+			trance.SingOf(trance.Record("k", trance.P(trance.V("x"), "k"))))
+	}
+	cat := trance.NewCatalog()
+	if err := cat.Register("D", dt, uniform); err != nil {
+		t.Fatal(err)
+	}
+	sq, err := cat.NewSession(trance.SessionOptions{}).Prepare(mkQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := func() trance.Strategy {
+		t.Helper()
+		res, err := sq.Run(context.Background(), trance.Auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Strategy
+	}
+	if got := route(); got != trance.Standard {
+		t.Fatalf("uniform data routed to %s, want STANDARD", got)
+	}
+	st1, _ := cat.Stats("D")
+
+	// A hot key carrying ~70% of a 3000-row tail pushes the heavy fraction
+	// over the skew threshold.
+	tail := make(trance.Bag, 3000)
+	for i := range tail {
+		k := int64(1 + i%97)
+		if i%10 < 7 {
+			k = 0
+		}
+		tail[i] = trance.Tuple{k, int64(i)}
+	}
+	if _, err := cat.Append("D", tail); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := cat.Stats("D")
+	if st2.Rows != 5000 || st2.Generation <= st1.Generation || st2.MaxHeavyFraction() < 0.15 {
+		t.Fatalf("append did not recollect statistics: %+v -> %+v", st1, st2)
+	}
+	if got := route(); got != trance.StandardSkew {
+		t.Fatalf("appended skew routed to %s, want STANDARD-SKEW (stale statistics?)", got)
+	}
+}
+
+// TestCatalogAnalyzeAppendRace: Analyze recollections racing with mutations
+// must never install statistics for a superseded generation — the mutation's
+// own recollection is authoritative. Run with -race.
+func TestCatalogAnalyzeAppendRace(t *testing.T) {
+	cat := trance.NewCatalog()
+	if err := cat.Register("D", mutType(), mutBag(50)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if w%2 == 0 {
+					if _, err := cat.Append("D", trance.Bag{mutRow(int64(1000*w + i))}); err != nil {
+						t.Errorf("append: %v", err)
+						return
+					}
+				} else if _, err := cat.Analyze("D", trance.StatsOptions{}); err != nil {
+					t.Errorf("analyze: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	info, _ := cat.Info("D")
+	st, _ := cat.Stats("D")
+	if info.Rows != 100 || st.Rows != 100 {
+		t.Fatalf("final statistics stale: info %d rows, stats %d rows (want 100)", info.Rows, st.Rows)
+	}
+	idx, _ := cat.Indexes("D")
+	for _, ii := range idx {
+		if ii.Rows != 100 {
+			t.Fatalf("index %s rows %d, want 100", ii.Column, ii.Rows)
+		}
+	}
+}

@@ -224,9 +224,11 @@ func TestCatalogJSONEndToEnd(t *testing.T) {
 	}
 }
 
-// Sessions snapshot data at Prepare time: dropping and re-registering a
-// dataset does not change what an existing prepared query serves.
-func TestSessionSnapshotSurvivesDrop(t *testing.T) {
+// Session queries are generation-aware: while a referenced dataset is
+// dropped they keep serving their last snapshot, and once a dataset is
+// (re-)registered under the name the next Run re-resolves to it — never
+// serving stale rows after a catalog mutation.
+func TestSessionFollowsCatalogGenerations(t *testing.T) {
 	cat := trance.NewCatalog()
 	if err := cat.Register("R", prepEnv()["R"], prepInputs(0)["R"]); err != nil {
 		t.Fatal(err)
@@ -239,7 +241,18 @@ func TestSessionSnapshotSurvivesDrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// Dropped with no replacement: the query keeps serving its snapshot.
 	cat.Drop("R")
+	during, err := sq.Run(context.Background(), trance.Standard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trance.ValuesEqual(collectBag(before), collectBag(during)) {
+		t.Fatal("query over a dropped dataset must keep serving its snapshot")
+	}
+
+	// Re-registered under the same name: the next Run serves the new data.
 	if err := cat.Register("R", prepEnv()["R"], trance.Bag{}); err != nil {
 		t.Fatal(err)
 	}
@@ -247,8 +260,8 @@ func TestSessionSnapshotSurvivesDrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !trance.ValuesEqual(collectBag(before), collectBag(after)) {
-		t.Fatal("prepared query must keep serving its snapshot")
+	if got := len(collectBag(after)); got != 0 {
+		t.Fatalf("re-registered empty dataset served %d rows; session must re-resolve generations", got)
 	}
 }
 

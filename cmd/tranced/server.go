@@ -217,10 +217,13 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /query", s.handleQuery)
 	s.mux.HandleFunc("POST /query", s.handleTextQuery)
 	s.mux.HandleFunc("GET /explain", s.handleExplain)
+	s.mux.HandleFunc("POST /explain", s.handleTextExplain)
 	s.mux.HandleFunc("GET /strategies", s.handleStrategies)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /datasets", s.handleDatasetsList)
 	s.mux.HandleFunc("POST /datasets", s.handleDatasetUpload)
+	s.mux.HandleFunc("GET /datasets/{rest...}", s.handleDatasetGet)
+	s.mux.HandleFunc("POST /datasets/{rest...}", s.handleDatasetMutate)
 	s.mux.HandleFunc("GET /stats", s.handleDatasetStats)
 	return s, nil
 }
@@ -269,8 +272,11 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"endpoints": []string{
 			"/query?name=&level=&strategy=&limit=",
 			"/query (POST textual NRC query body, ?strategy=&limit= — see docs/QUERYLANG.md)",
-			"/explain?name=&level=&strategy= (plans before/after the rule-based optimizer)",
+			"/explain?name=&level=&strategy= (plans before/after the rule-based optimizer; POST a textual query body)",
 			"/datasets (GET list, POST ?name= upload NDJSON/JSON)",
+			"/datasets/{name}/indexes (GET list, POST ?column=&kind= build — docs/INDEXES.md)",
+			"/datasets/{name}/append (POST NDJSON/JSON rows)",
+			"/datasets/{name}/delete (POST ?column=&value=)",
 			"/stats?name= (dataset statistics: NDV, min/max, heavy keys)",
 			"/strategies", "/metrics", "/healthz",
 		},
@@ -416,6 +422,141 @@ func (s *server) handleDatasetUpload(w http.ResponseWriter, r *http.Request) {
 		"bytes": info.Bytes,
 		"query": fmt.Sprintf("/query?name=%s", qname),
 	})
+}
+
+// splitDatasetAction splits a /datasets/{rest...} path into the catalog
+// dataset it addresses and the trailing action segment ("indexes", "append",
+// "delete"). The dataset part resolves verbatim first (preloads like
+// tpch/customer keep their namespaced names), then under the datasets/ prefix
+// uploads live under.
+func (s *server) splitDatasetAction(rest string) (name, action string, ok bool) {
+	i := strings.LastIndex(rest, "/")
+	if i <= 0 {
+		return "", "", false
+	}
+	raw, action := rest[:i], rest[i+1:]
+	if _, found := s.catalog.Info(raw); found {
+		return raw, action, true
+	}
+	if _, found := s.catalog.Info("datasets/" + raw); found {
+		return "datasets/" + raw, action, true
+	}
+	return "", "", false
+}
+
+// indexInfoJSON renders one catalog IndexInfo for the HTTP API.
+func indexInfoJSON(ii trance.IndexInfo) map[string]any {
+	return map[string]any{
+		"dataset":    ii.Dataset,
+		"column":     ii.Column,
+		"kind":       ii.Kind,
+		"keys":       ii.Keys,
+		"nulls":      ii.Nulls,
+		"rows":       ii.Rows,
+		"generation": ii.Generation,
+		"auto":       ii.Auto,
+	}
+}
+
+// handleDatasetGet serves GET /datasets/{name}/indexes: the dataset's
+// secondary indexes (auto-built and explicit), in column order.
+func (s *server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	rest := r.PathValue("rest")
+	name, action, ok := s.splitDatasetAction(rest)
+	if !ok || action != "indexes" {
+		httpError(w, http.StatusNotFound, "no such endpoint /datasets/%s (GET supports /datasets/{name}/indexes)", rest)
+		return
+	}
+	infos, _ := s.catalog.Indexes(name)
+	out := make([]map[string]any, 0, len(infos))
+	for _, ii := range infos {
+		out = append(out, indexInfoJSON(ii))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dataset": name, "indexes": out})
+}
+
+// handleDatasetMutate serves the catalog mutation endpoints:
+//
+//	POST /datasets/{name}/indexes?column=&kind=   build a secondary index
+//	POST /datasets/{name}/append                  append NDJSON/JSON rows
+//	POST /datasets/{name}/delete?column=&value=   delete rows by key
+//
+// Every mutation bumps the dataset's generation: prepared routes over it
+// re-resolve on their next request, so an append is immediately visible and
+// a new index is immediately planned with (see docs/INDEXES.md).
+func (s *server) handleDatasetMutate(w http.ResponseWriter, r *http.Request) {
+	rest := r.PathValue("rest")
+	name, action, ok := s.splitDatasetAction(rest)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown dataset in /datasets/%s (see /datasets)", rest)
+		return
+	}
+	switch action {
+	case "indexes":
+		column := r.URL.Query().Get("column")
+		if column == "" {
+			httpError(w, http.StatusBadRequest, "missing ?column= (a top-level scalar column; see /stats?name=%s)", name)
+			return
+		}
+		ii, err := s.catalog.CreateIndex(name, column, r.URL.Query().Get("kind"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "create index: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, indexInfoJSON(ii))
+	case "append":
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes))
+		if err != nil {
+			status := http.StatusBadRequest
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			httpError(w, status, "read append %s: %v", name, err)
+			return
+		}
+		// Appends grow resident data; admit them under the same footprint
+		// bound as uploads so an append loop cannot outgrow the server.
+		s.upMu.Lock()
+		defer s.upMu.Unlock()
+		if count, bytes := s.uploadedFootprint(); bytes >= s.cfg.MaxDatasetBytes {
+			httpError(w, http.StatusInsufficientStorage,
+				"upload limit reached (%d datasets, %d bytes resident; bound %d)",
+				count, bytes, s.cfg.MaxDatasetBytes)
+			return
+		}
+		info, n, err := s.catalog.AppendJSON(name, bytes.NewReader(body))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "append %s: %v", name, err)
+			return
+		}
+		st, _ := s.catalog.Stats(name)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"name": name, "appended": n, "rows": info.Rows, "bytes": info.Bytes,
+			"generation": st.Generation,
+		})
+	case "delete":
+		q := r.URL.Query()
+		column, val := q.Get("column"), q.Get("value")
+		if column == "" || val == "" {
+			httpError(w, http.StatusBadRequest, "missing ?column= and ?value= (value is a JSON scalar; bare text for string/date columns)")
+			return
+		}
+		removed, err := s.catalog.DeleteJSON(name, column, val)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "delete %s: %v", name, err)
+			return
+		}
+		info, _ := s.catalog.Info(name)
+		st, _ := s.catalog.Stats(name)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"name": name, "removed": removed, "rows": info.Rows,
+			"generation": st.Generation,
+		})
+	default:
+		httpError(w, http.StatusNotFound,
+			"unknown action %q (POST supports /datasets/{name}/indexes, /append, /delete)", action)
+	}
 }
 
 // handleDatasetStats reports one dataset's collected statistics — the
@@ -742,6 +883,47 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleTextExplain renders the compiled plans of an ad-hoc textual query
+// (the POST /query body format, same ?strategy= parameter) without running
+// it — the serving-side way to check whether a pushed-down predicate planned
+// as an index scan (the `[index=…]` operator annotation, docs/INDEXES.md).
+func (s *server) handleTextExplain(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTextQueryBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read query text: %v", err)
+		return
+	}
+	src := strings.TrimSpace(string(body))
+	if src == "" {
+		httpError(w, http.StatusBadRequest, "empty query text (POST the query as the request body)")
+		return
+	}
+	stratName := r.URL.Query().Get("strategy")
+	if stratName == "" {
+		stratName = "standard"
+	}
+	strat, ok := trance.ParseStrategy(stratName)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown strategy %q (see /strategies)", stratName)
+		return
+	}
+	sq, err := s.textQuery(src)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	text, err := sq.Prepared().Explain(strat)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "explain (%s): %v", stratName, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":    "adhoc",
+		"strategy": strat.String(),
+		"explain":  text,
+	})
+}
+
 // record folds one run's outcome and engine metrics into the route's stats.
 func (s *server) record(name string, level int, strat string, res *trance.Result, failed bool) {
 	key := fmt.Sprintf("%s/L%d/%s", name, level, strat)
@@ -806,6 +988,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cache := trance.PlanCacheStats()
 	opt := trance.OptimizerCounters()
 	vec := trance.VectorizeCounters()
+	idx := trance.IndexCounters()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s": time.Since(s.started).Seconds(),
 		"requests": s.requests.Load(),
@@ -830,6 +1013,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"vectorize": map[string]any{
 			"ops_vectorized": vec.OpsVectorized,
 			"ops_fallback":   vec.OpsFallback,
+		},
+		"index": map[string]any{
+			"built":           idx.Built,
+			"refused":         idx.Refused,
+			"maintained":      idx.Maintained,
+			"rebuilt":         idx.Rebuilt,
+			"planned_scans":   idx.PlannedScans,
+			"scans":           idx.Scans,
+			"fallbacks":       idx.Fallbacks,
+			"rows_matched":    idx.RowsMatched,
+			"refusal_reasons": trance.IndexRefusalReasons(),
 		},
 		"routes": routes,
 	})

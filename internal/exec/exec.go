@@ -18,6 +18,7 @@ import (
 
 	"github.com/trance-go/trance/internal/core"
 	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/index"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/value"
@@ -27,6 +28,10 @@ import (
 type Executor struct {
 	Ctx    *dataflow.Context
 	Inputs map[string]*dataflow.Dataset
+	// Indexes holds the secondary-index sets of bound inputs, keyed like
+	// Inputs. IndexScan nodes resolve their spans here; a missing or
+	// incompatible entry degrades to a full scan plus the span predicate.
+	Indexes map[string]*index.Set
 	// SkewAware enables the skew-resilient operator implementations of
 	// paper Section 5 for joins and BagToDict.
 	SkewAware bool
@@ -35,12 +40,15 @@ type Executor struct {
 	// Results are bit-identical to the row interpreter either way.
 	Vectorize bool
 
+	// raw retains the row slices of BindRows inputs: index positions address
+	// rows by offset, so IndexScan gathers from the original slice.
+	raw   map[string][]dataflow.Row
 	stage int
 }
 
 // New creates an executor over the given context.
 func New(ctx *dataflow.Context) *Executor {
-	return &Executor{Ctx: ctx, Inputs: map[string]*dataflow.Dataset{}}
+	return &Executor{Ctx: ctx, Inputs: map[string]*dataflow.Dataset{}, raw: map[string][]dataflow.Row{}}
 }
 
 // Bind registers a named input dataset. The dataset is forced first: a named
@@ -51,6 +59,7 @@ func (ex *Executor) Bind(name string, d *dataflow.Dataset) { ex.Inputs[name] = d
 // BindRows registers a named input from raw rows.
 func (ex *Executor) BindRows(name string, rows []dataflow.Row) {
 	ex.Inputs[name] = ex.Ctx.FromRows(rows)
+	ex.raw[name] = rows
 }
 
 func (ex *Executor) nextStage(kind string) string {
@@ -110,6 +119,9 @@ func (ex *Executor) run(op plan.Op) (*dataflow.Dataset, error) {
 		rows := make([]dataflow.Row, len(x.Rows))
 		copy(rows, x.Rows)
 		return ex.Ctx.FromRows(rows), nil
+
+	case *plan.IndexScan:
+		return ex.runIndexScan(x)
 
 	case *plan.Select:
 		in, err := ex.run(x.In)
@@ -198,6 +210,32 @@ func (ex *Executor) run(op plan.Op) (*dataflow.Dataset, error) {
 		return in.RepartitionBy(ex.nextStage("bagToDict"), []int{x.LabelCol})
 	}
 	return nil, fmt.Errorf("exec: unknown operator %T", op)
+}
+
+// runIndexScan resolves an IndexScan's spans against the input's bound
+// secondary index and gathers the matching rows by position. Without a usable
+// index (none bound, wrong structure, or a row count mismatching the bound
+// slice) it degrades to the full scan plus the node's Fallback predicate —
+// the exact filter the spans were derived from — so plans carrying IndexScan
+// nodes are runnable against any binding.
+func (ex *Executor) runIndexScan(x *plan.IndexScan) (*dataflow.Dataset, error) {
+	d, ok := ex.Inputs[x.Input]
+	if !ok {
+		return nil, fmt.Errorf("exec: unbound input %q", x.Input)
+	}
+	rows, haveRaw := ex.raw[x.Input]
+	if ci := ex.Indexes[x.Input].Column(x.Col); ci != nil && haveRaw &&
+		ci.Len() == len(rows) && ci.CanServe(x.Spans) {
+		matched := ci.Lookup(x.Spans)
+		out := make([]dataflow.Row, len(matched))
+		for i, p := range matched {
+			out[i] = rows[p]
+		}
+		index.RecordScan(int64(len(out)))
+		return ex.Ctx.FromRows(out), nil
+	}
+	index.RecordFallback()
+	return ex.applySelect(d, &plan.Select{Pred: x.Fallback}), nil
 }
 
 // join dispatches between shuffle and broadcast joins; like Spark, inputs

@@ -54,7 +54,7 @@ func (ex *Executor) keysFor(t triple, cols []int) (triple, map[string]bool) {
 // paper Figure 6.
 func (ex *Executor) runSkew(op plan.Op) (triple, error) {
 	switch x := op.(type) {
-	case *plan.Scan, *plan.Values:
+	case *plan.Scan, *plan.Values, *plan.IndexScan:
 		d, err := ex.run(op)
 		if err != nil {
 			return triple{}, err

@@ -1,0 +1,165 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters are the process-wide index subsystem counters, served by
+// trance.IndexCounters and the tranced /metrics index block.
+type Counters struct {
+	// Built counts successful index builds (registration-time auto-builds and
+	// explicit CreateIndex calls alike).
+	Built int64
+	// Refused counts refused builds (non-scalar keys, mixed-type columns,
+	// range-over-bool); RefusalReasons breaks them down.
+	Refused int64
+	// Maintained counts incremental Extend merges performed by Append.
+	Maintained int64
+	// Rebuilt counts full rebuilds performed by Delete.
+	Rebuilt int64
+	// PlannedScans counts Select→IndexScan conversions made by the planner.
+	PlannedScans int64
+	// Scans counts IndexScan nodes executed against a bound index.
+	Scans int64
+	// Fallbacks counts IndexScan nodes executed without a usable bound index
+	// (degraded to a full scan plus the span predicate).
+	Fallbacks int64
+	// RowsMatched totals the rows gathered by executed index scans.
+	RowsMatched int64
+}
+
+var global struct {
+	built, refused, maintained, rebuilt atomic.Int64
+	planned, scans, fallbacks, matched  atomic.Int64
+}
+
+var refusals struct {
+	mu      sync.Mutex
+	reasons map[string]int64
+}
+
+// Global returns the process-wide counters.
+func Global() Counters {
+	return Counters{
+		Built:        global.built.Load(),
+		Refused:      global.refused.Load(),
+		Maintained:   global.maintained.Load(),
+		Rebuilt:      global.rebuilt.Load(),
+		PlannedScans: global.planned.Load(),
+		Scans:        global.scans.Load(),
+		Fallbacks:    global.fallbacks.Load(),
+		RowsMatched:  global.matched.Load(),
+	}
+}
+
+// RefusalReasons returns a copy of the per-reason refusal counts.
+func RefusalReasons() map[string]int64 {
+	refusals.mu.Lock()
+	defer refusals.mu.Unlock()
+	out := make(map[string]int64, len(refusals.reasons))
+	for k, v := range refusals.reasons {
+		out[k] = v
+	}
+	return out
+}
+
+// refuse counts a build refusal under its reason and returns the error.
+func refuse(col, reason string) error {
+	global.refused.Add(1)
+	refusals.mu.Lock()
+	if refusals.reasons == nil {
+		refusals.reasons = map[string]int64{}
+	}
+	refusals.reasons[reason]++
+	refusals.mu.Unlock()
+	return fmt.Errorf("index: cannot index column %s: %s", col, reason)
+}
+
+func recordBuild()    { global.built.Add(1) }
+func recordMaintain() { global.maintained.Add(1) }
+
+// RecordRebuild counts a delete-triggered full rebuild.
+func RecordRebuild() { global.rebuilt.Add(1) }
+
+// RecordPlanned counts a Select→IndexScan conversion at plan time.
+func RecordPlanned() { global.planned.Add(1) }
+
+// RecordScan counts one executed index scan gathering matched rows.
+func RecordScan(matched int64) {
+	global.scans.Add(1)
+	global.matched.Add(matched)
+}
+
+// RecordFallback counts an IndexScan executed without a usable bound index.
+func RecordFallback() { global.fallbacks.Add(1) }
+
+// Set is a concurrency-safe collection of column indexes for one dataset (or
+// one bound input). Column indexes are immutable; the set itself may gain
+// columns after creation.
+type Set struct {
+	mu   sync.RWMutex
+	cols map[string]*ColumnIndex
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{cols: map[string]*ColumnIndex{}} }
+
+// Put installs (or replaces) the index for its column.
+func (s *Set) Put(ci *ColumnIndex) {
+	s.mu.Lock()
+	s.cols[ci.Col] = ci
+	s.mu.Unlock()
+}
+
+// Column returns the index for the named column, or nil.
+func (s *Set) Column(name string) *ColumnIndex {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cols[name]
+}
+
+// Names returns the indexed column names, sorted.
+func (s *Set) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.cols))
+	for n := range s.cols {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of indexed columns.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.cols)
+}
+
+// Clone returns a set sharing the (immutable) column indexes, so a catalog
+// mutation can derive a successor set without touching snapshots.
+func (s *Set) Clone() *Set {
+	out := NewSet()
+	if s == nil {
+		return out
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for n, ci := range s.cols {
+		out.cols[n] = ci
+	}
+	return out
+}

@@ -85,6 +85,47 @@ func FromDecoded(rows []any) (*Dataset, error) {
 	return &Dataset{Type: nrc.BagType{Elem: t}, Bag: bag}, nil
 }
 
+// ReadJSONAs ingests rows from r exactly like ReadJSON but converts them
+// against a known element type instead of inferring one — the shape an append
+// against an existing dataset needs: the tail must conform to the registered
+// schema, not re-negotiate it (ints still read into real columns, nulls into
+// anything).
+func ReadJSONAs(r io.Reader, elem nrc.Type) (value.Bag, error) {
+	rows, err := decodeRows(r)
+	if err != nil {
+		return nil, err
+	}
+	bag := make(value.Bag, len(rows))
+	for i, row := range rows {
+		v, err := convert(row, elem)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: row %d: %w", i+1, err)
+		}
+		bag[i] = v
+	}
+	return bag, nil
+}
+
+// ScalarFromJSON parses one JSON scalar literal (5, 4.2, "x", true,
+// "2024-01-31") against a column type. Input that is not valid JSON is
+// retried as a bare string when the target is string- or date-typed, so
+// ?value=ACME works without quoting.
+func ScalarFromJSON(src string, t nrc.ScalarType) (value.Value, error) {
+	dec := json.NewDecoder(strings.NewReader(src))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		if t.Kind == nrc.String || t.Kind == nrc.DateK {
+			return convertScalar(src, t)
+		}
+		return nil, fmt.Errorf("ingest: %q is not a JSON scalar: %w", src, err)
+	}
+	if v == nil {
+		return nil, nil
+	}
+	return convertScalar(v, t)
+}
+
 const rootPath = "$"
 
 // decodeRows streams JSON values out of r. A leading '[' means one array of

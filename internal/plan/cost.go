@@ -14,6 +14,7 @@ package plan
 import (
 	"math"
 
+	"github.com/trance-go/trance/internal/index"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/value"
 )
@@ -28,6 +29,10 @@ type ColEstimate struct {
 	// HeavyFraction is the fraction of rows carried by heavy keys (keys whose
 	// per-partition sample frequency exceeds the skew detector's threshold).
 	HeavyFraction float64
+	// IndexHash and IndexOrdered report which secondary-index structures exist
+	// for the column on the bound input, enabling Select→IndexScan conversion.
+	IndexHash    bool
+	IndexOrdered bool
 }
 
 // TableEstimate summarizes one input for the cost model.
@@ -130,17 +135,34 @@ const defaultFanout = 4
 // is not mutated; shared subtrees are rebuilt. tables maps Scan input names to
 // their statistics — inputs without statistics propagate "unknown" upward.
 func Annotate(op Op, tables map[string]TableEstimate, broadcastLimit int64) Op {
-	if len(tables) == 0 {
-		return op
-	}
-	a := &annotator{tables: tables, limit: broadcastLimit}
-	out, _ := a.walk(op)
+	out, _ := AnnotateOpts(op, tables, AnnotateOptions{BroadcastLimit: broadcastLimit})
 	return out
 }
 
+// AnnotateOptions configures AnnotateOpts.
+type AnnotateOptions struct {
+	// BroadcastLimit is the byte budget under which a join side is broadcast.
+	BroadcastLimit int64
+	// NoIndexScan disables Select→IndexScan conversion (the index ablation).
+	NoIndexScan bool
+}
+
+// AnnotateOpts is Annotate with options, additionally returning the planner's
+// index decisions for this plan.
+func AnnotateOpts(op Op, tables map[string]TableEstimate, opts AnnotateOptions) (Op, IndexStats) {
+	if len(tables) == 0 {
+		return op, IndexStats{}
+	}
+	a := &annotator{tables: tables, limit: opts.BroadcastLimit, noIndex: opts.NoIndexScan}
+	out, _ := a.walk(op)
+	return out, a.idx
+}
+
 type annotator struct {
-	tables map[string]TableEstimate
-	limit  int64
+	tables  map[string]TableEstimate
+	limit   int64
+	noIndex bool
+	idx     IndexStats
 }
 
 func (a *annotator) walk(op Op) (Op, nodeEst) {
@@ -161,6 +183,11 @@ func (a *annotator) walk(op Op) (Op, nodeEst) {
 
 	case *Select:
 		in, e := a.walk(x.In)
+		if scan, isScan := in.(*Scan); isScan && x.NullifyCols == nil && e.known() && !a.noIndex {
+			if op, est, ok := a.tryIndexScan(scan, x.Pred, e); ok {
+				return op, est
+			}
+		}
 		out := &Select{In: in, Pred: x.Pred, NullifyCols: x.NullifyCols}
 		if !e.known() {
 			return out, unknownEst(len(out.Columns()))
@@ -320,6 +347,180 @@ func (a *annotator) join(x *Join) (Op, nodeEst) {
 	}
 	out.Cost = cost
 	return out, est
+}
+
+// indexScanMaxSelectivity is the conversion threshold: a Select over a Scan
+// becomes an IndexScan only when the consumed conjuncts are estimated to keep
+// at most this fraction of the input — above it, the gather (random access +
+// output materialization) is not expected to beat the fused full scan.
+const indexScanMaxSelectivity = 0.5
+
+// tryIndexScan converts a pushed-down Select directly above a Scan into an
+// IndexScan when some `col op const` conjuncts restrict an indexed column
+// selectively enough. Consumed conjuncts become Spans (their conjunction is
+// kept as the node's runtime Fallback); the remaining conjuncts stay in a σ
+// above the new node.
+func (a *annotator) tryIndexScan(scan *Scan, pred Expr, e nodeEst) (Op, nodeEst, bool) {
+	te, ok := a.tables[scan.Input]
+	if !ok {
+		return nil, nodeEst{}, false
+	}
+	type cand struct {
+		conj  Expr
+		op    nrc.CmpOp
+		konst *ConstE
+	}
+	conjs := splitConjExpr(pred)
+	byCol := map[int][]cand{}
+	colName := map[int]string{}
+	for _, c := range conjs {
+		cmp, isCmp := c.(*CmpE)
+		if !isCmp {
+			continue
+		}
+		col, konst, op := normalizeCmp(cmp)
+		if col == nil || konst.Val == nil {
+			// NULL constants compare to false everywhere; leave the conjunct
+			// residual (it will drop every row by itself).
+			continue
+		}
+		if col.Idx < 0 || col.Idx >= len(scan.Cols) {
+			continue
+		}
+		// The predicate's Col carries a display name scoped to the query
+		// (e.g. "r.id"); the scan's own column at the same position carries
+		// the statistics key.
+		ce := te.Cols[scan.Cols[col.Idx].Name]
+		switch op {
+		case nrc.Eq:
+			if !ce.IndexHash && !ce.IndexOrdered {
+				continue
+			}
+		case nrc.Lt, nrc.Le, nrc.Gt, nrc.Ge:
+			if !ce.IndexOrdered {
+				continue
+			}
+		default:
+			continue
+		}
+		byCol[col.Idx] = append(byCol[col.Idx], cand{c, op, konst})
+		colName[col.Idx] = scan.Cols[col.Idx].Name
+	}
+	if len(byCol) == 0 {
+		return nil, nodeEst{}, false
+	}
+
+	// Pick the column whose candidate conjuncts are most selective
+	// (tie-broken by position for determinism).
+	best, bestSel := -1, 2.0
+	for idx, cs := range byCol {
+		sel := 1.0
+		for _, c := range cs {
+			sel *= Selectivity(c.conj, e.cols)
+		}
+		if sel < bestSel || (sel == bestSel && idx < best) {
+			best, bestSel = idx, sel
+		}
+	}
+
+	// Intersect the chosen column's conjuncts into one span.
+	var span index.Span
+	tightenLo := func(v value.Value, inc bool) {
+		if span.Lo == nil {
+			span.Lo, span.LoInc = v, inc
+			return
+		}
+		if c := value.Compare(v, span.Lo); c > 0 {
+			span.Lo, span.LoInc = v, inc
+		} else if c == 0 {
+			span.LoInc = span.LoInc && inc
+		}
+	}
+	tightenHi := func(v value.Value, inc bool) {
+		if span.Hi == nil {
+			span.Hi, span.HiInc = v, inc
+			return
+		}
+		if c := value.Compare(v, span.Hi); c < 0 {
+			span.Hi, span.HiInc = v, inc
+		} else if c == 0 {
+			span.HiInc = span.HiInc && inc
+		}
+	}
+	consumed := make([]Expr, 0, len(byCol[best]))
+	for _, c := range byCol[best] {
+		consumed = append(consumed, c.conj)
+		switch c.op {
+		case nrc.Eq:
+			tightenLo(c.konst.Val, true)
+			tightenHi(c.konst.Val, true)
+		case nrc.Lt:
+			tightenHi(c.konst.Val, false)
+		case nrc.Le:
+			tightenHi(c.konst.Val, true)
+		case nrc.Gt:
+			tightenLo(c.konst.Val, false)
+		case nrc.Ge:
+			tightenLo(c.konst.Val, true)
+		}
+	}
+	empty := span.Empty()
+	if !empty && bestSel > indexScanMaxSelectivity {
+		return nil, nodeEst{}, false
+	}
+	if empty {
+		bestSel = 0
+	}
+
+	ce := te.Cols[colName[best]]
+	var spans []index.Span
+	if !empty {
+		spans = []index.Span{span}
+	}
+	kind := index.Ordered
+	if (empty || span.IsPoint()) && ce.IndexHash {
+		kind = index.Hash
+	}
+	node := &IndexScan{
+		Input: scan.Input, Cols: scan.Cols,
+		Col: colName[best], ColIdx: best,
+		Kind: kind, Spans: spans,
+		Fallback: conjoin(consumed),
+		EstRows:  int64(e.rows * bestSel),
+	}
+	a.idx.Planned++
+	index.RecordPlanned()
+
+	est := nodeEst{rows: e.rows * bestSel, bytes: e.bytes * bestSel, cols: e.cols}
+	var residual []Expr
+	for _, c := range conjs {
+		used := false
+		for _, u := range consumed {
+			if c == u {
+				used = true
+				break
+			}
+		}
+		if !used {
+			residual = append(residual, c)
+		}
+	}
+	if len(residual) == 0 {
+		return node, est, true
+	}
+	rp := conjoin(residual)
+	rsel := Selectivity(rp, e.cols)
+	return &Select{In: node, Pred: rp},
+		nodeEst{rows: est.rows * rsel, bytes: est.bytes * rsel, cols: e.cols}, true
+}
+
+// conjoin folds conjuncts back into one predicate.
+func conjoin(preds []Expr) Expr {
+	pred := preds[0]
+	for _, p := range preds[1:] {
+		pred = &BoolE{And: true, L: pred, R: p}
+	}
+	return pred
 }
 
 // Selectivity estimates the fraction of rows a predicate keeps, given

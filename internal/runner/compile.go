@@ -9,6 +9,7 @@ import (
 	"github.com/trance-go/trance/internal/core"
 	"github.com/trance-go/trance/internal/dataflow"
 	"github.com/trance-go/trance/internal/exec"
+	"github.com/trance-go/trance/internal/index"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/shred"
@@ -55,6 +56,9 @@ type Compiled struct {
 	// Vec accumulates the vectorizer's verdicts over every plan of this
 	// compilation (zero when Config.NoVectorize skipped annotation).
 	Vec plan.VecStats
+	// Idx accumulates the planner's Select→IndexScan conversions over every
+	// plan of this compilation (zero when Config.NoIndexScan ablated them).
+	Idx plan.IndexStats
 }
 
 // recoverTo converts a panic into an error carrying the stack, so malformed
@@ -138,7 +142,12 @@ func (cq *Compiled) annotate(op plan.Op) plan.Op {
 	if cq.Cfg.NoCostModel || len(cq.Cfg.Stats) == 0 {
 		return op
 	}
-	return plan.Annotate(op, cq.Cfg.Stats, cq.Cfg.BroadcastLimit)
+	out, ist := plan.AnnotateOpts(op, cq.Cfg.Stats, plan.AnnotateOptions{
+		BroadcastLimit: cq.Cfg.BroadcastLimit,
+		NoIndexScan:    cq.Cfg.NoIndexScan,
+	})
+	cq.Idx.Add(ist)
+	return out
 }
 
 func (cq *Compiled) compileStandard(q nrc.Expr) error {
@@ -310,13 +319,114 @@ func (cq *Compiled) Execute(ctx context.Context, inputs map[string]value.Bag, dc
 	if err != nil {
 		return &Result{Strategy: cq.Strategy, Mat: cq.Mat, Err: err, Metrics: dctx.Metrics.Snapshot()}
 	}
-	return cq.ExecuteRows(ctx, rows, dctx)
+	return cq.ExecuteRowsIndexed(ctx, rows, cq.BuildIndexes(inputs), dctx)
+}
+
+// BuildIndexes constructs secondary-index sets for every input column the
+// compile-time statistics flag as indexed, keyed for this compilation's route
+// (see MapIndexes). It returns nil when no plan of this compilation carries
+// an IndexScan, so callers without index scans pay nothing. Serving callers
+// reuse the catalog's persistent indexes instead (see trance.Session);
+// IndexScan degrades to a full scan plus its span predicate when executed
+// without them, so passing nil is always sound.
+func (cq *Compiled) BuildIndexes(inputs map[string]value.Bag) map[string]*index.Set {
+	if cq.Idx.Planned == 0 {
+		return nil
+	}
+	var byDataset map[string]*index.Set
+	for name, b := range inputs {
+		te, ok := cq.Cfg.Stats[name]
+		if !ok {
+			continue
+		}
+		bt, isBag := cq.Env[name].(nrc.BagType)
+		if !isBag {
+			continue
+		}
+		var set *index.Set
+		for colName, ce := range te.Cols {
+			if !ce.IndexHash && !ce.IndexOrdered {
+				continue
+			}
+			off := colOffset(bt, colName)
+			if off < 0 {
+				continue
+			}
+			vals := make([]value.Value, len(b))
+			for i, e := range b {
+				if t, isT := e.(value.Tuple); isT {
+					vals[i] = t[off]
+				} else {
+					vals[i] = e
+				}
+			}
+			ci, err := index.Build(colName, ce.IndexHash, ce.IndexOrdered, vals)
+			if err != nil {
+				continue
+			}
+			if set == nil {
+				set = index.NewSet()
+			}
+			set.Put(ci)
+		}
+		if set != nil {
+			if byDataset == nil {
+				byDataset = map[string]*index.Set{}
+			}
+			byDataset[name] = set
+		}
+	}
+	return cq.MapIndexes(byDataset)
+}
+
+// colOffset finds a top-level scalar column's tuple offset ("_value" for
+// scalar-element bags).
+func colOffset(bt nrc.BagType, col string) int {
+	if tt, ok := bt.Elem.(nrc.TupleType); ok {
+		for i, f := range tt.Fields {
+			if f.Name == col {
+				return i
+			}
+		}
+		return -1
+	}
+	if col == "_value" {
+		return 0
+	}
+	return -1
+}
+
+// MapIndexes re-keys per-dataset index sets for this compilation's route:
+// dataset names on standard routes, shredded top-component names on shredded
+// routes. The mapping is sound because value shredding preserves top-level
+// row order and keeps scalar columns in place (bags become labels), so the
+// positions and keys of a dataset index address the top dictionary's rows
+// verbatim.
+func (cq *Compiled) MapIndexes(byDataset map[string]*index.Set) map[string]*index.Set {
+	if len(byDataset) == 0 {
+		return nil
+	}
+	if !cq.Strategy.IsShredded() {
+		return byDataset
+	}
+	out := make(map[string]*index.Set, len(byDataset))
+	for name, s := range byDataset {
+		out[shred.MatName(name, nil)] = s
+	}
+	return out
 }
 
 // ExecuteRows is Execute over pre-converted input rows (see InputRows).
 // Input preparation stays outside the timed region either way — the paper
 // reports runtime after caching all inputs.
 func (cq *Compiled) ExecuteRows(ctx context.Context, rows map[string][]dataflow.Row, dctx *dataflow.Context) *Result {
+	return cq.ExecuteRowsIndexed(ctx, rows, nil, dctx)
+}
+
+// ExecuteRowsIndexed is ExecuteRows with bound secondary indexes, keyed like
+// rows (see MapIndexes). IndexScan nodes resolve spans against them; inputs
+// without a usable entry fall back to full scans plus the span predicate.
+func (cq *Compiled) ExecuteRowsIndexed(ctx context.Context, rows map[string][]dataflow.Row, idxs map[string]*index.Set, dctx *dataflow.Context) *Result {
 	res := &Result{Strategy: cq.Strategy, Mat: cq.Mat}
 	func() {
 		var err error
@@ -329,6 +439,7 @@ func (cq *Compiled) ExecuteRows(ctx context.Context, rows map[string][]dataflow.
 		ex := exec.New(dctx)
 		ex.SkewAware = cq.Strategy.skewAware()
 		ex.Vectorize = !cq.Cfg.NoVectorize
+		ex.Indexes = idxs
 		for name, r := range rows {
 			ex.BindRows(name, r)
 		}

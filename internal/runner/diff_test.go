@@ -318,15 +318,59 @@ func (g *dgen) query() nrc.Expr {
 // on). vec toggles the columnar batch path independently, so every seed runs
 // both the vectorized kernels and the row-at-a-time interpreter they must be
 // bit-identical to.
-func diffConfig(full, vec bool, ests map[string]plan.TableEstimate, limit int64) runner.Config {
+func diffConfig(full, vec, noIdx bool, ests map[string]plan.TableEstimate, limit int64) runner.Config {
 	cfg := runner.DefaultConfig()
 	cfg.Parallelism = 3
 	cfg.NoPredicatePushdown = !full
 	cfg.NoCostModel = !full
 	cfg.NoVectorize = !vec
+	cfg.NoIndexScan = noIdx
 	cfg.Stats = ests
 	cfg.BroadcastLimit = limit
 	return cfg
+}
+
+// diffIndexCols are the scalar columns the generator may index: every
+// top-level scalar of R and S (inner-bag columns are not indexable).
+var diffIndexCols = []struct{ ds, col string }{
+	{"R", "a"}, {"R", "b"}, {"R", "c"}, {"S", "k"}, {"S", "name"},
+}
+
+// chooseIndexes draws the seed's index configuration: each top-level scalar
+// column independently gains a hash index, an ordered index, both, or none.
+// Returns the flag map to stamp into the collected statistics.
+func (g *dgen) chooseIndexes() map[string]map[string][2]bool {
+	out := map[string]map[string][2]bool{}
+	for _, ic := range diffIndexCols {
+		h, o := g.coin(), g.coin()
+		if !h && !o {
+			continue
+		}
+		if out[ic.ds] == nil {
+			out[ic.ds] = map[string][2]bool{}
+		}
+		out[ic.ds][ic.col] = [2]bool{h, o}
+	}
+	return out
+}
+
+// applyIndexes stamps the chosen index flags into the collected statistics —
+// the same shape a catalog session's resolve produces — and publishes the
+// shredded-route estimate aliases so IndexScan conversion happens on the
+// shredded top components too.
+func applyIndexes(ests map[string]plan.TableEstimate, chosen map[string]map[string][2]bool) {
+	for ds, cols := range chosen {
+		te, ok := ests[ds]
+		if !ok {
+			continue
+		}
+		for col, kinds := range cols {
+			ce := te.Cols[col]
+			ce.IndexHash, ce.IndexOrdered = kinds[0], kinds[1]
+			te.Cols[col] = ce
+		}
+		ests[shred.MatName(ds, nil)] = te
+	}
 }
 
 // collectDiffStats gathers per-input statistics the way a catalog session
@@ -390,18 +434,22 @@ var diffStrategies = append(runner.AllStrategies(), runner.Auto)
 // differential scale.
 var diffBroadcastLimits = []int64{0, 200, 64 << 10}
 
-// runDifferential executes one generated query under all thirty-two
-// strategy × {full, ablated} × {vectorized, row-only} settings and compares
-// each against the oracle. The query is regenerated from the same bytes for
-// every compilation (compilation annotates ASTs in place). Returns the number
-// of runs whose plans the optimizer changed and the number of vectorized runs
-// that actually executed at least one columnar batch, or an error describing
-// the first divergence.
-func runDifferential(data []byte, strict bool) (optimized, vectorized int, err error) {
+// runDifferential executes one generated query under the full
+// strategy × {full, ablated} × {vectorized, row-only} × {indexed,
+// NoIndexScan} matrix and compares each run against the oracle (the index
+// arm only splits full runs: ablated runs skip annotation and so never plan
+// index scans). The query is regenerated from the same bytes for every
+// compilation (compilation annotates ASTs in place). Returns the number of
+// runs whose plans the optimizer changed, the number of vectorized runs that
+// actually executed at least one columnar batch, and the number of runs that
+// planned at least one index scan, or an error describing the first
+// divergence.
+func runDifferential(data []byte, strict bool) (optimized, vectorized, indexed int, err error) {
 	env := diffEnv()
 	g := &dgen{data: data}
 	inputs := g.dataset()
 	limit := diffBroadcastLimits[g.n(len(diffBroadcastLimits))]
+	chosen := g.chooseIndexes()
 	queryAt := g.i
 	mkQuery := func() nrc.Expr {
 		qg := &dgen{data: data, i: queryAt}
@@ -411,48 +459,62 @@ func runDifferential(data []byte, strict bool) (optimized, vectorized int, err e
 
 	want, err := oracleEval(q, env, inputs)
 	if err != nil {
-		return 0, 0, fmt.Errorf("generated query fails Check (generator bug): %v\n%s", err, nrc.Print(q))
+		return 0, 0, 0, fmt.Errorf("generated query fails Check (generator bug): %v\n%s", err, nrc.Print(q))
 	}
 	ests := collectDiffStats(env, inputs)
+	applyIndexes(ests, chosen)
 
 	for _, strat := range diffStrategies {
 		for _, full := range []bool{true, false} {
+			noIdxArms := []bool{false}
+			if full {
+				noIdxArms = []bool{false, true}
+			}
 			for _, vec := range []bool{true, false} {
-				cfg := diffConfig(full, vec, ests, limit)
-				cq, cerr := runner.Compile(mkQuery(), env, strat, cfg)
-				if cerr != nil {
-					if strict {
-						return optimized, vectorized, fmt.Errorf("%s (full=%t, vec=%t) does not compile: %v\n%s",
-							strat, full, vec, cerr, nrc.Print(q))
+				for _, noIdx := range noIdxArms {
+					cfg := diffConfig(full, vec, noIdx, ests, limit)
+					cq, cerr := runner.Compile(mkQuery(), env, strat, cfg)
+					if cerr != nil {
+						if strict {
+							return optimized, vectorized, indexed, fmt.Errorf("%s (full=%t, vec=%t, noidx=%t) does not compile: %v\n%s",
+								strat, full, vec, noIdx, cerr, nrc.Print(q))
+						}
+						return optimized, vectorized, indexed, errSkip
 					}
-					return optimized, vectorized, errSkip
-				}
-				if full && vec && cq.Opt.Total() > 0 {
-					optimized++
-				}
-				res := cq.Execute(context.Background(), inputs, runner.NewRunContext(cfg, cq.Strategy))
-				if res.Failed() {
-					return optimized, vectorized, fmt.Errorf("%s (full=%t, vec=%t) failed: %v\n%s",
-						strat, full, vec, res.Err, nrc.Print(q))
-				}
-				if vec && res.Metrics.VectorizedBatches > 0 {
-					vectorized++
-				}
-				got, gerr := nestedOutput(cq, res)
-				if gerr != nil {
-					return optimized, vectorized, fmt.Errorf("%s (full=%t, vec=%t) unshred: %v\n%s",
-						strat, full, vec, gerr, nrc.Print(q))
-				}
-				if !value.Equal(got, want) {
-					return optimized, vectorized, fmt.Errorf(
-						"%s (full=%t, vec=%t, resolved %s, bcast=%d) diverges from the nrc.Eval oracle\nquery:\n%s\ninputs: %s\n got: %s\nwant: %s\nexplain:\n%s",
-						strat, full, vec, cq.Strategy, limit, nrc.Print(q), value.Format(value.Tuple{inputs["R"], inputs["S"]}),
-						value.Format(got), value.Format(want), cq.Explain())
+					if full && vec && !noIdx && cq.Opt.Total() > 0 {
+						optimized++
+					}
+					if cq.Idx.Planned > 0 {
+						if noIdx {
+							return optimized, vectorized, indexed, fmt.Errorf(
+								"%s planned %d index scans with NoIndexScan set\n%s", strat, cq.Idx.Planned, nrc.Print(q))
+						}
+						indexed++
+					}
+					res := cq.Execute(context.Background(), inputs, runner.NewRunContext(cfg, cq.Strategy))
+					if res.Failed() {
+						return optimized, vectorized, indexed, fmt.Errorf("%s (full=%t, vec=%t, noidx=%t) failed: %v\n%s",
+							strat, full, vec, noIdx, res.Err, nrc.Print(q))
+					}
+					if vec && res.Metrics.VectorizedBatches > 0 {
+						vectorized++
+					}
+					got, gerr := nestedOutput(cq, res)
+					if gerr != nil {
+						return optimized, vectorized, indexed, fmt.Errorf("%s (full=%t, vec=%t, noidx=%t) unshred: %v\n%s",
+							strat, full, vec, noIdx, gerr, nrc.Print(q))
+					}
+					if !value.Equal(got, want) {
+						return optimized, vectorized, indexed, fmt.Errorf(
+							"%s (full=%t, vec=%t, noidx=%t, resolved %s, bcast=%d, idx-planned=%d) diverges from the nrc.Eval oracle\nquery:\n%s\ninputs: %s\n got: %s\nwant: %s\nexplain:\n%s",
+							strat, full, vec, noIdx, cq.Strategy, limit, cq.Idx.Planned, nrc.Print(q), value.Format(value.Tuple{inputs["R"], inputs["S"]}),
+							value.Format(got), value.Format(want), cq.Explain())
+					}
 				}
 			}
 		}
 	}
-	return optimized, vectorized, nil
+	return optimized, vectorized, indexed, nil
 }
 
 // errSkip marks an uncompilable fuzz-generated query (tolerated only in the
@@ -471,18 +533,19 @@ func seedBytes(seed int) []byte {
 
 // TestDifferentialOracle is the headline soundness gate: 300 generated
 // queries × (7 strategies + AUTO) × {full, ablated} × {vectorized,
-// row-only}, every run compared against the reference evaluator. Runs under
-// -race in CI.
+// row-only} × {indexed, NoIndexScan}, every run compared against the
+// reference evaluator. Runs under -race in CI.
 func TestDifferentialOracle(t *testing.T) {
 	n := 300
 	if testing.Short() {
 		n = 60
 	}
-	optimized, vectorized := 0, 0
+	optimized, vectorized, indexed := 0, 0, 0
 	for seed := 0; seed < n; seed++ {
-		opt, vec, err := runDifferential(seedBytes(seed), true)
+		opt, vec, idx, err := runDifferential(seedBytes(seed), true)
 		optimized += opt
 		vectorized += vec
+		indexed += idx
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -497,7 +560,12 @@ func TestDifferentialOracle(t *testing.T) {
 	if vectorized < n/4 {
 		t.Fatalf("only %d/%d×16 vectorized runs executed a columnar batch — generator no longer exercises the vectorizer", vectorized, n)
 	}
-	t.Logf("%d queries × 32 runs agreed with the oracle; optimizer changed plans in %d runs; %d runs executed columnar batches", n, optimized, vectorized)
+	// And the index arm must actually plan index scans, not vacuously agree
+	// because no generated predicate ever hit an indexed column.
+	if indexed < n/4 {
+		t.Fatalf("only %d runs planned an index scan across %d seeds — generator no longer exercises index planning", indexed, n)
+	}
+	t.Logf("%d queries × 48 runs agreed with the oracle; optimizer changed plans in %d runs; %d runs executed columnar batches; %d runs planned index scans", n, optimized, vectorized, indexed)
 }
 
 // FuzzDifferential lets the fuzzer drive the generator byte stream directly.
@@ -510,7 +578,7 @@ func FuzzDifferential(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{255, 1, 254, 3, 252, 7, 248, 15, 240, 31, 224, 63, 192, 127, 128})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if _, _, err := runDifferential(data, false); err != nil {
+		if _, _, _, err := runDifferential(data, false); err != nil {
 			if err == errSkip {
 				t.Skip("generated query outside the compilable fragment")
 			}

@@ -33,6 +33,11 @@ func (cq *Compiled) Explain() string {
 	} else {
 		fmt.Fprintf(&sb, "vectorize: %s\n", cq.Vec.String())
 	}
+	if cq.Cfg.NoIndexScan {
+		sb.WriteString("index: disabled (NoIndexScan)\n")
+	} else if cq.Idx.Planned > 0 {
+		fmt.Fprintf(&sb, "index: %s\n", cq.Idx.String())
+	}
 	if cq.Plan != nil {
 		explainPair(&sb, "plan", cq.RawPlan, cq.Plan)
 	}

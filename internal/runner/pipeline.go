@@ -7,6 +7,7 @@ import (
 
 	"github.com/trance-go/trance/internal/dataflow"
 	"github.com/trance-go/trance/internal/exec"
+	"github.com/trance-go/trance/internal/index"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/shred"
 	"github.com/trance-go/trance/internal/value"
@@ -166,6 +167,13 @@ func (cp *CompiledPipeline) Execute(ctx context.Context, inputs map[string]value
 // Compiled.InputRows); serving paths evaluating a fixed dataset repeatedly
 // compute the conversion once and pass it here.
 func (cp *CompiledPipeline) ExecuteRows(ctx context.Context, rows map[string][]dataflow.Row, dctx *dataflow.Context) *PipelineResult {
+	return cp.ExecuteRowsIndexed(ctx, rows, nil, dctx)
+}
+
+// ExecuteRowsIndexed is ExecuteRows with bound secondary indexes, keyed like
+// rows for the pipeline's route (see Compiled.MapIndexes); IndexScan nodes of
+// any step resolve spans against them.
+func (cp *CompiledPipeline) ExecuteRowsIndexed(ctx context.Context, rows map[string][]dataflow.Row, idxs map[string]*index.Set, dctx *dataflow.Context) *PipelineResult {
 	res := &PipelineResult{Strategy: cp.Strategy, FailedStep: -1}
 	func() {
 		var err error
@@ -179,6 +187,7 @@ func (cp *CompiledPipeline) ExecuteRows(ctx context.Context, rows map[string][]d
 
 		ex := exec.New(dctx)
 		ex.SkewAware = cp.Strategy.skewAware()
+		ex.Indexes = idxs
 		for name, r := range rows {
 			ex.BindRows(name, r)
 		}

@@ -178,6 +178,11 @@ type Config struct {
 	// annotations (joins fall back to the runtime size heuristic) and Auto
 	// resolves to Standard.
 	NoCostModel bool
+	// NoIndexScan is the index subsystem's ablation knob: the planner keeps
+	// pushed-down predicates as full-scan selections even over indexed
+	// columns (see plan.AnnotateOpts, docs/INDEXES.md, and
+	// BenchmarkIndexScanAblation). Results are identical either way.
+	NoIndexScan bool
 	// AutoSkewFraction is the heavy-key row fraction at or above which Auto
 	// picks a skew-aware route; 0 means DefaultAutoSkewFraction.
 	AutoSkewFraction float64

@@ -109,6 +109,37 @@ func (t *Table) Column(name string) (Column, bool) {
 	return Column{}, false
 }
 
+// Auto-index thresholds: a column is worth a registration-time secondary
+// index when the dataset is big enough for index probes to beat a scan and
+// the column is selective enough for equality/range predicates to keep only a
+// small fraction of rows (see docs/INDEXES.md).
+const (
+	// MinIndexRows is the smallest dataset auto-indexing considers; below it a
+	// full scan is effectively free.
+	MinIndexRows = 128
+	// MinIndexNDV is the smallest distinct-value count auto-indexing
+	// considers; below it an equality predicate keeps too large a fraction of
+	// the rows for an index probe to pay off.
+	MinIndexNDV = 50
+)
+
+// SelectiveColumns lists the scalar columns the auto-index policy flags:
+// those of a dataset with at least MinIndexRows rows whose NDV estimate is at
+// least MinIndexNDV. Catalog registration builds secondary indexes for
+// exactly these (see trance.Catalog).
+func (t *Table) SelectiveColumns() []string {
+	if t.Rows < MinIndexRows {
+		return nil
+	}
+	var out []string
+	for _, c := range t.Columns {
+		if c.NDV >= MinIndexNDV {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
 // MaxHeavyFraction returns the largest per-column heavy-key fraction — the
 // table-level skew signal.
 func (t *Table) MaxHeavyFraction() float64 {

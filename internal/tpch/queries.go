@@ -221,6 +221,24 @@ func FlatSelective() nrc.Expr {
 			))))
 }
 
+// PointLookup is a serving-shaped point query: fetch one order's lineitems
+// by equality on l_orderkey. The generator emits LinesPerOrder rows per
+// orderkey, so the predicate keeps LinesPerOrder/|Lineitem| of the relation
+// (≤1% at any benchmarked scale) — the selectivity regime where a hash index
+// scan replaces the full partition sweep. BenchmarkIndexScanAblation runs it
+// with the l_orderkey index on and ablated (Config.NoIndexScan).
+func PointLookup(orderkey int64) nrc.Expr {
+	l := nrc.V("l")
+	return nrc.ForIn("l", nrc.V("Lineitem"),
+		nrc.IfThen(nrc.EqOf(nrc.P(l, "l_orderkey"), nrc.C(orderkey)),
+			nrc.SingOf(nrc.Record(
+				"l_orderkey", nrc.P(l, "l_orderkey"),
+				"l_linenumber", nrc.P(l, "l_linenumber"),
+				"l_quantity", nrc.P(l, "l_quantity"),
+				"l_extendedprice", nrc.P(l, "l_extendedprice"),
+			))))
+}
+
 // ValidateLevel reports whether level is a supported nesting depth; CLIs use
 // it to reject bad input with a friendly error before Query/Env panic.
 func ValidateLevel(level int) error {

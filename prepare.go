@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/index"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/runner"
 	"github.com/trance-go/trance/internal/value"
@@ -78,8 +79,9 @@ type PreparedQuery struct {
 	// compileMu serializes strategy compilations of this query: compilation
 	// type-annotates the shared AST in place, so concurrent first-Runs under
 	// different strategies must not compile simultaneously. Cache hits do not
-	// take the lock.
-	compileMu sync.Mutex
+	// take the lock. It is a pointer so a session's generation refresh can
+	// share one mutex across re-preparations of the same AST.
+	compileMu *sync.Mutex
 }
 
 // Prepare typechecks the query and sets up compile-once evaluation: each
@@ -107,13 +109,14 @@ func Prepare(query Expr, opts PrepareOptions) (*PreparedQuery, error) {
 		return nil, err
 	}
 	pq := &PreparedQuery{
-		name:    opts.Name,
-		query:   query,
-		env:     opts.Env,
-		cfg:     cfg,
-		outType: t,
-		pool:    poolFor(cfg, opts.Pool),
-		fp:      fingerprint(query, opts.Env, cfg),
+		name:      opts.Name,
+		query:     query,
+		env:       opts.Env,
+		cfg:       cfg,
+		outType:   t,
+		pool:      poolFor(cfg, opts.Pool),
+		fp:        fingerprint(query, opts.Env, cfg),
+		compileMu: &sync.Mutex{},
 	}
 	for _, s := range opts.Strategies {
 		if _, err := pq.compiled(s); err != nil {
@@ -269,8 +272,23 @@ type PreparedData struct {
 	// falls back to the compiled query's own whole-map conversion.
 	convert func(cq *runner.Compiled, name string, b Bag) (map[string][]dataflow.Row, error)
 
+	// idxs are the secondary indexes of the bound datasets, keyed by variable
+	// name (sessions fill them from the catalog). RunBound re-keys them for
+	// the route and binds them so IndexScan plans resolve spans against them;
+	// nil makes every IndexScan fall back to a full scan plus its predicate.
+	idxs map[string]*index.Set
+
 	mu      sync.Mutex
 	byRoute map[bool]*preparedRows // IsShredded → converted rows
+}
+
+// indexesFor returns the bound secondary indexes keyed for the compilation's
+// route (nil when the data has none).
+func (pd *PreparedData) indexesFor(cq *runner.Compiled) map[string]*index.Set {
+	if len(pd.idxs) == 0 {
+		return nil
+	}
+	return cq.MapIndexes(pd.idxs)
 }
 
 type preparedRows struct {
@@ -332,7 +350,7 @@ func (pq *PreparedQuery) RunBound(ctx context.Context, data *PreparedData, strat
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res := cq.ExecuteRows(ctx, rows, pq.runContext(strat))
+	res := cq.ExecuteRowsIndexed(ctx, rows, data.indexesFor(cq), pq.runContext(strat))
 	if res.Err != nil {
 		return res, fmt.Errorf("%s (%s): %w", pq.label(), strat, res.Err)
 	}
@@ -368,8 +386,8 @@ func fingerprint(q Expr, env Env, cfg Config) string {
 	for _, n := range names {
 		fmt.Fprintf(h, "%s:%s\n", n, env[n])
 	}
-	fmt.Fprintf(h, "de=%t prune=%t pushdown=%t vec=%t\n",
-		cfg.DomainElimination, !cfg.NoColumnPruning, !cfg.NoPredicatePushdown, !cfg.NoVectorize)
+	fmt.Fprintf(h, "de=%t prune=%t pushdown=%t vec=%t noidx=%t\n",
+		cfg.DomainElimination, !cfg.NoColumnPruning, !cfg.NoPredicatePushdown, !cfg.NoVectorize, cfg.NoIndexScan)
 	// Cost-model inputs: the broadcast limit and auto thresholds change what
 	// Annotate/ChooseStrategy compile, and the statistics digest ties cached
 	// plans to the dataset generation they were costed against — a Drop +
@@ -392,8 +410,9 @@ func fingerprint(q Expr, env Env, cfg Config) string {
 		sort.Strings(colNames)
 		for _, cn := range colNames {
 			ce := te.Cols[cn]
-			fmt.Fprintf(h, "  col %s: ndv=%d heavy=%g min=%s max=%s\n",
-				cn, ce.NDV, ce.HeavyFraction, value.Format(ce.Min), value.Format(ce.Max))
+			fmt.Fprintf(h, "  col %s: ndv=%d heavy=%g min=%s max=%s idxh=%t idxo=%t\n",
+				cn, ce.NDV, ce.HeavyFraction, value.Format(ce.Min), value.Format(ce.Max),
+				ce.IndexHash, ce.IndexOrdered)
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))

@@ -31,8 +31,9 @@ type PreparedPipeline struct {
 
 	// compileMu serializes this pipeline's compilations (compilation
 	// type-annotates the shared step ASTs in place). Cache hits do not take
-	// the lock.
-	compileMu sync.Mutex
+	// the lock. It is a pointer so a session's generation refresh can share
+	// one mutex across re-preparations of the same step ASTs.
+	compileMu *sync.Mutex
 }
 
 // PreparePipeline typechecks every step against the base environment
@@ -59,13 +60,14 @@ func PreparePipeline(steps []PipelineStep, opts PrepareOptions) (*PreparedPipeli
 		return nil, err
 	}
 	pp := &PreparedPipeline{
-		name:     opts.Name,
-		steps:    append([]PipelineStep(nil), steps...),
-		env:      opts.Env,
-		cfg:      cfg,
-		pool:     poolFor(cfg, opts.Pool),
-		stepEnvs: stepEnvs,
-		outTypes: outTypes,
+		name:      opts.Name,
+		steps:     append([]PipelineStep(nil), steps...),
+		env:       opts.Env,
+		cfg:       cfg,
+		pool:      poolFor(cfg, opts.Pool),
+		stepEnvs:  stepEnvs,
+		outTypes:  outTypes,
+		compileMu: &sync.Mutex{},
 	}
 	for i, st := range steps {
 		pp.fps = append(pp.fps, fingerprint(st.Query, stepEnvs[i], cfg)+"|step="+st.Name)
@@ -193,7 +195,7 @@ func (pp *PreparedPipeline) RunBound(ctx context.Context, data *PreparedData, st
 	}
 	dctx := runner.NewRunContext(pp.cfg, strat)
 	dctx.SharedPool = pp.pool
-	res := cp.ExecuteRows(ctx, rows, dctx)
+	res := cp.ExecuteRowsIndexed(ctx, rows, data.indexesFor(cp.Steps[0].CQ), dctx)
 	if res.Err != nil {
 		return res, fmt.Errorf("%s (%s) step %d: %w", pp.label(), strat, res.FailedStep, res.Err)
 	}

@@ -50,6 +50,7 @@ package trance
 import (
 	"github.com/trance-go/trance/internal/core"
 	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/index"
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/parse"
 	"github.com/trance-go/trance/internal/plan"
@@ -298,6 +299,20 @@ type VectorizeStats = plan.VecStats
 // counters and per-operator fallback reasons appear in PreparedQuery.Explain
 // output.
 func VectorizeCounters() VectorizeStats { return plan.GlobalVecStats() }
+
+// IndexStats are the process-wide secondary-index subsystem counters: builds,
+// refusals, incremental maintenance, rebuilds, planned and executed index
+// scans, fallbacks, and matched rows. See docs/INDEXES.md.
+type IndexStats = index.Counters
+
+// IndexCounters returns the process-wide index counters, aggregated since
+// start (served by tranced /metrics). Per-query Select→IndexScan conversions
+// appear in PreparedQuery.Explain output.
+func IndexCounters() IndexStats { return index.Global() }
+
+// IndexRefusalReasons breaks IndexCounters().Refused down by reason (e.g.
+// "label column", "mixed-type keys", "range index over bool keys").
+func IndexRefusalReasons() map[string]int64 { return index.RefusalReasons() }
 
 // ExplainStandard compiles a query through the standard route and renders the
 // algebraic plan (paper Figure 3 style), before the rule-based optimizer
