@@ -867,3 +867,48 @@ func BenchmarkIndexScanAblation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAnalyzeOverhead is the observability cost guard: the "off" arm is
+// the default serving path with no Analysis attached — its only cost over the
+// pre-analyze baseline is one nil check per operator, and it must stay within
+// 2% of that baseline (compare against the previous release with benchstat).
+// The "on" arm attaches a fresh per-run Analysis, paying the atomic counters
+// and closure timers; compare off vs on to price EXPLAIN ANALYZE itself.
+func BenchmarkAnalyzeOverhead(b *testing.B) {
+	tables := tpch.Generate(tpch.Config{
+		Customers: scaled(100), OrdersPerCustomer: 6, LinesPerOrder: 4,
+		Parts: scaled(100), Seed: 1,
+	})
+	const level = 2
+	inputs := map[string]value.Bag{
+		"NDB":  tpch.BuildNested(tables, level, true),
+		"Part": tables.Part,
+	}
+	cfg := runner.DefaultConfig()
+	for _, strat := range []runner.Strategy{runner.Standard, runner.ShredUnshred} {
+		cq, err := runner.Compile(tpch.Query(tpch.NestedToNested, level, false),
+			tpch.Env(tpch.NestedToNested, level, false), strat, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := cq.InputRows(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(b *testing.B, analysis func() *plan.Analysis) {
+			for i := 0; i < b.N; i++ {
+				res := cq.ExecuteRowsOpts(context.Background(), rows, nil,
+					runner.NewRunContext(cfg, strat), runner.ExecOptions{Analysis: analysis()})
+				if res.Failed() {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		b.Run("off/"+strat.String(), func(b *testing.B) {
+			run(b, func() *plan.Analysis { return nil })
+		})
+		b.Run("on/"+strat.String(), func(b *testing.B) {
+			run(b, plan.NewAnalysis)
+		})
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/trance-go/trance/internal/runner"
 	"github.com/trance-go/trance/internal/shred"
 	"github.com/trance-go/trance/internal/stats"
+	"github.com/trance-go/trance/internal/trace"
 	"github.com/trance-go/trance/internal/value"
 )
 
@@ -1067,11 +1068,46 @@ func (sq *SessionQuery) Prepared() *PreparedQuery {
 // generations of the referenced datasets (re-resolving after mutations; see
 // Session).
 func (sq *SessionQuery) Run(ctx context.Context, strat Strategy) (*Result, error) {
+	return sq.runStrategy(ctx, strat, false)
+}
+
+// RunAnalyzed is Run with EXPLAIN ANALYZE instrumentation: the execution
+// collects per-operator runtime statistics into Result.Analyze (render with
+// ExplainAnalyze or PreparedQuery.ExplainAnalyzeResult).
+func (sq *SessionQuery) RunAnalyzed(ctx context.Context, strat Strategy) (*Result, error) {
+	return sq.runStrategy(ctx, strat, true)
+}
+
+func (sq *SessionQuery) runStrategy(ctx context.Context, strat Strategy, analyze bool) (*Result, error) {
+	rsp := trace.From(ctx).Span().Child("resolve")
 	pq, data, err := sq.current()
+	if err == nil && pq != nil {
+		rsp.Set("query", pq.label())
+	}
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
+	if analyze {
+		return pq.RunBoundAnalyzed(ctx, data, strat)
+	}
 	return pq.RunBound(ctx, data, strat)
+}
+
+// ExplainAnalyze executes the query under the strategy with per-operator
+// instrumentation over the currently bound catalog data and renders the
+// analyzed plans with a q-error summary — the text behind
+// `trance query -analyze` and tranced POST /explain?analyze=1.
+func (sq *SessionQuery) ExplainAnalyze(ctx context.Context, strat Strategy) (string, error) {
+	pq, data, err := sq.current()
+	if err != nil {
+		return "", err
+	}
+	res, err := pq.RunBoundAnalyzed(ctx, data, strat)
+	if err != nil {
+		return "", err
+	}
+	return pq.ExplainAnalyzeResult(strat, res)
 }
 
 // RunJSON is Run plus JSON encoding: the result rows rendered as objects
@@ -1079,15 +1115,26 @@ func (sq *SessionQuery) Run(ctx context.Context, strat Strategy) (*Result, error
 // JSON-in → query → JSON-out round trip. Rows come back in the engine's
 // canonical sorted order, so output is deterministic.
 func (sq *SessionQuery) RunJSON(ctx context.Context, strat Strategy) ([]map[string]any, error) {
+	rows, _, err := sq.RunJSONFull(ctx, strat, false)
+	return rows, err
+}
+
+// RunJSONFull is RunJSON returning the underlying Result too — its TraceID,
+// engine metrics, and (with analyze set) the per-operator statistics in
+// Result.Analyze. The returned Result may be non-nil even on error.
+func (sq *SessionQuery) RunJSONFull(ctx context.Context, strat Strategy, analyze bool) ([]map[string]any, *Result, error) {
 	cols, err := sq.pq.OutputSchema(strat)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	res, err := sq.Run(ctx, strat)
+	res, err := sq.runStrategy(ctx, strat, analyze)
 	if err != nil {
-		return nil, err
+		return nil, res, err
 	}
-	return encodeRowsJSON(res.Output.CollectSorted(), cols), nil
+	esp := trace.From(ctx).Span().Child("encode")
+	out := encodeRowsJSON(res.Output.CollectSorted(), cols)
+	esp.End()
+	return out, res, nil
 }
 
 // encodeRowsJSON renders engine rows as JSON objects typed by cols.

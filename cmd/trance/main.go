@@ -48,7 +48,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   trance explain -class <class> -level <0-4> [-wide]
   trance run     -class <class> -level <0-4> [-wide] -strategy <name> [-skew 0-4]
-  trance query   [-input <data.json|->] [-name R] [-q '<query text>'] [-strategy <name>] [-show N] [-explain]
+  trance query   [-input <data.json|->] [-name R] [-q '<query text>'] [-strategy <name>] [-show N] [-explain] [-analyze] [-timing]
   trance biomed  [-full] [-strategy <name>]
 
 classes:    flat-to-nested | nested-to-nested | nested-to-flat
@@ -178,6 +178,8 @@ func cmdQuery(args []string) {
 	strategy := fs.String("strategy", "standard", "evaluation strategy")
 	show := fs.Int("show", 0, "result rows to print (0 = all)")
 	explain := fs.Bool("explain", false, "print the compiled plans before and after the rule-based optimizer (predicate pushdown etc.) to stderr")
+	analyze := fs.Bool("analyze", false, "run with per-operator instrumentation and print the analyzed plans (actual rows, wall, batches, q-error) to stderr")
+	timing := fs.Bool("timing", false, "print the request trace (per-phase wall-clock breakdown) to stderr")
 	_ = fs.Parse(args)
 
 	if *input == "" && *text == "" {
@@ -203,10 +205,12 @@ func cmdQuery(args []string) {
 
 	sess := cat.NewSession(trance.SessionOptions{})
 	strat := parseStrategy(*strategy)
+	t := trance.NewTrace("trance query")
+	ctx := trance.ContextWithTrace(context.Background(), t)
 	var rows []map[string]any
 	var err error
 	if *text != "" {
-		rows, err = runText(sess, *text, strat, *explain)
+		rows, err = runText(ctx, sess, *text, strat, *explain, *analyze)
 	} else {
 		var sq *trance.SessionQuery
 		sq, err = sess.PrepareNamed(*name, trance.ForIn("x", trance.V(*name), trance.SingOf(trance.V("x"))))
@@ -214,9 +218,10 @@ func cmdQuery(args []string) {
 			if *explain {
 				printExplain(sq.Prepared().Explain(strat))
 			}
-			rows, err = sq.RunJSON(context.Background(), strat)
+			rows, err = runSessionQuery(ctx, sq, strat, *analyze)
 		}
 	}
+	t.Finish()
 	if err != nil {
 		log.Fatalf("query failed:\n%v", err)
 	}
@@ -230,14 +235,32 @@ func cmdQuery(args []string) {
 			log.Fatal(err)
 		}
 	}
+	if *timing {
+		fmt.Fprint(os.Stderr, t.Tree())
+	}
 	fmt.Fprintf(os.Stderr, "%s: %d rows\n", strat, len(rows))
+}
+
+// runSessionQuery evaluates one prepared session query; with analyze set the
+// run is instrumented and the analyzed plans (actual rows, wall times, batch
+// counts, q-error) go to stderr.
+func runSessionQuery(ctx context.Context, sq *trance.SessionQuery, strat trance.Strategy, analyze bool) ([]map[string]any, error) {
+	rows, res, err := sq.RunJSONFull(ctx, strat, analyze)
+	if err != nil {
+		return nil, err
+	}
+	if analyze {
+		printExplain(sq.Prepared().ExplainAnalyzeResult(strat, res))
+	}
+	return rows, nil
 }
 
 // runText prepares and runs an ad-hoc text query — or, when the text is not
 // a bare expression (it contains assignments), a multi-statement program —
 // against the session. With explain set, the compiled plans (before and
-// after the rule-based optimizer) go to stderr first.
-func runText(sess *trance.Session, text string, strat trance.Strategy, explain bool) ([]map[string]any, error) {
+// after the rule-based optimizer) go to stderr first; analyze additionally
+// instruments the run and prints the analyzed plans.
+func runText(ctx context.Context, sess *trance.Session, text string, strat trance.Strategy, explain, analyze bool) ([]map[string]any, error) {
 	if _, err := trance.Parse(text); err == nil {
 		sq, err := sess.PrepareText("adhoc", text)
 		if err != nil {
@@ -246,7 +269,7 @@ func runText(sess *trance.Session, text string, strat trance.Strategy, explain b
 		if explain {
 			printExplain(sq.Prepared().Explain(strat))
 		}
-		return sq.RunJSON(context.Background(), strat)
+		return runSessionQuery(ctx, sq, strat, analyze)
 	}
 	// Not a bare expression: parse as a program (a single assignment like
 	// `y := expr` lands here too). A genuine syntax error reports from the
@@ -258,7 +281,10 @@ func runText(sess *trance.Session, text string, strat trance.Strategy, explain b
 	if explain {
 		printExplain(sp.Prepared().Explain(strat))
 	}
-	return sp.RunJSON(context.Background(), strat)
+	if analyze {
+		fmt.Fprintln(os.Stderr, "analyze: not supported for multi-statement programs yet")
+	}
+	return sp.RunJSON(ctx, strat)
 }
 
 // printExplain writes an explain text to stderr (compile errors surface when

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +41,7 @@ import (
 func main() {
 	cfg := defaultServerConfig()
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "optional separate listen address for net/http/pprof profiling endpoints (e.g. 127.0.0.1:6060); empty disables them")
 	flag.IntVar(&cfg.Customers, "customers", cfg.Customers, "TPC-H customers to generate")
 	flag.IntVar(&cfg.SkewFactor, "skew", cfg.SkewFactor, "TPC-H skew factor (0-4)")
 	flag.IntVar(&cfg.Parallelism, "parallelism", cfg.Parallelism, "partitions per shuffle")
@@ -49,6 +51,7 @@ func main() {
 	flag.Int64Var(&cfg.MaxUploadBytes, "max-upload", cfg.MaxUploadBytes, "POST /datasets body size limit in bytes")
 	flag.IntVar(&cfg.MaxDatasets, "max-datasets", cfg.MaxDatasets, "uploaded datasets held at once")
 	flag.Int64Var(&cfg.MaxDatasetBytes, "max-dataset-bytes", cfg.MaxDatasetBytes, "total resident bytes of uploaded datasets")
+	flag.DurationVar(&cfg.SlowQuery, "slow-query", cfg.SlowQuery, "log the full span tree of requests at least this slow (e.g. 250ms; 0 disables)")
 	flag.Parse()
 
 	start := time.Now()
@@ -57,6 +60,24 @@ func main() {
 		log.Fatalf("tranced: %v", err)
 	}
 	log.Printf("tranced: prepared %d query families in %v, serving on %s", len(srv.queries), time.Since(start), *addr)
+
+	if *debugAddr != "" {
+		// Profiling stays off the service mux and (typically) on a loopback
+		// address, so production scrapers and clients never see it.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("tranced: pprof on http://%s/debug/pprof/", *debugAddr)
+			ds := &http.Server{Addr: *debugAddr, Handler: dbg, ReadHeaderTimeout: 5 * time.Second}
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("tranced: pprof server: %v", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,

@@ -37,6 +37,9 @@ type serverConfig struct {
 	// cannot grow server memory without limit.
 	MaxDatasets     int
 	MaxDatasetBytes int64
+	// SlowQuery, when positive, logs the full span tree of any request whose
+	// trace wall time meets the threshold.
+	SlowQuery time.Duration
 }
 
 func defaultServerConfig() serverConfig {
@@ -54,6 +57,11 @@ type queryEntry struct {
 	queries map[int]*trance.SessionQuery
 }
 
+// latencyBuckets are the fixed upper bounds (seconds) of the per-route
+// latency histogram exposed in the Prometheus exposition; observations above
+// the last bound land only in the implicit +Inf bucket.
+var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
 // routeStats accumulates per-(query, level, strategy) serving metrics.
 type routeStats struct {
 	Count        int64
@@ -63,6 +71,35 @@ type routeStats struct {
 	ShuffleBytes int64
 	StageWall    map[string]time.Duration
 	stageOrder   []string
+	// Hist counts run latencies per latencyBuckets bound; HistInf counts
+	// observations above the last bound and HistSum totals all observed
+	// latencies (seconds). Together they form one Prometheus histogram.
+	Hist    [numLatencyBuckets]int64
+	HistInf int64
+	HistSum float64
+}
+
+// numLatencyBuckets mirrors len(latencyBuckets) as an array length (Go
+// requires a constant there; init asserts they agree).
+const numLatencyBuckets = 13
+
+func init() {
+	if len(latencyBuckets) != numLatencyBuckets {
+		panic("tranced: numLatencyBuckets out of sync with latencyBuckets")
+	}
+}
+
+// observe folds one run latency into the histogram.
+func (st *routeStats) observe(d time.Duration) {
+	secs := d.Seconds()
+	st.HistSum += secs
+	for i, b := range latencyBuckets {
+		if secs <= b {
+			st.Hist[i]++
+			return
+		}
+	}
+	st.HistInf++
 }
 
 // server is the tranced HTTP service: a catalog of named nested datasets
@@ -104,6 +141,10 @@ type server struct {
 
 	mu    sync.Mutex
 	stats map[string]*routeStats
+
+	// traces is the bounded in-memory ring of recent request traces behind
+	// X-Trance-Trace-Id and GET /trace/{id}.
+	traces *trance.TraceRing
 }
 
 // maxTextQueryBytes bounds POST /query bodies; ad-hoc query texts are tiny.
@@ -129,6 +170,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		queries: map[string]*queryEntry{},
 		tqCache: map[string]*trance.SessionQuery{},
 		stats:   map[string]*routeStats{},
+		traces:  trance.NewTraceRing(0),
 	}
 
 	if err := tpch.ValidateLevel(cfg.MaxLevel); err != nil {
@@ -225,6 +267,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("GET /datasets/{rest...}", s.handleDatasetGet)
 	s.mux.HandleFunc("POST /datasets/{rest...}", s.handleDatasetMutate)
 	s.mux.HandleFunc("GET /stats", s.handleDatasetStats)
+	s.mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	return s, nil
 }
 
@@ -272,13 +315,14 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"endpoints": []string{
 			"/query?name=&level=&strategy=&limit=",
 			"/query (POST textual NRC query body, ?strategy=&limit= — see docs/QUERYLANG.md)",
-			"/explain?name=&level=&strategy= (plans before/after the rule-based optimizer; POST a textual query body)",
+			"/explain?name=&level=&strategy=&analyze= (plans before/after the rule-based optimizer; analyze=1 runs with per-operator stats; POST a textual query body)",
 			"/datasets (GET list, POST ?name= upload NDJSON/JSON)",
 			"/datasets/{name}/indexes (GET list, POST ?column=&kind= build — docs/INDEXES.md)",
 			"/datasets/{name}/append (POST NDJSON/JSON rows)",
 			"/datasets/{name}/delete (POST ?column=&value=)",
 			"/stats?name= (dataset statistics: NDV, min/max, heavy keys)",
-			"/strategies", "/metrics", "/healthz",
+			"/trace/{id} (span tree of a recent request, by X-Trance-Trace-Id)",
+			"/strategies", "/metrics (?format=prometheus for text exposition)", "/healthz",
 		},
 		"queries": qs,
 	})
@@ -677,6 +721,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	t, r := s.startTrace(w, r, "GET /query "+name)
+	defer s.finishTrace(t)
+	t.Span().Set("route", fmt.Sprintf("%s/L%d/%s", name, level, stratName))
+
 	cols, err := sq.Prepared().OutputSchema(strat)
 	if err != nil {
 		// Compilation failed: the query/strategy combination is unservable —
@@ -695,12 +743,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.record(name, level, stratName, res, false)
-	extra := map[string]any{"query": name, "level": level}
+	extra := map[string]any{"query": name, "level": level, "trace_id": t.ID}
 	if strat == trance.Auto {
 		extra["requested"] = "auto"
 		extra["chosen_strategy"] = res.Strategy.CLIName()
 	}
+	esp := t.Span().Child("encode")
 	s.writeQueryResult(w, res, cols, limit, extra)
+	esp.End()
 }
 
 // writeQueryResult renders a run's rows as typed JSON, applying the row
@@ -827,7 +877,12 @@ func (s *server) handleTextQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	t, r := s.startTrace(w, r, "POST /query")
+	defer s.finishTrace(t)
+
+	psp := t.Span().Child("parse")
 	sq, err := s.textQuery(src)
+	psp.End()
 	if err != nil {
 		s.record("adhoc", 0, stratName, nil, true)
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -852,12 +907,15 @@ func (s *server) handleTextQuery(w http.ResponseWriter, r *http.Request) {
 	extra := map[string]any{
 		"query":       "adhoc",
 		"fingerprint": sq.Prepared().Fingerprint()[:12],
+		"trace_id":    t.ID,
 	}
 	if strat == trance.Auto {
 		extra["requested"] = "auto"
 		extra["chosen_strategy"] = res.Strategy.CLIName()
 	}
+	esp := t.Span().Child("encode")
 	s.writeQueryResult(w, res, cols, limit, extra)
+	esp.End()
 }
 
 // handleExplain renders a served query's compiled plans before and after the
@@ -870,7 +928,17 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	text, err := rt.sq.Prepared().Explain(rt.strat)
+	analyze := analyzeParam(r)
+	var text string
+	var err error
+	if analyze {
+		// EXPLAIN ANALYZE: execute the route with per-operator instrumentation
+		// over the bound catalog data and render actual rows/wall/batches
+		// beside the static annotations, plus the q-error summary.
+		text, err = rt.sq.ExplainAnalyze(r.Context(), rt.strat)
+	} else {
+		text, err = rt.sq.Prepared().Explain(rt.strat)
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "explain %s (%s): %v", rt.name, rt.stratName, err)
 		return
@@ -879,14 +947,28 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		"query":    rt.name,
 		"level":    rt.level,
 		"strategy": rt.strat.String(),
+		"analyze":  analyze,
 		"explain":  text,
 	})
+}
+
+// analyzeParam reports whether the request asked for EXPLAIN ANALYZE
+// (?analyze=1 / true / yes).
+func analyzeParam(r *http.Request) bool {
+	switch strings.ToLower(r.URL.Query().Get("analyze")) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
 }
 
 // handleTextExplain renders the compiled plans of an ad-hoc textual query
 // (the POST /query body format, same ?strategy= parameter) without running
 // it — the serving-side way to check whether a pushed-down predicate planned
 // as an index scan (the `[index=…]` operator annotation, docs/INDEXES.md).
+// With ?analyze=1 the query IS executed, with per-operator instrumentation,
+// and the plans render actual rows/wall/batches plus a q-error summary
+// (docs/OBSERVABILITY.md).
 func (s *server) handleTextExplain(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTextQueryBytes))
 	if err != nil {
@@ -912,7 +994,13 @@ func (s *server) handleTextExplain(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	text, err := sq.Prepared().Explain(strat)
+	analyze := analyzeParam(r)
+	var text string
+	if analyze {
+		text, err = sq.ExplainAnalyze(r.Context(), strat)
+	} else {
+		text, err = sq.Prepared().Explain(strat)
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "explain (%s): %v", stratName, err)
 		return
@@ -920,6 +1008,7 @@ func (s *server) handleTextExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"query":    "adhoc",
 		"strategy": strat.String(),
+		"analyze":  analyze,
 		"explain":  text,
 	})
 }
@@ -944,6 +1033,7 @@ func (s *server) record(name string, level int, strat string, res *trance.Result
 	st.LastElapsed = res.Elapsed
 	st.TotalElapsed += res.Elapsed
 	st.ShuffleBytes += res.Metrics.ShuffleBytes
+	st.observe(res.Elapsed)
 	for _, sw := range res.Metrics.StageWall {
 		if _, seen := st.StageWall[sw.Stage]; !seen {
 			st.stageOrder = append(st.stageOrder, sw.Stage)
@@ -952,9 +1042,44 @@ func (s *server) record(name string, level int, strat string, res *trance.Result
 	}
 }
 
+// snapshotStats deep-copies every route's stats under the lock, so the
+// metrics encoders (JSON and Prometheus alike) marshal from a private copy
+// with the lock released — a slow scrape client never blocks serving.
+func (s *server) snapshotStats() map[string]*routeStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*routeStats, len(s.stats))
+	for key, st := range s.stats {
+		cp := *st
+		cp.StageWall = make(map[string]time.Duration, len(st.StageWall))
+		for stage, w := range st.StageWall {
+			cp.StageWall[stage] = w
+		}
+		cp.stageOrder = append([]string(nil), st.stageOrder...)
+		out[key] = &cp
+	}
+	return out
+}
+
 // handleMetrics reports serving counters, the compilation cache, and the
-// accumulated per-stage wall times of every served route.
+// accumulated per-stage wall times of every served route. The default body
+// is JSON; ?format=prometheus (or a text/plain Accept header, what a
+// Prometheus scraper sends) switches to the text exposition format.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		format = "prometheus"
+	}
+	switch format {
+	case "", "json":
+	case "prometheus":
+		s.writeMetricsProm(w)
+		return
+	default:
+		httpError(w, http.StatusBadRequest, "unknown metrics format %q (json or prometheus)", format)
+		return
+	}
+
 	type stageMs struct {
 		Stage string  `json:"stage"`
 		Ms    float64 `json:"ms"`
@@ -969,9 +1094,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
-	s.mu.Lock()
 	routes := make(map[string]routeOut, len(s.stats))
-	for key, st := range s.stats {
+	for key, st := range s.snapshotStats() {
 		ro := routeOut{
 			Count: st.Count, Errors: st.Errors,
 			LastMs: ms(st.LastElapsed), TotalMs: ms(st.TotalElapsed),
@@ -983,7 +1107,6 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		routes[key] = ro
 	}
-	s.mu.Unlock()
 
 	cache := trance.PlanCacheStats()
 	opt := trance.OptimizerCounters()

@@ -1,0 +1,116 @@
+// EXPLAIN ANALYZE plumbing for the executor: nil-safe NodeStats lookup and
+// the closure wrappers that count rows and wall time inside fused narrow
+// stages. When ex.Analysis is nil every helper returns the original closure
+// (or nil stats), so the analyze-off execution path is byte-identical to the
+// uninstrumented one apart from per-operator nil checks.
+package exec
+
+import (
+	"time"
+
+	"github.com/trance-go/trance/internal/dataflow"
+	"github.com/trance-go/trance/internal/plan"
+)
+
+// node returns op's per-run stats slot, nil when analyze is off.
+func (ex *Executor) node(op plan.Op) *plan.NodeStats {
+	if ex.Analysis == nil {
+		return nil
+	}
+	return ex.Analysis.Node(op)
+}
+
+// recordWide returns a pass-through for a wide operator's (dataset, error)
+// result that records the materialized output cardinality. Wide operators
+// materialize their partitions, so Count after the fact is a cheap sum.
+func (ex *Executor) recordWide(op plan.Op) func(*dataflow.Dataset, error) (*dataflow.Dataset, error) {
+	ns := ex.node(op)
+	return func(d *dataflow.Dataset, err error) (*dataflow.Dataset, error) {
+		if err == nil && ns != nil {
+			ns.RowsOut.Add(d.Count())
+		}
+		return d, err
+	}
+}
+
+// countRows is an identity row function counting 1:1 throughput — used to
+// meter operators with no closure of their own (AddIndex).
+func countRows(ns *plan.NodeStats) func(dataflow.Row) dataflow.Row {
+	return func(r dataflow.Row) dataflow.Row {
+		ns.RowsIn.Add(1)
+		ns.RowsOut.Add(1)
+		return r
+	}
+}
+
+// instrPred wraps a row predicate with rows-in/rows-out/wall accounting.
+func instrPred(ns *plan.NodeStats, pred func(dataflow.Row) bool) func(dataflow.Row) bool {
+	if ns == nil {
+		return pred
+	}
+	return func(r dataflow.Row) bool {
+		start := time.Now()
+		keep := pred(r)
+		ns.WallNS.Add(time.Since(start).Nanoseconds())
+		ns.RowsIn.Add(1)
+		if keep {
+			ns.RowsOut.Add(1)
+		}
+		return keep
+	}
+}
+
+// instrMap wraps a 1:1 row function with rows/wall accounting.
+func instrMap(ns *plan.NodeStats, fn func(dataflow.Row) dataflow.Row) func(dataflow.Row) dataflow.Row {
+	if ns == nil {
+		return fn
+	}
+	return func(r dataflow.Row) dataflow.Row {
+		start := time.Now()
+		out := fn(r)
+		ns.WallNS.Add(time.Since(start).Nanoseconds())
+		ns.RowsIn.Add(1)
+		ns.RowsOut.Add(1)
+		return out
+	}
+}
+
+// instrFlatMap wraps a 1:N row function with rows/wall accounting.
+func instrFlatMap(ns *plan.NodeStats, fn func(dataflow.Row) []dataflow.Row) func(dataflow.Row) []dataflow.Row {
+	if ns == nil {
+		return fn
+	}
+	return func(r dataflow.Row) []dataflow.Row {
+		start := time.Now()
+		out := fn(r)
+		ns.WallNS.Add(time.Since(start).Nanoseconds())
+		ns.RowsIn.Add(1)
+		ns.RowsOut.Add(int64(len(out)))
+		return out
+	}
+}
+
+// batchTimer starts a wall measurement for one columnar batch; batchDone
+// records the batch's rows and wall. kernel=false marks a batch that demoted
+// to the row interpreter mid-run.
+func batchTimer(ns *plan.NodeStats) time.Time {
+	if ns != nil {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+func batchDone(ns *plan.NodeStats, start time.Time, rowsIn, rowsOut int, kernel bool) {
+	if ns == nil {
+		return
+	}
+	ns.WallNS.Add(time.Since(start).Nanoseconds())
+	ns.Batches.Add(1)
+	ns.RowsIn.Add(int64(rowsIn))
+	ns.RowsOut.Add(int64(rowsOut))
+	if kernel {
+		ns.VecBatches.Add(1)
+	} else {
+		ns.FallbackBatches.Add(1)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"github.com/trance-go/trance/internal/core"
 	"github.com/trance-go/trance/internal/dataflow"
@@ -39,6 +40,12 @@ type Executor struct {
 	// kernels (see vector.go) through the engine's columnar batch stages.
 	// Results are bit-identical to the row interpreter either way.
 	Vectorize bool
+	// Analysis, when non-nil, collects per-operator runtime statistics
+	// (EXPLAIN ANALYZE): narrow operators wrap their fused closures with row
+	// and wall counters, wide operators record their dataflow stage name and
+	// output cardinality. Nil keeps the execution path untouched apart from
+	// per-batch nil checks.
+	Analysis *plan.Analysis
 
 	// raw retains the row slices of BindRows inputs: index positions address
 	// rows by offset, so IndexScan gathers from the original slice.
@@ -113,11 +120,17 @@ func (ex *Executor) run(op plan.Op) (*dataflow.Dataset, error) {
 		if !ok {
 			return nil, fmt.Errorf("exec: unbound input %q", x.Input)
 		}
+		if ns := ex.node(x); ns != nil {
+			ns.RowsOut.Add(d.Count()) // bound inputs are materialized; Count is cheap
+		}
 		return d, nil
 
 	case *plan.Values:
 		rows := make([]dataflow.Row, len(x.Rows))
 		copy(rows, x.Rows)
+		if ns := ex.node(x); ns != nil {
+			ns.RowsOut.Add(int64(len(rows)))
+		}
 		return ex.Ctx.FromRows(rows), nil
 
 	case *plan.IndexScan:
@@ -149,19 +162,28 @@ func (ex *Executor) run(op plan.Op) (*dataflow.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		return in.AddUniqueID(), nil
+		out := in.AddUniqueID()
+		if ns := ex.node(x); ns != nil {
+			out = out.MapPreserving(countRows(ns))
+		}
+		return out, nil
 
 	case *plan.Unnest:
 		in, err := ex.run(x.In)
 		if err != nil {
 			return nil, err
 		}
-		out := applyUnnest(in, x)
+		ns := ex.node(x)
+		out := applyUnnest(in, x, ns)
 		// Flattening materially expands partitions in place: a worker
 		// holding a large inner collection must hold its flattened form
 		// (paper Section 6: flattening skewed inner collections saturates
 		// worker memory).
-		if err := out.CheckMemory(ex.nextStage("unnest")); err != nil {
+		stage := ex.nextStage("unnest")
+		if ns != nil {
+			ns.Stage = stage
+		}
+		if err := out.CheckMemory(stage); err != nil {
 			return nil, err
 		}
 		return out, nil
@@ -175,21 +197,25 @@ func (ex *Executor) run(op plan.Op) (*dataflow.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ex.join(l, r, x)
+		return ex.recordWide(x)(ex.join(l, r, x))
 
 	case *plan.Nest:
 		in, err := ex.run(x.In)
 		if err != nil {
 			return nil, err
 		}
-		return ex.nest(in, x)
+		return ex.recordWide(x)(ex.nest(in, x))
 
 	case *plan.DedupOp:
 		in, err := ex.run(x.In)
 		if err != nil {
 			return nil, err
 		}
-		return in.Distinct(ex.nextStage("dedup"))
+		stage := ex.nextStage("dedup")
+		if ns := ex.node(x); ns != nil {
+			ns.Stage = stage
+		}
+		return ex.recordWide(x)(in.Distinct(stage))
 
 	case *plan.UnionAll:
 		l, err := ex.run(x.L)
@@ -207,7 +233,11 @@ func (ex *Executor) run(op plan.Op) (*dataflow.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		return in.RepartitionBy(ex.nextStage("bagToDict"), []int{x.LabelCol})
+		stage := ex.nextStage("bagToDict")
+		if ns := ex.node(x); ns != nil {
+			ns.Stage = stage
+		}
+		return ex.recordWide(x)(in.RepartitionBy(stage, []int{x.LabelCol}))
 	}
 	return nil, fmt.Errorf("exec: unknown operator %T", op)
 }
@@ -223,42 +253,65 @@ func (ex *Executor) runIndexScan(x *plan.IndexScan) (*dataflow.Dataset, error) {
 	if !ok {
 		return nil, fmt.Errorf("exec: unbound input %q", x.Input)
 	}
+	ns := ex.node(x)
 	rows, haveRaw := ex.raw[x.Input]
 	if ci := ex.Indexes[x.Input].Column(x.Col); ci != nil && haveRaw &&
 		ci.Len() == len(rows) && ci.CanServe(x.Spans) {
+		start := time.Now()
 		matched := ci.Lookup(x.Spans)
 		out := make([]dataflow.Row, len(matched))
 		for i, p := range matched {
 			out[i] = rows[p]
 		}
 		index.RecordScan(int64(len(out)))
+		if ns != nil {
+			ns.WallNS.Add(time.Since(start).Nanoseconds())
+			ns.RowsIn.Add(int64(len(rows)))
+			ns.RowsOut.Add(int64(len(out)))
+			ns.IndexMatched.Add(int64(len(out)))
+		}
 		return ex.Ctx.FromRows(out), nil
 	}
 	index.RecordFallback()
-	return ex.applySelect(d, &plan.Select{Pred: x.Fallback}), nil
+	sel := &plan.Select{Pred: x.Fallback}
+	if ns != nil {
+		ns.IndexFallbacks.Add(1)
+		// The fallback filter's work belongs to the IndexScan node the user
+		// sees, not to the synthetic Select evaluating it.
+		ex.Analysis.Alias(sel, x)
+	}
+	return ex.applySelect(d, sel), nil
 }
 
 // join dispatches between shuffle and broadcast joins; like Spark, inputs
 // under the broadcast limit are broadcast automatically.
 func (ex *Executor) join(l, r *dataflow.Dataset, x *plan.Join) (*dataflow.Dataset, error) {
+	ns := ex.node(x)
+	stage := func(kind string) string {
+		s := ex.nextStage(kind)
+		if ns != nil {
+			ns.Stage = s
+		}
+		return s
+	}
 	rw := len(x.R.Columns())
 	if len(x.LCols) == 0 {
 		// Cross join: broadcast the right side.
-		return l.BroadcastJoin(ex.nextStage("cross"), r, nil, nil, rw, x.Outer)
+		return l.BroadcastJoin(stage("cross"), r, nil, nil, rw, x.Outer)
 	}
 	if x.Cost != nil {
 		// The cost model decided at plan time; honor it over the runtime
 		// size heuristic (the two can disagree when estimates are off — the
 		// differential oracle checks both paths stay sound).
 		if x.Cost.Method == plan.JoinBroadcast {
-			return l.BroadcastJoin(ex.nextStage("bjoin"), r, x.LCols, x.RCols, rw, x.Outer)
+			return l.BroadcastJoin(stage("bjoin"), r, x.LCols, x.RCols, rw, x.Outer)
 		}
-		return l.Join(ex.nextStage("join"), r, x.LCols, x.RCols, rw, x.Outer)
+		return l.Join(stage("join"), r, x.LCols, x.RCols, rw, x.Outer)
 	}
 	if ex.Ctx.BroadcastLimit > 0 && r.SizeBytes() <= ex.Ctx.BroadcastLimit {
-		return l.BroadcastJoin(ex.nextStage("bjoin"), r, x.LCols, x.RCols, rw, x.Outer)
+		return l.BroadcastJoin(stage("bjoin"), r, x.LCols, x.RCols, rw, x.Outer)
 	}
-	return l.Join(ex.nextStage("join"), r, x.LCols, x.RCols, rw, x.Outer)
+	return l.Join(stage("join"), r, x.LCols, x.RCols, rw, x.Outer)
 }
 
 // arenaPool pools vectorized-stage scratch; one pool per stage keeps arena
@@ -268,6 +321,7 @@ func arenaPool() *sync.Pool {
 }
 
 func (ex *Executor) applySelect(in *dataflow.Dataset, x *plan.Select) *dataflow.Dataset {
+	ns := ex.node(x)
 	var prog vexpr
 	if ex.Vectorize {
 		prog, _ = compileVexpr(x.Pred)
@@ -276,6 +330,7 @@ func (ex *Executor) applySelect(in *dataflow.Dataset, x *plan.Select) *dataflow.
 		if prog != nil {
 			pool := arenaPool()
 			return in.FilterVec(func(rows []dataflow.Row) dataflow.Bitmap {
+				start := batchTimer(ns)
 				ar := pool.Get().(*vecArena)
 				defer pool.Put(ar)
 				vb := newVecBatchArena(rows, ar)
@@ -289,18 +344,21 @@ func (ex *Executor) applySelect(in *dataflow.Dataset, x *plan.Select) *dataflow.
 							out.Set(i)
 						}
 					}
+					batchDone(ns, start, len(rows), out.Count(), false)
 					return out
 				}
 				// Always materialize a fresh bitmap: vals may be backed by the
 				// arena (a bare bool column predicate), which goes back to the
 				// pool before the caller reads the selection.
-				return dataflow.AndNotBitmap(vals, nulls, len(rows))
+				out := dataflow.AndNotBitmap(vals, nulls, len(rows))
+				batchDone(ns, start, len(rows), out.Count(), true)
+				return out
 			})
 		}
-		return in.Filter(func(r dataflow.Row) bool {
+		return in.Filter(instrPred(ns, func(r dataflow.Row) bool {
 			b, _ := x.Pred.Eval(r).(bool)
 			return b
-		})
+		}))
 	}
 	nullify := func(r dataflow.Row) dataflow.Row {
 		nr := make(dataflow.Row, len(r))
@@ -313,6 +371,7 @@ func (ex *Executor) applySelect(in *dataflow.Dataset, x *plan.Select) *dataflow.
 	if prog != nil {
 		pool := arenaPool()
 		return in.MapVecPreserving(func(rows []dataflow.Row) []dataflow.Row {
+			start := batchTimer(ns)
 			ar := pool.Get().(*vecArena)
 			defer pool.Put(ar)
 			vb := newVecBatchArena(rows, ar)
@@ -326,6 +385,7 @@ func (ex *Executor) applySelect(in *dataflow.Dataset, x *plan.Select) *dataflow.
 						out[i] = nullify(r)
 					}
 				}
+				batchDone(ns, start, len(rows), len(out), false)
 				return out
 			}
 			sel := dataflow.AndNotBitmap(vals, nulls, len(rows))
@@ -336,43 +396,48 @@ func (ex *Executor) applySelect(in *dataflow.Dataset, x *plan.Select) *dataflow.
 					out[i] = nullify(r)
 				}
 			}
+			batchDone(ns, start, len(rows), len(out), true)
 			return out
 		})
 	}
-	return in.MapPreserving(func(r dataflow.Row) dataflow.Row {
+	return in.MapPreserving(instrMap(ns, func(r dataflow.Row) dataflow.Row {
 		if b, _ := x.Pred.Eval(r).(bool); b {
 			return r
 		}
 		return nullify(r)
-	})
+	}))
 }
 
 func (ex *Executor) applyExtend(in *dataflow.Dataset, x *plan.Extend) *dataflow.Dataset {
+	ns := ex.node(x)
 	if ex.Vectorize {
 		if outs, _ := compileOuts(x.Exprs); outs != nil {
 			pool := arenaPool()
 			return in.MapVecPreserving(func(rows []dataflow.Row) []dataflow.Row {
+				start := batchTimer(ns)
 				ar := pool.Get().(*vecArena)
 				defer pool.Put(ar)
-				return extendBatch(newVecBatchArena(rows, ar), x, outs)
+				res, kernel := extendBatch(newVecBatchArena(rows, ar), x, outs)
+				batchDone(ns, start, len(rows), len(res), kernel)
+				return res
 			})
 		}
 	}
-	return in.MapPreserving(func(r dataflow.Row) dataflow.Row {
+	return in.MapPreserving(instrMap(ns, func(r dataflow.Row) dataflow.Row {
 		nr := make(dataflow.Row, len(r)+len(x.Exprs))
 		copy(nr, r)
 		for i, ne := range x.Exprs {
 			nr[len(r)+i] = ne.Expr.Eval(r)
 		}
 		return nr
-	})
+	}))
 }
 
 // extendBatch evaluates one batch of a vectorized Extend: kernel expressions
 // compute whole columns first, then rows are assembled with direct copies for
 // bare column/constant outputs. Falls back to per-row Eval if any column
-// demoted.
-func extendBatch(vb *vecBatch, x *plan.Extend, outs []outExpr) []dataflow.Row {
+// demoted; the second result reports whether the kernels held.
+func extendBatch(vb *vecBatch, x *plan.Extend, outs []outExpr) ([]dataflow.Row, bool) {
 	rows := vb.rows
 	cols, ok := evalOutCols(vb, outs)
 	res := make([]dataflow.Row, len(rows))
@@ -393,10 +458,11 @@ func extendBatch(vb *vecBatch, x *plan.Extend, outs []outExpr) []dataflow.Row {
 		}
 		res[i] = nr
 	}
-	return res
+	return res, ok
 }
 
 func (ex *Executor) applyProject(in *dataflow.Dataset, x *plan.Project) *dataflow.Dataset {
+	ns := ex.node(x)
 	bagOut := make([]bool, len(x.Outs))
 	for i, ne := range x.Outs {
 		_, bagOut[i] = ne.Expr.Type().(nrc.BagType)
@@ -405,13 +471,16 @@ func (ex *Executor) applyProject(in *dataflow.Dataset, x *plan.Project) *dataflo
 		if outs, _ := compileOuts(x.Outs); outs != nil {
 			pool := arenaPool()
 			return in.MapVec(func(rows []dataflow.Row) []dataflow.Row {
+				start := batchTimer(ns)
 				ar := pool.Get().(*vecArena)
 				defer pool.Put(ar)
-				return projectBatch(newVecBatchArena(rows, ar), x, outs, bagOut)
+				res, kernel := projectBatch(newVecBatchArena(rows, ar), x, outs, bagOut)
+				batchDone(ns, start, len(rows), len(res), kernel)
+				return res
 			})
 		}
 	}
-	return in.Map(func(r dataflow.Row) dataflow.Row {
+	return in.Map(instrMap(ns, func(r dataflow.Row) dataflow.Row {
 		nr := make(dataflow.Row, len(x.Outs))
 		for i, ne := range x.Outs {
 			v := ne.Expr.Eval(r)
@@ -421,12 +490,13 @@ func (ex *Executor) applyProject(in *dataflow.Dataset, x *plan.Project) *dataflo
 			nr[i] = v
 		}
 		return nr
-	})
+	}))
 }
 
 // projectBatch evaluates one batch of a vectorized Project, applying the
-// NULL→empty-bag cast exactly like the row path.
-func projectBatch(vb *vecBatch, x *plan.Project, outs []outExpr, bagOut []bool) []dataflow.Row {
+// NULL→empty-bag cast exactly like the row path. The second result reports
+// whether the kernels held.
+func projectBatch(vb *vecBatch, x *plan.Project, outs []outExpr, bagOut []bool) ([]dataflow.Row, bool) {
 	rows := vb.rows
 	cols, ok := evalOutCols(vb, outs)
 	res := make([]dataflow.Row, len(rows))
@@ -451,7 +521,7 @@ func projectBatch(vb *vecBatch, x *plan.Project, outs []outExpr, bagOut []bool) 
 		}
 		res[i] = nr
 	}
-	return res
+	return res, ok
 }
 
 // evalOutCols runs every kernel output over the batch; ok=false reverts the
@@ -471,11 +541,11 @@ func evalOutCols(vb *vecBatch, outs []outExpr) ([]dataflow.Column, bool) {
 	return cols, true
 }
 
-func applyUnnest(in *dataflow.Dataset, x *plan.Unnest) *dataflow.Dataset {
+func applyUnnest(in *dataflow.Dataset, x *plan.Unnest, ns *plan.NodeStats) *dataflow.Dataset {
 	elems := x.ElemFields()
 	width := len(x.In.Columns())
 	scalarElem := len(elems) == 1 && elems[0].Name == "_value"
-	return in.FlatMap(func(r dataflow.Row) []dataflow.Row {
+	return in.FlatMap(instrFlatMap(ns, func(r dataflow.Row) []dataflow.Row {
 		bagV := r[x.BagCol]
 		base := make(dataflow.Row, width)
 		copy(base, r)
@@ -502,7 +572,7 @@ func applyUnnest(in *dataflow.Dataset, x *plan.Unnest) *dataflow.Dataset {
 			out[i] = nr
 		}
 		return out
-	})
+	}))
 }
 
 // nest implements Γ⊎ and Γ+ with the NULL-casting semantics of the paper:
@@ -533,7 +603,11 @@ func (ex *Executor) nest(in *dataflow.Dataset, x *plan.Nest) (*dataflow.Dataset,
 		return true
 	}
 
-	out, err := in.GroupReduce(ex.nextStage("nest"), x.GroupCols, func(rows []dataflow.Row) []dataflow.Row {
+	stage := ex.nextStage("nest")
+	if ns := ex.node(x); ns != nil {
+		ns.Stage = stage
+	}
+	out, err := in.GroupReduce(stage, x.GroupCols, func(rows []dataflow.Row) []dataflow.Row {
 		nr := make(dataflow.Row, width+aggWidth)
 		for i, c := range x.GroupCols {
 			nr[i] = rows[0][c]

@@ -96,7 +96,8 @@ func (ex *Executor) runSkew(op plan.Op) (triple, error) {
 		if err != nil {
 			return triple{}, err
 		}
-		out := in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return applyUnnest(d, x) })
+		ns := ex.node(x)
+		out := in.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset { return applyUnnest(d, x, ns) })
 		if err := out.light.CheckMemory(ex.nextStage("unnest")); err != nil {
 			return triple{}, err
 		}

@@ -13,6 +13,7 @@ import (
 	"github.com/trance-go/trance/internal/nrc"
 	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/shred"
+	"github.com/trance-go/trance/internal/trace"
 	"github.com/trance-go/trance/internal/value"
 )
 
@@ -315,11 +316,16 @@ func (cq *Compiled) InputRowsOne(name string, b value.Bag) (rows map[string][]da
 // context's cancellation is honored between statements (best effort — an
 // individual statement runs to completion).
 func (cq *Compiled) Execute(ctx context.Context, inputs map[string]value.Bag, dctx *dataflow.Context) *Result {
+	return cq.ExecuteWithOpts(ctx, inputs, dctx, ExecOptions{})
+}
+
+// ExecuteWithOpts is Execute with observability options.
+func (cq *Compiled) ExecuteWithOpts(ctx context.Context, inputs map[string]value.Bag, dctx *dataflow.Context, opts ExecOptions) *Result {
 	rows, err := cq.InputRows(inputs)
 	if err != nil {
 		return &Result{Strategy: cq.Strategy, Mat: cq.Mat, Err: err, Metrics: dctx.Metrics.Snapshot()}
 	}
-	return cq.ExecuteRowsIndexed(ctx, rows, cq.BuildIndexes(inputs), dctx)
+	return cq.ExecuteRowsOpts(ctx, rows, cq.BuildIndexes(inputs), dctx, opts)
 }
 
 // BuildIndexes constructs secondary-index sets for every input column the
@@ -427,7 +433,22 @@ func (cq *Compiled) ExecuteRows(ctx context.Context, rows map[string][]dataflow.
 // rows (see MapIndexes). IndexScan nodes resolve spans against them; inputs
 // without a usable entry fall back to full scans plus the span predicate.
 func (cq *Compiled) ExecuteRowsIndexed(ctx context.Context, rows map[string][]dataflow.Row, idxs map[string]*index.Set, dctx *dataflow.Context) *Result {
-	res := &Result{Strategy: cq.Strategy, Mat: cq.Mat}
+	return cq.ExecuteRowsOpts(ctx, rows, idxs, dctx, ExecOptions{})
+}
+
+// ExecOptions carries per-execution observability hooks.
+type ExecOptions struct {
+	// Analysis, when non-nil, collects per-operator runtime statistics
+	// (EXPLAIN ANALYZE) into the given collector; the Result carries it as
+	// Result.Analyze. Nil leaves execution uninstrumented.
+	Analysis *plan.Analysis
+	// Span, when non-nil, receives per-statement execute child spans.
+	Span *trace.Span
+}
+
+// ExecuteRowsOpts is ExecuteRowsIndexed with observability options.
+func (cq *Compiled) ExecuteRowsOpts(ctx context.Context, rows map[string][]dataflow.Row, idxs map[string]*index.Set, dctx *dataflow.Context, opts ExecOptions) *Result {
+	res := &Result{Strategy: cq.Strategy, Mat: cq.Mat, Analyze: opts.Analysis}
 	func() {
 		var err error
 		defer func() {
@@ -440,10 +461,11 @@ func (cq *Compiled) ExecuteRowsIndexed(ctx context.Context, rows map[string][]da
 		ex.SkewAware = cq.Strategy.skewAware()
 		ex.Vectorize = !cq.Cfg.NoVectorize
 		ex.Indexes = idxs
+		ex.Analysis = opts.Analysis
 		for name, r := range rows {
 			ex.BindRows(name, r)
 		}
-		cq.runOn(ctx, ex, res)
+		cq.runOn(ctx, ex, res, opts.Span)
 	}()
 	res.Metrics = dctx.Metrics.Snapshot()
 	return res
@@ -451,27 +473,30 @@ func (cq *Compiled) ExecuteRowsIndexed(ctx context.Context, rows map[string][]da
 
 // runOn evaluates the compiled plans on an existing executor. Pipelines use
 // it to share one executor (and therefore the bindings of prior steps'
-// outputs) across the steps of a run.
-func (cq *Compiled) runOn(ctx context.Context, ex *exec.Executor, res *Result) {
+// outputs) across the steps of a run. sp, when non-nil, receives one child
+// span per executed statement.
+func (cq *Compiled) runOn(ctx context.Context, ex *exec.Executor, res *Result, sp *trace.Span) {
 	if cq.Strategy.IsShredded() {
-		cq.executeShredded(ctx, ex, res)
+		cq.executeShredded(ctx, ex, res, sp)
 	} else {
-		cq.executeStandard(ctx, ex, res)
+		cq.executeStandard(ctx, ex, res, sp)
 	}
 }
 
-func (cq *Compiled) executeStandard(ctx context.Context, ex *exec.Executor, res *Result) {
+func (cq *Compiled) executeStandard(ctx context.Context, ex *exec.Executor, res *Result, sp *trace.Span) {
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return
 	}
 
 	start := time.Now()
+	ssp := sp.Child("execute plan")
 	out, err := ex.Run(cq.Plan)
 	if err == nil {
 		out.Force() // charge trailing fused narrow work to the timed region
 		err = out.Err()
 	}
+	ssp.End()
 	res.Elapsed = time.Since(start)
 	if err != nil {
 		res.Err = err
@@ -480,7 +505,7 @@ func (cq *Compiled) executeStandard(ctx context.Context, ex *exec.Executor, res 
 	res.Output = out
 }
 
-func (cq *Compiled) executeShredded(ctx context.Context, ex *exec.Executor, res *Result) {
+func (cq *Compiled) executeShredded(ctx context.Context, ex *exec.Executor, res *Result, sp *trace.Span) {
 	start := time.Now()
 	outs := map[string]*dataflow.Dataset{}
 	for _, st := range cq.Stmts {
@@ -489,11 +514,13 @@ func (cq *Compiled) executeShredded(ctx context.Context, ex *exec.Executor, res 
 			res.Err = err
 			return
 		}
+		ssp := sp.Child("execute " + st.Name)
 		d, err := ex.Run(st.Plan)
 		if err == nil {
 			ex.Bind(st.Name, d) // forces once for all downstream consumers
 			err = d.Err()
 		}
+		ssp.End()
 		if err != nil {
 			res.Elapsed = time.Since(start)
 			res.Err = fmt.Errorf("assignment %s: %w", st.Name, err)
@@ -510,11 +537,13 @@ func (cq *Compiled) executeShredded(ctx context.Context, ex *exec.Executor, res 
 			res.Err = err
 			return
 		}
+		ssp := sp.Child("execute unshred")
 		out, err := ex.Run(cq.Unshred)
 		if err == nil {
 			out.Force()
 			err = out.Err()
 		}
+		ssp.End()
 		res.Elapsed = time.Since(start)
 		if err != nil {
 			res.Err = err

@@ -568,6 +568,84 @@ func TestDifferentialOracle(t *testing.T) {
 	t.Logf("%d queries × 48 runs agreed with the oracle; optimizer changed plans in %d runs; %d runs executed columnar batches; %d runs planned index scans", n, optimized, vectorized, indexed)
 }
 
+// TestAnalyzeStableAcrossRoutes re-runs a sampled subset of the differential
+// seeds with per-operator instrumentation enabled across the {vectorized,
+// row-only} × {indexed, index-ablated} matrix and checks that EXPLAIN ANALYZE
+// is an observation, not an intervention: every combination still agrees with
+// the oracle, the root operator's measured actual_rows equals the oracle
+// cardinality in every combination, and the analyzed explain text renders the
+// runtime annotations.
+func TestAnalyzeStableAcrossRoutes(t *testing.T) {
+	step := 25
+	if testing.Short() {
+		step = 75
+	}
+	checked, measuredRoots := 0, 0
+	for seed := 0; seed < 300; seed += step {
+		data := seedBytes(seed)
+		env := diffEnv()
+		g := &dgen{data: data}
+		inputs := g.dataset()
+		limit := diffBroadcastLimits[g.n(len(diffBroadcastLimits))]
+		chosen := g.chooseIndexes()
+		queryAt := g.i
+		mkQuery := func() nrc.Expr {
+			qg := &dgen{data: data, i: queryAt}
+			return qg.query()
+		}
+
+		want, err := oracleEval(mkQuery(), env, inputs)
+		if err != nil {
+			t.Fatalf("seed %d: oracle: %v", seed, err)
+		}
+		ests := collectDiffStats(env, inputs)
+		applyIndexes(ests, chosen)
+
+		for _, vec := range []bool{true, false} {
+			for _, noIdx := range []bool{false, true} {
+				cfg := diffConfig(true, vec, noIdx, ests, limit)
+				cq, cerr := runner.Compile(mkQuery(), env, runner.Standard, cfg)
+				if cerr != nil {
+					t.Fatalf("seed %d (vec=%t, noidx=%t): compile: %v", seed, vec, noIdx, cerr)
+				}
+				a := plan.NewAnalysis()
+				res := cq.ExecuteWithOpts(context.Background(), inputs,
+					runner.NewRunContext(cfg, cq.Strategy), runner.ExecOptions{Analysis: a})
+				if res.Failed() {
+					t.Fatalf("seed %d (vec=%t, noidx=%t): %v", seed, vec, noIdx, res.Err)
+				}
+				got, gerr := nestedOutput(cq, res)
+				if gerr != nil {
+					t.Fatalf("seed %d (vec=%t, noidx=%t): %v", seed, vec, noIdx, gerr)
+				}
+				if !value.Equal(got, want) {
+					t.Fatalf("seed %d (vec=%t, noidx=%t): instrumented run diverges from the oracle\n got: %s\nwant: %s",
+						seed, vec, noIdx, value.Format(got), value.Format(want))
+				}
+				// UnionAll roots are deliberately uninstrumented (their
+				// inputs' counts already tell the story), so only measured
+				// roots are held to the oracle cardinality.
+				if ns := res.Analyze.Lookup(cq.Plan); ns != nil {
+					if actual := ns.RowsOut.Load(); actual != int64(len(want)) {
+						t.Fatalf("seed %d (vec=%t, noidx=%t): root actual_rows=%d, oracle cardinality=%d",
+							seed, vec, noIdx, actual, len(want))
+					}
+					measuredRoots++
+				}
+				if text := cq.ExplainAnalyze(res); !strings.Contains(text, "[actual_rows=") {
+					t.Fatalf("seed %d (vec=%t, noidx=%t): analyzed explain carries no runtime annotation:\n%s",
+						seed, vec, noIdx, text)
+				}
+				checked++
+			}
+		}
+	}
+	if measuredRoots < checked/2 {
+		t.Fatalf("only %d/%d runs had a measured root operator — instrumentation no longer covers the generated plans", measuredRoots, checked)
+	}
+	t.Logf("%d instrumented runs matched the oracle; %d had measured roots with stable actual_rows", checked, measuredRoots)
+}
+
 // FuzzDifferential lets the fuzzer drive the generator byte stream directly.
 // Queries the generator derives are well-typed by construction; any oracle
 // divergence is a real bug.

@@ -194,7 +194,7 @@ func (cp *CompiledPipeline) ExecuteRowsIndexed(ctx context.Context, rows map[str
 		for i, st := range cp.Steps {
 			step = i
 			sres := &Result{Strategy: st.CQ.Strategy, Mat: st.CQ.Mat}
-			st.CQ.runOn(ctx, ex, sres)
+			st.CQ.runOn(ctx, ex, sres, nil)
 			res.StepElapsed = append(res.StepElapsed, sres.Elapsed)
 			if sres.Err != nil {
 				err = fmt.Errorf("step %s: %w", st.Name, sres.Err)

@@ -231,6 +231,12 @@ type Result struct {
 	Mat     *shred.Materialized
 	Metrics dataflow.Snapshot
 	Elapsed time.Duration
+	// Analyze holds per-operator runtime statistics when the run executed
+	// with ExecOptions.Analysis set (EXPLAIN ANALYZE); nil otherwise.
+	Analyze *plan.Analysis
+	// TraceID identifies the request trace this run was recorded under, when
+	// the caller attached one; empty otherwise.
+	TraceID string
 	// Err is non-nil when the run failed (e.g. simulated memory saturation —
 	// the paper's F entries).
 	Err error

@@ -1,0 +1,273 @@
+// Package trace is a lightweight per-request span recorder for the serving
+// stack: a request gets one Trace (a random ID plus a root span), layers
+// along the request path open child spans (parse → resolve →
+// compile-or-cache-hit → bind → per-statement execute → encode) and attach
+// key/value attributes (strategy chosen, cache hit, generation). Traces are
+// carried through context.Context; every method is nil-safe, so code paths
+// without an attached trace pay a single nil check. Finished traces are
+// retained in a bounded in-memory Ring for `GET /trace/{id}` and the
+// slow-query log.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed step of a request. Spans form a tree under the trace's
+// root. A span is mutated by the goroutine driving its step; the internal
+// mutex makes concurrent child creation (parallel statements) safe too.
+type Span struct {
+	Name  string
+	Start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// Child opens a sub-span. Nil-safe: a nil receiver returns nil, so callers
+// can chain through unconditionally.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span (idempotent, nil-safe).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Set attaches an attribute (nil-safe).
+func (s *Span) Set(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Setf attaches a formatted attribute (nil-safe).
+func (s *Span) Setf(key, format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.Set(key, fmt.Sprintf(format, args...))
+}
+
+// Dur returns the span's wall time; for an unfinished span, time elapsed so
+// far.
+func (s *Span) Dur() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.Start)
+	}
+	return end.Sub(s.Start)
+}
+
+// SpanView is the exported, immutable snapshot of a span tree — what
+// `GET /trace/{id}` serializes.
+type SpanView struct {
+	Name     string     `json:"name"`
+	StartUS  int64      `json:"start_us"` // microseconds since the trace's root started
+	WallUS   int64      `json:"wall_us"`
+	Attrs    []Attr     `json:"attrs,omitempty"`
+	Children []SpanView `json:"children,omitempty"`
+}
+
+func (s *Span) view(origin time.Time) SpanView {
+	s.mu.Lock()
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	v := SpanView{
+		Name:    s.Name,
+		StartUS: s.Start.Sub(origin).Microseconds(),
+		WallUS:  s.Dur().Microseconds(),
+		Attrs:   attrs,
+	}
+	for _, c := range children {
+		v.Children = append(v.Children, c.view(origin))
+	}
+	return v
+}
+
+// Trace is one request's span tree.
+type Trace struct {
+	ID   string
+	Root *Span
+}
+
+// New starts a trace with a fresh random ID and an open root span.
+func New(name string) *Trace {
+	return &Trace{ID: newID(), Root: &Span{Name: name, Start: time.Now()}}
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand is documented never to fail on supported platforms;
+		// degrade to a constant rather than panicking a request path.
+		return "trace-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Finish closes the root span (nil-safe).
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.Root.End()
+}
+
+// Span returns the root span; nil for a nil trace, so `tr.Span().Child(…)`
+// composes without guards.
+func (t *Trace) Span() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.Root
+}
+
+// Dur returns the root span's wall time.
+func (t *Trace) Dur() time.Duration { return t.Span().Dur() }
+
+// View snapshots the whole trace for serialization.
+func (t *Trace) View() SpanView {
+	if t == nil {
+		return SpanView{}
+	}
+	return t.Root.view(t.Root.Start)
+}
+
+// Tree renders the span tree as indented text — the slow-query log and
+// `trance query -timing` format.
+func (t *Trace) Tree() string {
+	if t == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s (%s)\n", t.ID, t.Dur().Round(time.Microsecond))
+	writeSpan(&sb, t.Root, 1)
+	return sb.String()
+}
+
+func writeSpan(sb *strings.Builder, s *Span, depth int) {
+	s.mu.Lock()
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for i := 0; i < depth; i++ {
+		sb.WriteString("  ")
+	}
+	fmt.Fprintf(sb, "%s %s", s.Name, s.Dur().Round(time.Microsecond))
+	for _, a := range attrs {
+		fmt.Fprintf(sb, " [%s=%s]", a.Key, a.Value)
+	}
+	sb.WriteString("\n")
+	for _, c := range children {
+		writeSpan(sb, c, depth+1)
+	}
+}
+
+type ctxKey struct{}
+
+// With attaches a trace to the context.
+func With(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// From returns the context's trace, nil when none is attached (or when the
+// context itself is nil).
+func From(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}
+
+// Ring retains the most recent finished traces, bounded; older entries are
+// overwritten and become unqueryable.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	byID map[string]*Trace
+}
+
+// NewRing creates a ring holding up to n traces (n ≤ 0 defaults to 512).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 512
+	}
+	return &Ring{buf: make([]*Trace, n), byID: make(map[string]*Trace, n)}
+}
+
+// Put retains a trace, evicting the oldest when full.
+func (r *Ring) Put(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.buf[r.next]; old != nil {
+		delete(r.byID, old.ID)
+	}
+	r.buf[r.next] = t
+	r.byID[t.ID] = t
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Get returns the retained trace with the given ID, nil when unknown or
+// already evicted.
+func (r *Ring) Get(id string) *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// Len reports how many traces are currently retained.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeAndViews(t *testing.T) {
+	tr := New("req")
+	c1 := tr.Span().Child("parse")
+	c1.Set("query", "adhoc")
+	c1.End()
+	c2 := tr.Span().Child("execute")
+	c2.Child("execute plan").End()
+	c2.Setf("rows", "%d", 42)
+	c2.End()
+	tr.Finish()
+
+	if tr.ID == "" || len(tr.ID) != 16 {
+		t.Fatalf("trace ID %q, want 16 hex chars", tr.ID)
+	}
+	v := tr.View()
+	if v.Name != "req" || len(v.Children) != 2 {
+		t.Fatalf("view: %+v", v)
+	}
+	if v.Children[0].Attrs[0] != (Attr{Key: "query", Value: "adhoc"}) {
+		t.Fatalf("attrs: %+v", v.Children[0].Attrs)
+	}
+	if v.Children[1].Attrs[0].Value != "42" {
+		t.Fatalf("Setf attr: %+v", v.Children[1].Attrs)
+	}
+	tree := tr.Tree()
+	for _, want := range []string{"trace " + tr.ID, "parse", "[query=adhoc]", "execute plan", "[rows=42]"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	var sp *Span
+	// None of these may panic; children of nil are nil.
+	tr.Finish()
+	if tr.Span() != nil {
+		t.Fatal("nil trace root")
+	}
+	if tr.Dur() != 0 {
+		t.Fatal("nil trace dur")
+	}
+	if tr.Tree() != "" {
+		t.Fatal("nil trace tree")
+	}
+	if got := tr.View(); got.Name != "" {
+		t.Fatal("nil trace view")
+	}
+	if c := sp.Child("x"); c != nil {
+		t.Fatal("nil span child")
+	}
+	sp.End()
+	sp.Set("k", "v")
+	sp.Setf("k", "%d", 1)
+	if sp.Dur() != 0 {
+		t.Fatal("nil span dur")
+	}
+	// Chaining through nil composes.
+	tr.Span().Child("a").Child("b").Set("k", "v")
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if From(context.Background()) != nil {
+		t.Fatal("empty context should have no trace")
+	}
+	tr := New("r")
+	ctx := With(context.Background(), tr)
+	if From(ctx) != tr {
+		t.Fatal("context round trip lost the trace")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	ids := make([]string, 5)
+	for i := range ids {
+		tr := New(fmt.Sprintf("t%d", i))
+		tr.Finish()
+		ids[i] = tr.ID
+		r.Put(tr)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len=%d, want 3", r.Len())
+	}
+	for _, id := range ids[:2] {
+		if r.Get(id) != nil {
+			t.Fatalf("evicted trace %s still retrievable", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if r.Get(id) == nil {
+			t.Fatalf("retained trace %s lost", id)
+		}
+	}
+	if r.Get("nope") != nil {
+		t.Fatal("unknown ID should be nil")
+	}
+}
+
+func TestRingDefaultsAndNil(t *testing.T) {
+	if n := len(NewRing(0).buf); n != 512 {
+		t.Fatalf("default ring size %d, want 512", n)
+	}
+	var r *Ring
+	r.Put(New("x"))
+	if r.Get("x") != nil || r.Len() != 0 {
+		t.Fatal("nil ring should be inert")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("parallel")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := tr.Span().Child(fmt.Sprintf("stmt%d", i))
+			c.Set("i", fmt.Sprint(i))
+			c.End()
+		}(i)
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tr.View().Children); got != 8 {
+		t.Fatalf("children=%d, want 8", got)
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"github.com/trance-go/trance/internal/dataflow"
 	"github.com/trance-go/trance/internal/index"
 	"github.com/trance-go/trance/internal/nrc"
+	"github.com/trance-go/trance/internal/plan"
 	"github.com/trance-go/trance/internal/runner"
+	"github.com/trance-go/trance/internal/trace"
 	"github.com/trance-go/trance/internal/value"
 )
 
@@ -211,17 +213,69 @@ func namedSchema(cols []OutputColumn, outType Type, strat Strategy) []OutputColu
 	return cols
 }
 
+// ExplainOption configures PreparedQuery.Explain.
+type ExplainOption func(*explainOptions)
+
+type explainOptions struct {
+	analyze bool
+	inputs  map[string]Bag
+	data    *PreparedData
+}
+
+// WithAnalyze makes Explain execute the query over the given inputs and
+// annotate every plan operator with the observed runtime statistics — actual
+// rows in/out, wall time, batch counts, index probe outcomes — beside the
+// static cost annotations, followed by a per-join/per-scan q-error summary
+// (EXPLAIN ANALYZE).
+func WithAnalyze(inputs map[string]Bag) ExplainOption {
+	return func(o *explainOptions) { o.analyze, o.inputs = true, inputs }
+}
+
+// WithAnalyzeBound is WithAnalyze over data bound with BindData: the serving
+// path, where input conversion is cached and catalog indexes are bound.
+func WithAnalyzeBound(data *PreparedData) ExplainOption {
+	return func(o *explainOptions) { o.analyze, o.data = true, data }
+}
+
 // Explain compiles the strategy if needed and renders every plan of the
 // compiled artifact before and after the rule-based optimizer pass
 // (predicate pushdown, select fusion, constant folding), plus the
 // optimizer's rule-hit counters — the text behind `trance query -explain`
-// and the tranced GET /explain route.
-func (pq *PreparedQuery) Explain(strat Strategy) (string, error) {
+// and the tranced GET /explain route. With WithAnalyze/WithAnalyzeBound the
+// query is additionally executed and the plans are rendered with per-operator
+// runtime statistics and a q-error summary.
+func (pq *PreparedQuery) Explain(strat Strategy, opts ...ExplainOption) (string, error) {
+	var o explainOptions
+	for _, fn := range opts {
+		fn(&o)
+	}
 	cq, err := pq.compiled(strat)
 	if err != nil {
 		return "", fmt.Errorf("%s (%s): %w", pq.label(), strat, err)
 	}
-	return cq.Explain(), nil
+	if !o.analyze {
+		return cq.Explain(), nil
+	}
+	var res *Result
+	if o.data != nil {
+		res, err = pq.runBound(context.Background(), o.data, strat, true)
+	} else {
+		res, err = pq.run(context.Background(), o.inputs, strat, true)
+	}
+	if err != nil {
+		return "", err
+	}
+	return cq.ExplainAnalyze(res), nil
+}
+
+// ExplainAnalyzeResult renders the analyzed plans of a Result produced by
+// RunAnalyzed/RunBoundAnalyzed under the same strategy, without re-running.
+func (pq *PreparedQuery) ExplainAnalyzeResult(strat Strategy, res *Result) (string, error) {
+	cq, err := pq.compiled(strat)
+	if err != nil {
+		return "", fmt.Errorf("%s (%s): %w", pq.label(), strat, err)
+	}
+	return cq.ExplainAnalyze(res), nil
 }
 
 // Run evaluates the prepared query under the strategy over one set of
@@ -236,18 +290,70 @@ func (pq *PreparedQuery) Explain(strat Strategy) (string, error) {
 // (value-shredding them on shredded routes); when the same dataset is
 // evaluated repeatedly, BindData + RunBound amortize that conversion too.
 func (pq *PreparedQuery) Run(ctx context.Context, inputs map[string]Bag, strat Strategy) (*Result, error) {
-	cq, err := pq.compiled(strat)
+	return pq.run(ctx, inputs, strat, false)
+}
+
+// RunAnalyzed is Run with EXPLAIN ANALYZE instrumentation: the execution
+// collects per-operator runtime statistics into Result.Analyze, renderable
+// with ExplainAnalyzeResult. The instrumented run is slightly slower; leave
+// it off on hot paths.
+func (pq *PreparedQuery) RunAnalyzed(ctx context.Context, inputs map[string]Bag, strat Strategy) (*Result, error) {
+	return pq.run(ctx, inputs, strat, true)
+}
+
+func (pq *PreparedQuery) run(ctx context.Context, inputs map[string]Bag, strat Strategy, analyze bool) (*Result, error) {
+	cq, err := pq.tracedCompile(ctx, strat)
 	if err != nil {
 		return nil, fmt.Errorf("%s (%s): %w", pq.label(), strat, err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res := cq.Execute(ctx, inputs, pq.runContext(strat))
+	opts, finish := execOptions(ctx, analyze)
+	res := cq.ExecuteWithOpts(ctx, inputs, pq.runContext(strat), opts)
+	finish(res)
 	if res.Err != nil {
 		return res, fmt.Errorf("%s (%s): %w", pq.label(), strat, res.Err)
 	}
 	return res, nil
+}
+
+// tracedCompile resolves the compiled artifact for the strategy, recording a
+// compile span — with cache-hit/miss attribution and the resolved strategy —
+// on the request trace when the context carries one.
+func (pq *PreparedQuery) tracedCompile(ctx context.Context, strat Strategy) (*runner.Compiled, error) {
+	sp := trace.From(ctx).Span().Child("compile")
+	cq, compiled, err := pq.compiledTracked(strat)
+	if compiled {
+		sp.Set("cache", "miss")
+	} else {
+		sp.Set("cache", "hit")
+	}
+	if err == nil {
+		sp.Set("strategy", cq.Strategy.String())
+	}
+	sp.End()
+	return cq, err
+}
+
+// execOptions builds the runner ExecOptions for one evaluation: an Analysis
+// collector when analyze is on, and an execute span when the context carries
+// a trace. The returned finish ends the span and stamps the trace ID onto
+// the result.
+func execOptions(ctx context.Context, analyze bool) (runner.ExecOptions, func(*Result)) {
+	var opts runner.ExecOptions
+	if analyze {
+		opts.Analysis = plan.NewAnalysis()
+	}
+	tr := trace.From(ctx)
+	esp := tr.Span().Child("execute")
+	opts.Span = esp
+	return opts, func(res *Result) {
+		esp.End()
+		if res != nil && tr != nil {
+			res.TraceID = tr.ID
+		}
+	}
 }
 
 func (pq *PreparedQuery) runContext(strat Strategy) *dataflow.Context {
@@ -339,18 +445,32 @@ func (pd *PreparedData) rowsFor(cq *runner.Compiled) (map[string][]dataflow.Row,
 // cached per route, so the serving hot path does no per-request shredding.
 // The data must have been bound by a query with the same input environment.
 func (pq *PreparedQuery) RunBound(ctx context.Context, data *PreparedData, strat Strategy) (*Result, error) {
-	cq, err := pq.compiled(strat)
+	return pq.runBound(ctx, data, strat, false)
+}
+
+// RunBoundAnalyzed is RunBound with EXPLAIN ANALYZE instrumentation (see
+// RunAnalyzed).
+func (pq *PreparedQuery) RunBoundAnalyzed(ctx context.Context, data *PreparedData, strat Strategy) (*Result, error) {
+	return pq.runBound(ctx, data, strat, true)
+}
+
+func (pq *PreparedQuery) runBound(ctx context.Context, data *PreparedData, strat Strategy, analyze bool) (*Result, error) {
+	cq, err := pq.tracedCompile(ctx, strat)
 	if err != nil {
 		return nil, fmt.Errorf("%s (%s): %w", pq.label(), strat, err)
 	}
+	bsp := trace.From(ctx).Span().Child("bind")
 	rows, err := data.rowsFor(cq)
+	bsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s (%s): prepare inputs: %w", pq.label(), strat, err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res := cq.ExecuteRowsIndexed(ctx, rows, data.indexesFor(cq), pq.runContext(strat))
+	opts, finish := execOptions(ctx, analyze)
+	res := cq.ExecuteRowsOpts(ctx, rows, data.indexesFor(cq), pq.runContext(strat), opts)
+	finish(res)
 	if res.Err != nil {
 		return res, fmt.Errorf("%s (%s): %w", pq.label(), strat, res.Err)
 	}
@@ -360,14 +480,24 @@ func (pq *PreparedQuery) RunBound(ctx context.Context, data *PreparedData, strat
 // compiled returns the cached compilation for the strategy, compiling it
 // exactly once process-wide per (fingerprint, strategy).
 func (pq *PreparedQuery) compiled(strat Strategy) (*runner.Compiled, error) {
+	cq, _, err := pq.compiledTracked(strat)
+	return cq, err
+}
+
+// compiledTracked is compiled plus whether this call performed the
+// compilation (false = served from the plan cache) — the trace layer's
+// cache-hit attribution.
+func (pq *PreparedQuery) compiledTracked(strat Strategy) (*runner.Compiled, bool, error) {
 	entry := planCache.entry(pq.fp + "|" + strat.String())
+	ran := false
 	entry.once.Do(func() {
 		pq.compileMu.Lock()
 		defer pq.compileMu.Unlock()
 		planCache.compiles.Add(1)
+		ran = true
 		entry.cq, entry.err = runner.Compile(pq.query, pq.env, strat, pq.cfg)
 	})
-	return entry.cq, entry.err
+	return entry.cq, ran, entry.err
 }
 
 // fingerprint digests everything that affects compilation: the query's

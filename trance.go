@@ -48,6 +48,8 @@
 package trance
 
 import (
+	"context"
+
 	"github.com/trance-go/trance/internal/core"
 	"github.com/trance-go/trance/internal/dataflow"
 	"github.com/trance-go/trance/internal/index"
@@ -57,6 +59,7 @@ import (
 	"github.com/trance-go/trance/internal/runner"
 	"github.com/trance-go/trance/internal/shred"
 	"github.com/trance-go/trance/internal/stats"
+	"github.com/trance-go/trance/internal/trace"
 	"github.com/trance-go/trance/internal/value"
 )
 
@@ -313,6 +316,40 @@ func IndexCounters() IndexStats { return index.Global() }
 // IndexRefusalReasons breaks IndexCounters().Refused down by reason (e.g.
 // "label column", "mixed-type keys", "range index over bool keys").
 func IndexRefusalReasons() map[string]int64 { return index.RefusalReasons() }
+
+// Observability (see docs/OBSERVABILITY.md).
+type (
+	// Analysis collects per-operator runtime statistics during an
+	// EXPLAIN ANALYZE run (Result.Analyze).
+	Analysis = plan.Analysis
+	// NodeStats are one plan operator's observed runtime statistics.
+	NodeStats = plan.NodeStats
+	// QError is one operator's cardinality-estimate error (max(est/actual,
+	// actual/est), clamped to ≥1).
+	QError = plan.QError
+	// Trace is one request's span tree (Result.TraceID names it).
+	Trace = trace.Trace
+	// Span is one timed region of a request trace.
+	Span = trace.Span
+	// TraceRing is a bounded in-memory buffer of recent traces (what backs
+	// tranced GET /trace/{id}).
+	TraceRing = trace.Ring
+)
+
+// NewTrace starts a request trace with a fresh random ID and an open root
+// span. Attach it to a context with ContextWithTrace; every Run/RunBound on
+// that context records parse/compile/bind/execute child spans.
+func NewTrace(name string) *Trace { return trace.New(name) }
+
+// NewTraceRing creates a bounded trace buffer keeping the most recent n
+// traces (n <= 0 uses the default capacity).
+func NewTraceRing(n int) *TraceRing { return trace.NewRing(n) }
+
+// ContextWithTrace attaches a trace to a context.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context { return trace.With(ctx, t) }
+
+// TraceFromContext returns the trace attached to ctx, or nil.
+func TraceFromContext(ctx context.Context) *Trace { return trace.From(ctx) }
 
 // ExplainStandard compiles a query through the standard route and renders the
 // algebraic plan (paper Figure 3 style), before the rule-based optimizer
