@@ -1,0 +1,687 @@
+// Columnar exchange buffers: the typed per-(source,target) representation
+// rows take across the shuffle boundary. The map side of a key-based shuffle
+// transposes its fused-chain output into BatchSize windows, hashes the key
+// columns directly over the column vectors (bit-identical to the row-at-a-
+// time value.HashCols), and scatters each window into per-target ColBuffers.
+// ShuffleBytes is metered from the buffers' compact typed encoding instead of
+// per-row value.Size walks, and the reduce side concatenates the buffers into
+// per-partition column sets that seed the receiving chain's vectorized
+// stages without a transpose round-trip.
+//
+// The accumulators reconcile kinds across windows: a column latches the first
+// non-NULL kind it sees, NULL-only appends are kind-neutral, and any
+// conflicting kind demotes the column to KindBoxed (re-boxing the prefix), so
+// the buffered representation is always faithful to the rows it mirrors.
+package dataflow
+
+import (
+	"math"
+	"slices"
+
+	"github.com/trance-go/trance/internal/value"
+)
+
+// ColBuffer accumulates one (source,target) exchange buffer as typed columns.
+type ColBuffer struct {
+	cols []colAcc
+	n    int
+	// hint, when non-zero, pre-sizes each column's typed backing at latch
+	// time so a steady stream of appends never re-allocates. It is a capacity
+	// hint only — buffers grow past it normally.
+	hint int
+}
+
+// NewColBuffer returns an empty buffer expecting roughly hint rows.
+func NewColBuffer(hint int) *ColBuffer { return &ColBuffer{hint: hint} }
+
+// Len returns the number of buffered rows.
+func (b *ColBuffer) Len() int { return b.n }
+
+// AppendSel appends the selected rows of a transposed window (cols, one
+// Column per field) to the buffer. idxs lists the window-relative row indices
+// to take; nil means every row of the window. Reports false on a width
+// conflict, in which case the caller must abandon the buffer and keep the row
+// representation.
+func (b *ColBuffer) AppendSel(cols []Column, idxs []int32) bool {
+	if b.cols == nil {
+		b.cols = make([]colAcc, len(cols))
+		for i := range b.cols {
+			b.cols[i].hint = b.hint
+		}
+	} else if len(b.cols) != len(cols) {
+		return false
+	}
+	m := len(idxs)
+	if idxs == nil && len(cols) > 0 {
+		m = cols[0].Len
+	}
+	for ci := range cols {
+		b.cols[ci].append(&cols[ci], idxs, m)
+	}
+	b.n += m
+	return true
+}
+
+// Columns materializes the buffer as one Column per field. Accumulators that
+// only ever saw NULLs export as all-NULL boxed columns.
+func (b *ColBuffer) Columns() []Column {
+	out := make([]Column, len(b.cols))
+	for i := range b.cols {
+		a := &b.cols[i]
+		if !a.typed {
+			out[i] = Column{Kind: KindBoxed, Len: b.n, Nulls: a.col.Nulls, Boxed: make([]value.Value, b.n)}
+			continue
+		}
+		out[i] = a.col
+	}
+	return out
+}
+
+// CompactBytes returns the size of the buffer's compact wire encoding: 8
+// bytes per int64/float64/date cell, string bytes plus a 4-byte length per
+// string cell, one bit per bool cell (rounded to bitmap words), value.Size
+// per boxed cell, plus the words of every materialized null bitmap. This is
+// what a network shuffle of the typed representation would move, and is what
+// ShuffleBytes meters on the columnar exchange path.
+func (b *ColBuffer) CompactBytes() int64 {
+	var total int64
+	for i := range b.cols {
+		a := &b.cols[i]
+		c := &a.col
+		if c.Nulls != nil {
+			total += int64(len(c.Nulls) * 8)
+		}
+		if !a.typed {
+			continue // all-NULL column: only the null bitmap crosses the wire
+		}
+		switch c.Kind {
+		case KindInt64, KindFloat64, KindDate:
+			total += int64(8 * b.n)
+		case KindString:
+			total += int64(4 * b.n)
+			for _, s := range c.Strs {
+				total += int64(len(s))
+			}
+		case KindBool:
+			total += int64(8 * ((b.n + 63) / 64))
+		default:
+			for _, v := range c.Boxed {
+				if v != nil {
+					total += value.Size(v)
+				}
+			}
+		}
+	}
+	return total
+}
+
+// ConcatColBuffers concatenates one target partition's per-source buffers
+// into a single column set, reconciling kinds across sources through the same
+// accumulator state machine used on the map side. Returns ok=false when the
+// buffers disagree on width or describe zero-width rows, in which case the
+// caller keeps only the row representation.
+func ConcatColBuffers(bufs []*ColBuffer) ([]Column, bool) {
+	var dst *ColBuffer
+	for _, b := range bufs {
+		if b == nil || b.n == 0 {
+			continue
+		}
+		if len(b.cols) == 0 {
+			return nil, false
+		}
+		cols := b.Columns()
+		if dst == nil {
+			dst = &ColBuffer{cols: make([]colAcc, len(cols))}
+		}
+		if !dst.AppendSel(cols, nil) {
+			return nil, false
+		}
+	}
+	if dst == nil {
+		return nil, false
+	}
+	return dst.Columns(), true
+}
+
+// colAcc is one column of a ColBuffer. Until the first non-NULL cell arrives
+// the accumulator is unlatched (typed=false): it tracks only length and the
+// null bitmap, so an all-NULL prefix can still latch onto whatever kind shows
+// up later.
+type colAcc struct {
+	col   Column
+	typed bool
+	hint  int
+}
+
+// append extends the accumulator with m cells of window column w, selected by
+// idxs (nil = the first m rows of w in order).
+func (a *colAcc) append(w *Column, idxs []int32, m int) {
+	if m == 0 {
+		return
+	}
+	n := a.col.Len
+	fin := n + m
+	// One prescan classifies the selection. A window column with no bitmap at
+	// all (the common case — TransposeColInto materializes one only when a
+	// NULL shows up) skips every per-cell null check below; a selection that
+	// is entirely NULL is kind-neutral and extends any accumulator without
+	// latching or demoting its kind.
+	anyNull, allNull := false, false
+	if w.Nulls != nil {
+		allNull = true
+		for k := 0; k < m; k++ {
+			i := k
+			if idxs != nil {
+				i = int(idxs[k])
+			}
+			if w.Nulls.Get(i) {
+				anyNull = true
+			} else {
+				allNull = false
+			}
+			if anyNull && !allNull {
+				break
+			}
+		}
+	}
+	if allNull {
+		a.growZero(m)
+		a.col.Nulls = growBitmapTo(a.col.Nulls, fin)
+		for p := n; p < fin; p++ {
+			a.col.Nulls.Set(p)
+		}
+		a.col.Len = fin
+		return
+	}
+	if !a.typed {
+		a.latch(w.Kind)
+	} else if a.col.Kind != w.Kind && a.col.Kind != KindBoxed {
+		a.demote()
+	}
+	dst := &a.col
+	// Size the null bitmap up front only when this append contains NULLs;
+	// Bitmap.Get past the backing words already reports valid.
+	if anyNull {
+		dst.Nulls = growBitmapTo(dst.Nulls, fin)
+	}
+	if dst.Kind == w.Kind && w.Kind != KindBoxed {
+		switch w.Kind {
+		case KindInt64, KindDate:
+			if !anyNull {
+				dst.Ints = slices.Grow(dst.Ints, m)
+				if idxs == nil {
+					dst.Ints = append(dst.Ints, w.Ints[:m]...)
+				} else {
+					for _, i := range idxs {
+						dst.Ints = append(dst.Ints, w.Ints[i])
+					}
+				}
+				dst.Len = fin
+				return
+			}
+			for k := 0; k < m; k++ {
+				i := k
+				if idxs != nil {
+					i = int(idxs[k])
+				}
+				if w.Nulls.Get(i) {
+					dst.Nulls.Set(dst.Len)
+					dst.Ints = append(dst.Ints, 0)
+				} else {
+					dst.Ints = append(dst.Ints, w.Ints[i])
+				}
+				dst.Len++
+			}
+		case KindFloat64:
+			if !anyNull {
+				dst.Floats = slices.Grow(dst.Floats, m)
+				if idxs == nil {
+					dst.Floats = append(dst.Floats, w.Floats[:m]...)
+				} else {
+					for _, i := range idxs {
+						dst.Floats = append(dst.Floats, w.Floats[i])
+					}
+				}
+				dst.Len = fin
+				return
+			}
+			for k := 0; k < m; k++ {
+				i := k
+				if idxs != nil {
+					i = int(idxs[k])
+				}
+				if w.Nulls.Get(i) {
+					dst.Nulls.Set(dst.Len)
+					dst.Floats = append(dst.Floats, 0)
+				} else {
+					dst.Floats = append(dst.Floats, w.Floats[i])
+				}
+				dst.Len++
+			}
+		case KindString:
+			if !anyNull {
+				dst.Strs = slices.Grow(dst.Strs, m)
+				if idxs == nil {
+					dst.Strs = append(dst.Strs, w.Strs[:m]...)
+				} else {
+					for _, i := range idxs {
+						dst.Strs = append(dst.Strs, w.Strs[i])
+					}
+				}
+				dst.Len = fin
+				return
+			}
+			for k := 0; k < m; k++ {
+				i := k
+				if idxs != nil {
+					i = int(idxs[k])
+				}
+				if w.Nulls.Get(i) {
+					dst.Nulls.Set(dst.Len)
+					dst.Strs = append(dst.Strs, "")
+				} else {
+					dst.Strs = append(dst.Strs, w.Strs[i])
+				}
+				dst.Len++
+			}
+		default: // KindBool
+			dst.Bools = growBitmapTo(dst.Bools, fin)
+			if !anyNull {
+				for k := 0; k < m; k++ {
+					i := k
+					if idxs != nil {
+						i = int(idxs[k])
+					}
+					if w.Bools.Get(i) {
+						dst.Bools.Set(dst.Len)
+					}
+					dst.Len++
+				}
+				return
+			}
+			for k := 0; k < m; k++ {
+				i := k
+				if idxs != nil {
+					i = int(idxs[k])
+				}
+				if w.Nulls.Get(i) {
+					dst.Nulls.Set(dst.Len)
+				} else if w.Bools.Get(i) {
+					dst.Bools.Set(dst.Len)
+				}
+				dst.Len++
+			}
+		}
+		return
+	}
+	// Boxed destination (demoted, latched boxed, or boxed source): re-box
+	// cell by cell. Cold path — only mixed-kind or non-scalar columns land
+	// here.
+	for k := 0; k < m; k++ {
+		i := k
+		if idxs != nil {
+			i = int(idxs[k])
+		}
+		if w.Nulls.Get(i) {
+			dst.Nulls.Set(dst.Len)
+			dst.Boxed = append(dst.Boxed, nil)
+		} else {
+			dst.Boxed = append(dst.Boxed, w.Get(i))
+		}
+		dst.Len++
+	}
+}
+
+// latch fixes the accumulator's kind, materializing zeroed backing for the
+// all-NULL prefix accumulated so far (with capacity for the hinted row count,
+// so hinted buffers allocate their typed backing exactly once).
+func (a *colAcc) latch(k Kind) {
+	n := a.col.Len
+	c := n
+	if a.hint > c {
+		c = a.hint
+	}
+	a.typed = true
+	a.col.Kind = k
+	switch k {
+	case KindInt64, KindDate:
+		a.col.Ints = make([]int64, n, c)
+	case KindFloat64:
+		a.col.Floats = make([]float64, n, c)
+	case KindString:
+		a.col.Strs = make([]string, n, c)
+	case KindBool:
+		a.col.Bools = growBitmapTo(nil, n)
+	default:
+		a.col.Boxed = make([]value.Value, n, c)
+	}
+}
+
+// demote re-boxes a typed accumulator after a kind conflict.
+func (a *colAcc) demote() {
+	n := a.col.Len
+	boxed := make([]value.Value, n)
+	for i := 0; i < n; i++ {
+		boxed[i] = a.col.Get(i)
+	}
+	a.col.Kind = KindBoxed
+	a.col.Ints, a.col.Floats, a.col.Strs, a.col.Bools = nil, nil, nil, nil
+	a.col.Boxed = boxed
+}
+
+// growZero extends the typed backing by m zero cells (the cells are covered
+// by null bits, so the zeros are never observed). Unlatched accumulators
+// carry no backing to grow.
+func (a *colAcc) growZero(m int) {
+	if !a.typed {
+		return
+	}
+	switch a.col.Kind {
+	case KindInt64, KindDate:
+		for i := 0; i < m; i++ {
+			a.col.Ints = append(a.col.Ints, 0)
+		}
+	case KindFloat64:
+		for i := 0; i < m; i++ {
+			a.col.Floats = append(a.col.Floats, 0)
+		}
+	case KindString:
+		for i := 0; i < m; i++ {
+			a.col.Strs = append(a.col.Strs, "")
+		}
+	case KindBool:
+		a.col.Bools = growBitmapTo(a.col.Bools, a.col.Len+m)
+	default:
+		for i := 0; i < m; i++ {
+			a.col.Boxed = append(a.col.Boxed, nil)
+		}
+	}
+}
+
+// growBitmapTo extends b to cover n bits, preserving existing bits and
+// clearing the new ones.
+func growBitmapTo(b Bitmap, n int) Bitmap {
+	w := (n + 63) / 64
+	if w <= len(b) {
+		return b
+	}
+	if cap(b) >= w {
+		old := len(b)
+		b = b[:w]
+		for i := old; i < w; i++ {
+			b[i] = 0
+		}
+		return b
+	}
+	nb := make(Bitmap, w)
+	copy(nb, b)
+	return nb
+}
+
+// sliceCol points dst at the [lo,hi) window of c without copying the value
+// backing. lo must be 64-aligned (feed windows are BatchSize-strided and
+// BatchSize is a multiple of 64, so bitmap windows start on word boundaries).
+func sliceCol(dst *Column, c *Column, lo, hi int) {
+	*dst = Column{Kind: c.Kind, Len: hi - lo}
+	dst.Nulls = sliceBitmap(c.Nulls, lo, hi)
+	switch c.Kind {
+	case KindInt64, KindDate:
+		dst.Ints = c.Ints[lo:hi]
+	case KindFloat64:
+		dst.Floats = c.Floats[lo:hi]
+	case KindString:
+		dst.Strs = c.Strs[lo:hi]
+	case KindBool:
+		dst.Bools = sliceBitmap(c.Bools, lo, hi)
+	default:
+		dst.Boxed = c.Boxed[lo:hi]
+	}
+}
+
+// sliceBitmap windows b to bits [lo,hi); lo must be 64-aligned. Full windows
+// are zero-copy word slices. A partial tail window whose last word would
+// carry the next rows' bits is copied and masked — word-wise kernels and
+// Count must never observe bits beyond the window length. Bitmaps shorter
+// than the window stay short (Get past the backing reports clear).
+func sliceBitmap(b Bitmap, lo, hi int) Bitmap {
+	if b == nil {
+		return nil
+	}
+	lw := lo >> 6
+	hw := (hi + 63) >> 6
+	if lw >= len(b) {
+		return nil
+	}
+	if hw > len(b) {
+		hw = len(b)
+	}
+	s := b[lw:hw]
+	n := hi - lo
+	if uint(n)&63 != 0 && len(s) == (n+63)>>6 {
+		s = append(Bitmap(nil), s...)
+		maskTail(s, n)
+	}
+	return s
+}
+
+// FNV-1a 64-bit, unrolled so the shuffle can fold canonical key bytes into
+// per-row hash states column-major without the per-row hash.Hash64
+// allocation of value.HashCols. The constants and fold order match
+// hash/fnv.New64a exactly.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvU32(h uint64, v uint32) uint64 {
+	h = fnvByte(h, byte(v>>24))
+	h = fnvByte(h, byte(v>>16))
+	h = fnvByte(h, byte(v>>8))
+	return fnvByte(h, byte(v))
+}
+
+func fnvU64(h uint64, v uint64) uint64 {
+	for s := 56; s >= 0; s -= 8 {
+		h = fnvByte(h, byte(v>>uint(s)))
+	}
+	return h
+}
+
+// hashWindow folds the canonical key encoding (value.AppendKey) of every key
+// column into per-row FNV-1a states, column-major, producing hashes
+// bit-identical to value.HashCols without re-boxing typed cells. scratch is
+// the reusable encode buffer for boxed cells; the (possibly grown) buffer is
+// returned for reuse.
+func hashWindow(cols []Column, keyCols []int, n int, out []uint64, scratch []byte) []byte {
+	for i := 0; i < n; i++ {
+		out[i] = fnvOffset64
+	}
+	for _, kc := range keyCols {
+		c := &cols[kc]
+		switch c.Kind {
+		case KindInt64, KindDate:
+			tag := byte(0x02)
+			if c.Kind == KindDate {
+				tag = 0x04
+			}
+			for i := 0; i < n; i++ {
+				if c.Nulls.Get(i) {
+					out[i] = fnvByte(out[i], 0x00)
+					continue
+				}
+				out[i] = fnvU64(fnvByte(out[i], tag), uint64(c.Ints[i]))
+			}
+		case KindFloat64:
+			for i := 0; i < n; i++ {
+				if c.Nulls.Get(i) {
+					out[i] = fnvByte(out[i], 0x00)
+					continue
+				}
+				out[i] = fnvU64(fnvByte(out[i], 0x03), math.Float64bits(c.Floats[i]))
+			}
+		case KindString:
+			for i := 0; i < n; i++ {
+				if c.Nulls.Get(i) {
+					out[i] = fnvByte(out[i], 0x00)
+					continue
+				}
+				s := c.Strs[i]
+				h := fnvU32(fnvByte(out[i], 0x05), uint32(len(s)))
+				for j := 0; j < len(s); j++ {
+					h = fnvByte(h, s[j])
+				}
+				out[i] = h
+			}
+		case KindBool:
+			for i := 0; i < n; i++ {
+				if c.Nulls.Get(i) {
+					out[i] = fnvByte(out[i], 0x00)
+					continue
+				}
+				h := fnvByte(out[i], 0x01)
+				if c.Bools.Get(i) {
+					h = fnvByte(h, 1)
+				} else {
+					h = fnvByte(h, 0)
+				}
+				out[i] = h
+			}
+		default:
+			for i := 0; i < n; i++ {
+				scratch = value.AppendKey(scratch[:0], c.Boxed[i])
+				h := out[i]
+				for _, bb := range scratch {
+					h = fnvByte(h, bb)
+				}
+				out[i] = h
+			}
+		}
+	}
+	return scratch
+}
+
+// colMapper is the map-side state of one columnar shuffle task: it windows
+// the fused chain's output, transposes each window, hashes the key columns
+// over the vectors, and scatters rows (as handles, preserving identity and
+// feed order) and cells (into per-target typed buffers) in one pass. A width
+// conflict spills the whole source back to row-at-a-time routing — the hash
+// function is identical either way, so placement never changes.
+type colMapper struct {
+	keyCols []int
+	p       int
+	bufs    []*ColBuffer
+	local   [][]Row
+	win     []Row
+	winCols []Column
+	hashes  []uint64
+	scratch []byte
+	selIdx  [][]int32
+	width   int
+	hint    int
+	latched bool
+	spilled bool
+}
+
+// newColMapper builds the map-side state for one source partition. hint is
+// the expected per-target row count (source rows / targets); it pre-sizes the
+// typed buffers so steady-state scattering never re-allocates.
+func newColMapper(keyCols []int, p int, bufs []*ColBuffer, local [][]Row, hint int) *colMapper {
+	return &colMapper{
+		keyCols: keyCols,
+		p:       p,
+		bufs:    bufs,
+		local:   local,
+		win:     make([]Row, 0, BatchSize),
+		hashes:  make([]uint64, BatchSize),
+		selIdx:  make([][]int32, p),
+		hint:    hint,
+	}
+}
+
+func (m *colMapper) add(r Row) {
+	if m.spilled {
+		t := int(value.HashCols(r, m.keyCols) % uint64(m.p))
+		m.local[t] = append(m.local[t], r)
+		return
+	}
+	m.win = append(m.win, r)
+	if len(m.win) == BatchSize {
+		m.flushWin()
+	}
+}
+
+func (m *colMapper) flush() {
+	if !m.spilled {
+		m.flushWin()
+	}
+}
+
+func (m *colMapper) flushWin() {
+	n := len(m.win)
+	if n == 0 {
+		return
+	}
+	w := len(m.win[0])
+	if !m.latched {
+		m.width, m.latched = w, true
+	}
+	if w != m.width {
+		m.spill()
+		return
+	}
+	for _, r := range m.win {
+		if len(r) != w {
+			m.spill()
+			return
+		}
+	}
+	if cap(m.winCols) < w {
+		m.winCols = make([]Column, w)
+	}
+	wc := m.winCols[:w]
+	for ci := 0; ci < w; ci++ {
+		TransposeColInto(&wc[ci], m.win, ci, InferKind(m.win, ci))
+	}
+	m.scratch = hashWindow(wc, m.keyCols, n, m.hashes, m.scratch)
+	for t := range m.selIdx {
+		m.selIdx[t] = m.selIdx[t][:0]
+	}
+	for i := 0; i < n; i++ {
+		t := int(m.hashes[i] % uint64(m.p))
+		m.selIdx[t] = append(m.selIdx[t], int32(i))
+		m.local[t] = append(m.local[t], m.win[i])
+	}
+	// The window is routed; clear it before the buffer scatter so a spill
+	// there cannot route the same rows twice.
+	m.win = m.win[:0]
+	for t := 0; t < m.p; t++ {
+		if len(m.selIdx[t]) == 0 {
+			continue
+		}
+		if m.bufs[t] == nil {
+			m.bufs[t] = NewColBuffer(m.hint)
+		}
+		if !m.bufs[t].AppendSel(wc, m.selIdx[t]) {
+			m.spill()
+			return
+		}
+	}
+}
+
+// spill abandons the typed buffers for this source: buffered-but-unrouted
+// rows are routed per-row with the identical value.HashCols hash, and every
+// subsequent row takes the row path. Rows already routed stay where they are
+// — placement is hash-determined, not representation-determined.
+func (m *colMapper) spill() {
+	m.spilled = true
+	for t := range m.bufs {
+		m.bufs[t] = nil
+	}
+	for _, r := range m.win {
+		t := int(value.HashCols(r, m.keyCols) % uint64(m.p))
+		m.local[t] = append(m.local[t], r)
+	}
+	m.win = m.win[:0]
+}

@@ -1,0 +1,457 @@
+package dataflow
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/trance-go/trance/internal/value"
+)
+
+// windowOf transposes rows into one Column per field, inferring kinds the way
+// the map side of a columnar shuffle does.
+func windowOf(rows []Row) []Column {
+	if len(rows) == 0 {
+		return nil
+	}
+	w := len(rows[0])
+	cols := make([]Column, w)
+	for c := 0; c < w; c++ {
+		TransposeColInto(&cols[c], rows, c, InferKind(rows, c))
+	}
+	return cols
+}
+
+// checkColumns compares materialized buffer columns against the expected rows
+// cell by cell.
+func checkColumns(t *testing.T, cols []Column, rows []Row) {
+	t.Helper()
+	if len(rows) == 0 {
+		return
+	}
+	for c := range cols {
+		if cols[c].Len != len(rows) {
+			t.Fatalf("col %d: Len=%d, want %d", c, cols[c].Len, len(rows))
+		}
+		for i := range rows {
+			got, want := cols[c].Get(i), rows[i][c]
+			if want == nil {
+				if got != nil {
+					t.Fatalf("col %d row %d: NULL became %v", c, i, got)
+				}
+				continue
+			}
+			if !value.Equal(got, want) {
+				t.Fatalf("col %d row %d: %v (%T) != %v (%T)", c, i, got, got, want, want)
+			}
+		}
+	}
+}
+
+// TestColBufferWordBoundary appends row counts straddling the bitmap word and
+// BatchSize boundaries, with NULLs pinned to bits 63 and 64, and checks the
+// buffered columns reproduce every cell.
+func TestColBufferWordBoundary(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 1023, 1024, 1025} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rows := make([]Row, n)
+			for i := range rows {
+				var v value.Value = int64(i)
+				if i == 63 || i == 64 {
+					v = nil
+				}
+				rows[i] = Row{v, i%3 == 0, fmt.Sprintf("s%d", i%7)}
+			}
+			var b ColBuffer
+			// Append in BatchSize windows like the shuffle map side.
+			for lo := 0; lo < n; lo += BatchSize {
+				hi := lo + BatchSize
+				if hi > n {
+					hi = n
+				}
+				if !b.AppendSel(windowOf(rows[lo:hi]), nil) {
+					t.Fatal("AppendSel reported a width conflict on uniform rows")
+				}
+			}
+			if b.Len() != n {
+				t.Fatalf("Len=%d, want %d", b.Len(), n)
+			}
+			checkColumns(t, b.Columns(), rows)
+		})
+	}
+}
+
+// TestColBufferSelection scatters a window across two buffers by an index
+// selection (the shuffle's per-target routing) and checks both sides.
+func TestColBufferSelection(t *testing.T) {
+	rows := make([]Row, 100)
+	for i := range rows {
+		var s value.Value = fmt.Sprintf("v%d", i)
+		if i%10 == 9 {
+			s = nil
+		}
+		rows[i] = Row{int64(i), s}
+	}
+	w := windowOf(rows)
+	var even, odd ColBuffer
+	var evenRows, oddRows []Row
+	var evenIdx, oddIdx []int32
+	for i := range rows {
+		if i%2 == 0 {
+			evenIdx = append(evenIdx, int32(i))
+			evenRows = append(evenRows, rows[i])
+		} else {
+			oddIdx = append(oddIdx, int32(i))
+			oddRows = append(oddRows, rows[i])
+		}
+	}
+	if !even.AppendSel(w, evenIdx) || !odd.AppendSel(w, oddIdx) {
+		t.Fatal("selection append failed")
+	}
+	checkColumns(t, even.Columns(), evenRows)
+	checkColumns(t, odd.Columns(), oddRows)
+}
+
+// TestColBufferAllNullThenTyped: an accumulator that has only seen NULLs is
+// unlatched; the first typed window must latch its kind and materialize a
+// zeroed, null-covered prefix.
+func TestColBufferAllNullThenTyped(t *testing.T) {
+	nulls := make([]Row, 70) // spans a bitmap word boundary
+	for i := range nulls {
+		nulls[i] = Row{nil}
+	}
+	typed := []Row{{int64(7)}, {nil}, {int64(9)}}
+	var b ColBuffer
+	if !b.AppendSel(windowOf(nulls), nil) || !b.AppendSel(windowOf(typed), nil) {
+		t.Fatal("append failed")
+	}
+	checkColumns(t, b.Columns(), append(append([]Row{}, nulls...), typed...))
+	if k := b.Columns()[0].Kind; k != KindInt64 {
+		t.Fatalf("latched kind %v, want KindInt64", k)
+	}
+}
+
+// TestColBufferAllNullOnly: a buffer that never sees a non-NULL cell exports
+// an all-NULL boxed column and meters only the bitmap.
+func TestColBufferAllNullOnly(t *testing.T) {
+	rows := []Row{{nil}, {nil}, {nil}}
+	var b ColBuffer
+	if !b.AppendSel(windowOf(rows), nil) {
+		t.Fatal("append failed")
+	}
+	cols := b.Columns()
+	checkColumns(t, cols, rows)
+	if cols[0].Kind != KindBoxed {
+		t.Fatalf("all-NULL column kind %v, want KindBoxed", cols[0].Kind)
+	}
+	if got, want := b.CompactBytes(), int64(8); got != want {
+		t.Fatalf("all-NULL CompactBytes=%d, want %d (one bitmap word)", got, want)
+	}
+}
+
+// TestColBufferKindConflictDemotes: appending a window of a different kind
+// re-boxes the accumulated prefix without corrupting it.
+func TestColBufferKindConflictDemotes(t *testing.T) {
+	ints := []Row{{int64(1)}, {int64(2)}}
+	strs := []Row{{"x"}, {nil}}
+	var b ColBuffer
+	if !b.AppendSel(windowOf(ints), nil) || !b.AppendSel(windowOf(strs), nil) {
+		t.Fatal("append failed")
+	}
+	cols := b.Columns()
+	if cols[0].Kind != KindBoxed {
+		t.Fatalf("conflicting kinds gave %v, want KindBoxed", cols[0].Kind)
+	}
+	checkColumns(t, cols, append(append([]Row{}, ints...), strs...))
+}
+
+// TestColBufferWidthConflict: a window of a different width must be refused,
+// signalling the caller to spill to row routing.
+func TestColBufferWidthConflict(t *testing.T) {
+	var b ColBuffer
+	if !b.AppendSel(windowOf([]Row{{int64(1), "a"}}), nil) {
+		t.Fatal("first append failed")
+	}
+	if b.AppendSel(windowOf([]Row{{int64(2)}}), nil) {
+		t.Fatal("width conflict not detected")
+	}
+}
+
+// TestConcatColBuffers covers the reduce side: per-source buffers with
+// different (but reconcilable) kind histories concatenate into one column
+// set; width disagreement and all-empty inputs report not-ok.
+func TestConcatColBuffers(t *testing.T) {
+	a := []Row{{int64(1), true}, {nil, false}}
+	bb := []Row{{nil, nil}, {int64(4), true}}
+	var ba, bc ColBuffer
+	if !ba.AppendSel(windowOf(a), nil) || !bc.AppendSel(windowOf(bb), nil) {
+		t.Fatal("append failed")
+	}
+	cols, ok := ConcatColBuffers([]*ColBuffer{&ba, nil, &bc, {}})
+	if !ok {
+		t.Fatal("concat reported conflict on uniform buffers")
+	}
+	checkColumns(t, cols, append(append([]Row{}, a...), bb...))
+
+	var wide ColBuffer
+	if !wide.AppendSel(windowOf([]Row{{int64(1)}}), nil) {
+		t.Fatal("append failed")
+	}
+	if _, ok := ConcatColBuffers([]*ColBuffer{&ba, &wide}); ok {
+		t.Fatal("width conflict across sources not detected")
+	}
+	if _, ok := ConcatColBuffers([]*ColBuffer{nil, {}}); ok {
+		t.Fatal("all-empty concat should report not-ok")
+	}
+}
+
+// TestCompactBytesAccounting checks the compact wire sizes against hand
+// computation: typed cells at their fixed widths, strings at len+4, bools one
+// bit per row, and null bitmaps at their word footprint.
+func TestCompactBytesAccounting(t *testing.T) {
+	rows := []Row{
+		{int64(1), 2.5, "ab", true},
+		{int64(2), nil, "", false},
+		{nil, 1.0, "xyz", true},
+	}
+	var b ColBuffer
+	if !b.AppendSel(windowOf(rows), nil) {
+		t.Fatal("append failed")
+	}
+	// ints: 3×8 + 1 null word; floats: 3×8 + 1 null word; strings: 3×4 + 5
+	// bytes of payload; bools: 1 word.
+	want := int64(3*8+8) + int64(3*8+8) + int64(3*4+5) + int64(8)
+	if got := b.CompactBytes(); got != want {
+		t.Fatalf("CompactBytes=%d, want %d", got, want)
+	}
+	// At scale the compact encoding undercuts the value.Size row walk: no
+	// per-tuple framing and bit-packed bools. (Tiny buffers can go the other
+	// way — a null bitmap word covers 64 rows whether 3 or 64 are present.)
+	big := make([]Row, 1024)
+	for i := range big {
+		big[i] = Row{int64(i), i%2 == 0}
+	}
+	var bb ColBuffer
+	if !bb.AppendSel(windowOf(big), nil) {
+		t.Fatal("append failed")
+	}
+	if rowBytes := value.SizeRows(big); bb.CompactBytes() >= rowBytes {
+		t.Fatalf("compact %dB not smaller than row walk %dB at 1024 rows", bb.CompactBytes(), rowBytes)
+	}
+}
+
+// TestHashWindowMatchesHashCols: the column-major FNV fold must be
+// bit-identical to the per-row value.HashCols for every kind, including NULLs
+// and boxed cells — partition placement depends on it.
+func TestHashWindowMatchesHashCols(t *testing.T) {
+	rows := []Row{
+		{int64(-3), "key", 2.5, true, value.Date(11), value.Tuple{int64(1), "t"}},
+		{nil, nil, nil, nil, nil, nil},
+		{int64(9), "", -0.0, false, value.Date(-2), value.Tuple{}},
+		{int64(1 << 40), "long-key-with-bytes", 1e300, true, value.Date(0), value.Tuple{nil}},
+	}
+	cols := windowOf(rows)
+	keyCols := []int{0, 1, 2, 3, 4, 5}
+	out := make([]uint64, len(rows))
+	hashWindow(cols, keyCols, len(rows), out, nil)
+	for i, r := range rows {
+		if want := value.HashCols(r, keyCols); out[i] != want {
+			t.Fatalf("row %d: hashWindow=%x, HashCols=%x", i, out[i], want)
+		}
+	}
+	// Single-column subsets too (shuffles usually key one or two columns).
+	for _, kc := range keyCols {
+		hashWindow(cols, []int{kc}, len(rows), out, nil)
+		for i, r := range rows {
+			if want := value.HashCols(r, []int{kc}); out[i] != want {
+				t.Fatalf("col %d row %d: hashWindow=%x, HashCols=%x", kc, i, out[i], want)
+			}
+		}
+	}
+}
+
+// TestSliceBitmapTailMask: a partial tail window whose backing word carries
+// bits beyond the window must come back masked; aligned full windows are
+// zero-copy.
+func TestSliceBitmapTailMask(t *testing.T) {
+	b := NewBitmap(130)
+	for i := 0; i < 130; i++ {
+		b.Set(i)
+	}
+	s := sliceBitmap(b, 64, 100) // 36-bit window in a full word
+	if got := s.Count(); got != 36 {
+		t.Fatalf("window Count=%d, want 36 (tail word not masked)", got)
+	}
+	// Masked tails are copies: mutating the slice must not touch the source.
+	s[0] = 0
+	if !b.Get(64) {
+		t.Fatal("masked tail window aliases the source bitmap")
+	}
+	// A full aligned window is a zero-copy word slice.
+	full := sliceBitmap(b, 64, 128)
+	full[0] = 0
+	if b.Get(64) {
+		t.Fatal("full window should alias the source words")
+	}
+	b.Set(64)
+	// A window past the backing reports nil (all clear).
+	if sliceBitmap(Bitmap{1}, 64, 128) != nil {
+		t.Fatal("window past the backing should be nil")
+	}
+}
+
+// TestColMapperMatchesRowRouting drives the map-side state machine with
+// uniform rows and checks both representations: per-target row buckets equal
+// per-row value.HashCols routing, and the typed buffers reproduce the routed
+// rows.
+func TestColMapperMatchesRowRouting(t *testing.T) {
+	const p = 3
+	rows := make([]Row, 2500) // several BatchSize windows plus a partial tail
+	for i := range rows {
+		var s value.Value = fmt.Sprintf("k%d", i%17)
+		if i%13 == 0 {
+			s = nil
+		}
+		rows[i] = Row{int64(i % 31), s, float64(i) / 3}
+	}
+	keyCols := []int{0, 1}
+	bufs := make([]*ColBuffer, p)
+	local := make([][]Row, p)
+	m := newColMapper(keyCols, p, bufs, local, 0)
+	for _, r := range rows {
+		m.add(r)
+	}
+	m.flush()
+	if m.spilled {
+		t.Fatal("uniform rows spilled")
+	}
+	want := make([][]Row, p)
+	for _, r := range rows {
+		tt := int(value.HashCols(r, keyCols) % uint64(p))
+		want[tt] = append(want[tt], r)
+	}
+	for tt := 0; tt < p; tt++ {
+		if len(m.local[tt]) != len(want[tt]) {
+			t.Fatalf("target %d: %d rows routed, want %d", tt, len(m.local[tt]), len(want[tt]))
+		}
+		for i := range want[tt] {
+			if !value.Equal(value.Tuple(m.local[tt][i]), value.Tuple(want[tt][i])) {
+				t.Fatalf("target %d row %d: routed %v, want %v", tt, i, m.local[tt][i], want[tt][i])
+			}
+		}
+		if m.bufs[tt] == nil {
+			if len(want[tt]) > 0 {
+				t.Fatalf("target %d: no buffer for %d rows", tt, len(want[tt]))
+			}
+			continue
+		}
+		cols, ok := ConcatColBuffers([]*ColBuffer{m.bufs[tt]})
+		if !ok {
+			t.Fatalf("target %d: concat failed", tt)
+		}
+		checkColumns(t, cols, want[tt])
+	}
+}
+
+// TestColMapperSpillsOnWidthConflict: ragged rows must abandon the typed
+// buffers but keep routing every row to the hash-determined target.
+func TestColMapperSpillsOnWidthConflict(t *testing.T) {
+	rows := []Row{
+		{int64(1), "a"}, {int64(2), "b"}, {int64(3)}, {int64(4), "d"},
+	}
+	const p = 2
+	m := newColMapper([]int{0}, p, make([]*ColBuffer, p), make([][]Row, p), 0)
+	for _, r := range rows {
+		m.add(r)
+	}
+	m.flush()
+	if !m.spilled {
+		t.Fatal("ragged rows did not spill")
+	}
+	for tt := 0; tt < p; tt++ {
+		if m.bufs[tt] != nil {
+			t.Fatalf("target %d kept a typed buffer after spill", tt)
+		}
+	}
+	total := 0
+	for tt := 0; tt < p; tt++ {
+		for _, r := range m.local[tt] {
+			if want := int(value.HashCols(r, []int{0}) % uint64(p)); want != tt {
+				t.Fatalf("row %v routed to %d, hash says %d", r, tt, want)
+			}
+			total++
+		}
+	}
+	if total != len(rows) {
+		t.Fatalf("routed %d rows, want %d (lost or duplicated by spill)", total, len(rows))
+	}
+}
+
+// FuzzShuffleBufferRoundTrip fuzzes the encode/scatter/concat cycle the way
+// FuzzColumnRoundTrip fuzzes transpose: generator-shaped rows (mixed kinds,
+// NULLs, boxed cells) go through the map-side state machine, and the routed
+// row buckets must agree with per-row hashing while the typed buffers must
+// reproduce the routed rows cell for cell.
+func FuzzShuffleBufferRoundTrip(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 10, 200, 30, 4, 250, 6})
+	f.Add([]byte{0, 0, 9, 1, 2, 3})
+	f.Add([]byte{2, 7, 7, 8, 0, 1, 2, 3, 4, 5, 6, 7, 9}) // mixed-kind columns
+	f.Add([]byte{1, 1, 66, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows := decodeFuzzRows(data)
+		if len(rows) == 0 {
+			return
+		}
+		const p = 3
+		keyCols := []int{0}
+		m := newColMapper(keyCols, p, make([]*ColBuffer, p), make([][]Row, p), 0)
+		for _, r := range rows {
+			m.add(r)
+		}
+		m.flush()
+		want := make([][]Row, p)
+		for _, r := range rows {
+			tt := int(value.HashCols(r, keyCols) % uint64(p))
+			want[tt] = append(want[tt], r)
+		}
+		for tt := 0; tt < p; tt++ {
+			if len(m.local[tt]) != len(want[tt]) {
+				t.Fatalf("target %d: %d rows, want %d", tt, len(m.local[tt]), len(want[tt]))
+			}
+			for i := range want[tt] {
+				if !value.Equal(value.Tuple(m.local[tt][i]), value.Tuple(want[tt][i])) {
+					t.Fatalf("target %d row %d: %v != %v", tt, i, m.local[tt][i], want[tt][i])
+				}
+			}
+			if m.spilled {
+				continue
+			}
+			if m.bufs[tt] == nil {
+				if len(want[tt]) > 0 {
+					t.Fatalf("target %d: missing buffer for %d rows", tt, len(want[tt]))
+				}
+				continue
+			}
+			if got, wantN := m.bufs[tt].Len(), len(want[tt]); got != wantN {
+				t.Fatalf("target %d buffer holds %d rows, want %d", tt, got, wantN)
+			}
+			cols, ok := ConcatColBuffers([]*ColBuffer{m.bufs[tt]})
+			if !ok {
+				t.Fatalf("target %d: concat failed", tt)
+			}
+			for c := range cols {
+				for i := range want[tt] {
+					got, wantV := cols[c].Get(i), want[tt][i][c]
+					if wantV == nil {
+						if got != nil {
+							t.Fatalf("target %d col %d row %d: NULL became %v", tt, c, i, got)
+						}
+						continue
+					}
+					if !value.Equal(got, wantV) {
+						t.Fatalf("target %d col %d row %d: %v != %v", tt, c, i, got, wantV)
+					}
+				}
+			}
+		}
+	})
+}

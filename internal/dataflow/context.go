@@ -75,6 +75,11 @@ type Context struct {
 	// it to model plans that keep operators with their source relations and
 	// re-exchange data at every key-based step.
 	DisableGuarantees bool
+	// BoxedExchange forces every key-based shuffle onto the boxed row path,
+	// disabling the typed column buffers of the columnar exchange. Ablation
+	// knob: the differential oracle runs both arms and the benchmarks use it
+	// as the baseline.
+	BoxedExchange bool
 
 	// SharedPool, when non-nil, replaces the context's private worker pool so
 	// several concurrent jobs (each with its own Context) draw helper
@@ -170,6 +175,54 @@ type Metrics struct {
 	mu        sync.Mutex
 	stageWall map[string]time.Duration
 	stageSeen []string // first-seen order, for stable reporting
+	exchange  ExchangeStat
+	stageExch map[string]ExchangeStat
+	exchSeen  []string // first-seen order, for stable reporting
+}
+
+// ExchangeStat describes how shuffle data crossed the exchange boundary:
+// how many (source,target) buffers went out typed (columnar) versus boxed,
+// and the metered bytes of each representation. Boxed buffers are metered by
+// value.Size row walks; columnar buffers by their compact typed encoding.
+type ExchangeStat struct {
+	ColumnarBuffers int64
+	BoxedBuffers    int64
+	ColumnarBytes   int64
+	BoxedBytes      int64
+}
+
+// add accumulates o into e.
+func (e *ExchangeStat) add(o ExchangeStat) {
+	e.ColumnarBuffers += o.ColumnarBuffers
+	e.BoxedBuffers += o.BoxedBuffers
+	e.ColumnarBytes += o.ColumnarBytes
+	e.BoxedBytes += o.BoxedBytes
+}
+
+// StageExchange is the exchange accounting of one named shuffle stage.
+type StageExchange struct {
+	Stage string
+	ExchangeStat
+}
+
+// addExchange accumulates one map task's exchange accounting under a stage
+// name and into the run totals.
+func (m *Metrics) addExchange(stage string, e ExchangeStat) {
+	if e == (ExchangeStat{}) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.exchange.add(e)
+	if m.stageExch == nil {
+		m.stageExch = map[string]ExchangeStat{}
+	}
+	if _, ok := m.stageExch[stage]; !ok {
+		m.exchSeen = append(m.exchSeen, stage)
+	}
+	cur := m.stageExch[stage]
+	cur.add(e)
+	m.stageExch[stage] = cur
 }
 
 // AddStageWall accumulates wall time under a stage name.
@@ -199,6 +252,9 @@ func (m *Metrics) Reset() {
 	m.mu.Lock()
 	m.stageWall = nil
 	m.stageSeen = nil
+	m.exchange = ExchangeStat{}
+	m.stageExch = nil
+	m.exchSeen = nil
 	m.mu.Unlock()
 }
 
@@ -213,8 +269,13 @@ type Snapshot struct {
 	SkippedShuffles   int64
 	VectorizedBatches int64
 	VectorizedRows    int64
+	// Exchange totals how shuffle buffers crossed the boundary.
+	Exchange ExchangeStat
 	// StageWall lists per-stage wall times in first-execution order.
 	StageWall []StageTime
+	// StageExchange lists per-stage exchange accounting in first-execution
+	// order (key-based and rebalance shuffle stages only).
+	StageExchange []StageExchange
 }
 
 // Snapshot copies the current counter values.
@@ -234,14 +295,19 @@ func (m *Metrics) Snapshot() Snapshot {
 	for _, name := range m.stageSeen {
 		s.StageWall = append(s.StageWall, StageTime{Stage: name, Wall: m.stageWall[name]})
 	}
+	s.Exchange = m.exchange
+	for _, name := range m.exchSeen {
+		s.StageExchange = append(s.StageExchange, StageExchange{Stage: name, ExchangeStat: m.stageExch[name]})
+	}
 	m.mu.Unlock()
 	return s
 }
 
 func (s Snapshot) String() string {
-	return fmt.Sprintf("shuffle=%dB/%drec broadcast=%dB peakPart=%dB/%drows stages=%d skipped=%d vec=%dbatch/%drows",
+	return fmt.Sprintf("shuffle=%dB/%drec broadcast=%dB peakPart=%dB/%drows stages=%d skipped=%d vec=%dbatch/%drows exchange=%dcol/%dboxed",
 		s.ShuffleBytes, s.ShuffleRecords, s.BroadcastBytes, s.PeakPartition, s.PeakPartitionRows,
-		s.Stages, s.SkippedShuffles, s.VectorizedBatches, s.VectorizedRows)
+		s.Stages, s.SkippedShuffles, s.VectorizedBatches, s.VectorizedRows,
+		s.Exchange.ColumnarBuffers, s.Exchange.BoxedBuffers)
 }
 
 // StageReport renders the per-stage wall times, slowest first.

@@ -117,7 +117,7 @@ func (ex *Executor) runSkew(op plan.Op) (triple, error) {
 		if err != nil {
 			return triple{}, err
 		}
-		d, err := ex.nest(in.merge(), x)
+		d, err := ex.recordWide(x)(ex.nest(in.merge(), x))
 		if err != nil {
 			return triple{}, err
 		}
@@ -128,7 +128,11 @@ func (ex *Executor) runSkew(op plan.Op) (triple, error) {
 		if err != nil {
 			return triple{}, err
 		}
-		d, err := in.merge().Distinct(ex.nextStage("dedup"))
+		stage := ex.nextStage("dedup")
+		if ns := ex.node(x); ns != nil {
+			ns.Stage = stage
+		}
+		d, err := ex.recordWide(x)(in.merge().Distinct(stage))
 		if err != nil {
 			return triple{}, err
 		}
@@ -143,7 +147,11 @@ func (ex *Executor) runSkew(op plan.Op) (triple, error) {
 		if err != nil {
 			return triple{}, err
 		}
-		return triple{light: l.merge().Union(r.merge()), heavy: ex.Ctx.Empty()}, nil
+		u := l.merge().Union(r.merge())
+		if _, err := ex.recordWide(x)(u, u.Err()); err != nil {
+			return triple{}, err
+		}
+		return triple{light: u, heavy: ex.Ctx.Empty()}, nil
 
 	case *plan.BagToDict:
 		// Skew-aware BagToDict (paper Figure 6): repartition only the light
@@ -154,9 +162,18 @@ func (ex *Executor) runSkew(op plan.Op) (triple, error) {
 		}
 		cols := []int{x.LabelCol}
 		t, _ := ex.keysFor(in, cols)
-		light, err := t.light.RepartitionBy(ex.nextStage("bagToDict"), cols)
+		stage := ex.nextStage("bagToDict")
+		if ns := ex.node(x); ns != nil {
+			ns.Stage = stage
+		}
+		light, err := t.light.RepartitionBy(stage, cols)
 		if err != nil {
 			return triple{}, err
+		}
+		// The operator's output is the union of both components: record the
+		// heavy rows too, so actual_rows matches what flows downstream.
+		if ns := ex.node(x); ns != nil {
+			ns.RowsOut.Add(light.Count() + t.heavy.Count())
 		}
 		return triple{light: light, heavy: t.heavy, keys: t.keys, keyCols: cols}, nil
 	}
@@ -181,7 +198,11 @@ func (ex *Executor) skewJoin(x *plan.Join) (triple, error) {
 	if len(x.LCols) == 0 {
 		// Cross join: broadcast right to both components.
 		out := lt.mapBoth(func(d *dataflow.Dataset) *dataflow.Dataset {
-			j, jerr := d.BroadcastJoin(ex.nextStage("cross"), right, nil, nil, rw, x.Outer)
+			stage := ex.nextStage("cross")
+			if ns := ex.node(x); ns != nil {
+				ns.Stage = stage
+			}
+			j, jerr := ex.recordWide(x)(d.BroadcastJoin(stage, right, nil, nil, rw, x.Outer))
 			if jerr != nil {
 				err = jerr
 			}
@@ -199,11 +220,13 @@ func (ex *Executor) skewJoin(x *plan.Join) (triple, error) {
 		return hk[keyOfCols(r, x.RCols)]
 	})
 
-	light, err := ex.join(lt.light, rightLight, x)
+	light, err := ex.recordWide(x)(ex.join(lt.light, rightLight, x))
 	if err != nil {
 		return triple{}, err
 	}
-	heavy, err := lt.heavy.BroadcastJoin(ex.nextStage("skewjoin"), rightHeavy, x.LCols, x.RCols, rw, x.Outer)
+	// The broadcast side's rows are part of the same join node's output:
+	// record them too, so skew-strategy plans carry a complete actual_rows.
+	heavy, err := ex.recordWide(x)(lt.heavy.BroadcastJoin(ex.nextStage("skewjoin"), rightHeavy, x.LCols, x.RCols, rw, x.Outer))
 	if err != nil {
 		return triple{}, err
 	}

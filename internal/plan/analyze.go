@@ -151,24 +151,36 @@ func collectQErrors(op Op, a *Analysis, out *[]QError) {
 	}
 }
 
+// ExchangeStat summarizes how a wide operator's shuffle stage moved its data
+// across the exchange: typed column buffers (columnar) versus boxed rows, and
+// the metered bytes of each. Runners aggregate the engine's per-stage
+// exchange accounting under the operator's base stage name before rendering.
+type ExchangeStat struct {
+	ColumnarBuffers, BoxedBuffers int64
+	ColumnarBytes, BoxedBytes     int64
+}
+
 // ExplainAnalyzed renders the plan like Explain, appending each node's
 // measured runtime annotation beside its static one: `[est_rows=N]` gains
 // `[actual_rows=M wall=… batches=…]`. stageWall resolves wide operators'
 // wall time from the run's per-stage metrics (pass the Result.Metrics stage
-// walls); nil omits wide-op walls. Nodes the execution never touched (or an
-// execution without analysis) render without a runtime annotation.
-func ExplainAnalyzed(op Op, a *Analysis, stageWall map[string]time.Duration) string {
+// walls); nil omits wide-op walls. exchange resolves wide operators' shuffle
+// exchange accounting (columnar vs boxed buffers and compact bytes), keyed
+// like stageWall by the operator's stage name; nil omits the annotation.
+// Nodes the execution never touched (or an execution without analysis)
+// render without a runtime annotation.
+func ExplainAnalyzed(op Op, a *Analysis, stageWall map[string]time.Duration, exchange map[string]ExchangeStat) string {
 	var sb strings.Builder
-	explainAnalyzed(&sb, op, a, stageWall, 0)
+	explainAnalyzed(&sb, op, a, stageWall, exchange, 0)
 	return sb.String()
 }
 
-func explainAnalyzed(sb *strings.Builder, op Op, a *Analysis, stageWall map[string]time.Duration, depth int) {
+func explainAnalyzed(sb *strings.Builder, op Op, a *Analysis, stageWall map[string]time.Duration, exchange map[string]ExchangeStat, depth int) {
 	for i := 0; i < depth; i++ {
 		sb.WriteString("  ")
 	}
 	sb.WriteString(op.Describe())
-	if ann := analyzeAnnotation(op, a, stageWall); ann != "" {
+	if ann := analyzeAnnotation(op, a, stageWall, exchange); ann != "" {
 		sb.WriteString(ann)
 	}
 	sb.WriteString("  → (")
@@ -184,13 +196,13 @@ func explainAnalyzed(sb *strings.Builder, op Op, a *Analysis, stageWall map[stri
 	}
 	sb.WriteString(")\n")
 	for _, ch := range op.Children() {
-		explainAnalyzed(sb, ch, a, stageWall, depth+1)
+		explainAnalyzed(sb, ch, a, stageWall, exchange, depth+1)
 	}
 }
 
 // analyzeAnnotation formats one node's runtime annotation, "" when the node
 // has no measured stats.
-func analyzeAnnotation(op Op, a *Analysis, stageWall map[string]time.Duration) string {
+func analyzeAnnotation(op Op, a *Analysis, stageWall map[string]time.Duration, exchange map[string]ExchangeStat) string {
 	ns := a.Lookup(op)
 	if ns == nil {
 		return ""
@@ -218,6 +230,18 @@ func analyzeAnnotation(op Op, a *Analysis, stageWall map[string]time.Duration) s
 			fmt.Fprintf(&sb, " index_fallbacks=%d", fb)
 		} else {
 			fmt.Fprintf(&sb, " index_matched=%d", m)
+		}
+	}
+	if ns.Stage != "" && exchange != nil {
+		if es, ok := exchange[ns.Stage]; ok && es.ColumnarBuffers+es.BoxedBuffers > 0 {
+			mode := "columnar"
+			switch {
+			case es.ColumnarBuffers == 0:
+				mode = "boxed"
+			case es.BoxedBuffers > 0:
+				mode = "mixed"
+			}
+			fmt.Fprintf(&sb, " exchange=%s exchange_bytes=%d", mode, es.ColumnarBytes+es.BoxedBytes)
 		}
 	}
 	switch x := op.(type) {

@@ -20,7 +20,7 @@ func TestAnalysisNilSafety(t *testing.T) {
 		t.Fatalf("nil analysis q-errors: %v", got)
 	}
 	// Rendering against a nil analysis is just Explain without annotations.
-	if text := ExplainAnalyzed(op, a, nil); !strings.Contains(text, "Scan R") || strings.Contains(text, "actual_rows") {
+	if text := ExplainAnalyzed(op, a, nil, nil); !strings.Contains(text, "Scan R") || strings.Contains(text, "actual_rows") {
 		t.Fatalf("nil-analysis render: %q", text)
 	}
 }
@@ -107,7 +107,7 @@ func TestQErrorsCollection(t *testing.T) {
 
 func TestExplainAnalyzedRendering(t *testing.T) {
 	root, a := analyzedTree()
-	text := ExplainAnalyzed(root, a, map[string]time.Duration{"join#1": 2 * time.Millisecond})
+	text := ExplainAnalyzed(root, a, map[string]time.Duration{"join#1": 2 * time.Millisecond}, nil)
 	for _, want := range []string{
 		"[actual_rows=97 rows_in=580 wall=180µs batches=4 vec=3 fallback=1]",
 		"wall=2ms",    // the join resolves its stage wall from the map
@@ -122,7 +122,7 @@ func TestExplainAnalyzedRendering(t *testing.T) {
 	}
 
 	// Without the stage-wall map the wide operator renders without a wall.
-	noWall := ExplainAnalyzed(root, a, nil)
+	noWall := ExplainAnalyzed(root, a, nil, nil)
 	if strings.Contains(noWall, "wall=2ms") {
 		t.Fatalf("stage wall rendered without a map:\n%s", noWall)
 	}
@@ -130,13 +130,13 @@ func TestExplainAnalyzedRendering(t *testing.T) {
 	// An index scan that fell back reports the fallback, not matches.
 	ins := a.Lookup(root.(*Select).In.(*Join).R)
 	ins.IndexFallbacks.Store(1)
-	fb := ExplainAnalyzed(root, a, nil)
+	fb := ExplainAnalyzed(root, a, nil, nil)
 	if !strings.Contains(fb, "index_fallbacks=1") || strings.Contains(fb, "index_matched") {
 		t.Fatalf("fallback annotation wrong:\n%s", fb)
 	}
 
 	// Nodes without measured stats render with no runtime annotation.
-	fresh := ExplainAnalyzed(scanR(), NewAnalysis(), nil)
+	fresh := ExplainAnalyzed(scanR(), NewAnalysis(), nil, nil)
 	if strings.Contains(fresh, "actual_rows") {
 		t.Fatalf("untouched node gained an annotation:\n%s", fresh)
 	}

@@ -349,11 +349,23 @@ func (a *annotator) join(x *Join) (Op, nodeEst) {
 	return out, est
 }
 
-// indexScanMaxSelectivity is the conversion threshold: a Select over a Scan
-// becomes an IndexScan only when the consumed conjuncts are estimated to keep
-// at most this fraction of the input — above it, the gather (random access +
-// output materialization) is not expected to beat the fused full scan.
-const indexScanMaxSelectivity = 0.5
+// Index-scan conversion thresholds: a Select over a Scan becomes an IndexScan
+// only when the consumed conjuncts are estimated to keep at most this fraction
+// of the input — above it, the gather (random access + output materialization)
+// is not expected to beat the fused full scan. The two shapes cross over at
+// very different points, so they gate separately:
+//
+//   - Equality probes answer from the hash map in O(matches); even a
+//     half-selective point predicate beats rescanning everything.
+//   - Range spans walk the ordered index and gather row-by-row; the ablation
+//     benchmark (BenchmarkIndexScanAblation) measured the gathered range scan
+//     ~1.8× SLOWER than the fused full scan at ~10% selectivity, putting the
+//     break-even near 1/18 of the input. Gate with a little headroom below
+//     that crossover.
+const (
+	indexScanMaxEqSelectivity    = 0.5
+	indexScanMaxRangeSelectivity = 0.055
+)
 
 // tryIndexScan converts a pushed-down Select directly above a Scan into an
 // IndexScan when some `col op const` conjuncts restrict an indexed column
@@ -448,6 +460,7 @@ func (a *annotator) tryIndexScan(scan *Scan, pred Expr, e nodeEst) (Op, nodeEst,
 		}
 	}
 	consumed := make([]Expr, 0, len(byCol[best]))
+	ranged := false
 	for _, c := range byCol[best] {
 		consumed = append(consumed, c.conj)
 		switch c.op {
@@ -456,16 +469,27 @@ func (a *annotator) tryIndexScan(scan *Scan, pred Expr, e nodeEst) (Op, nodeEst,
 			tightenHi(c.konst.Val, true)
 		case nrc.Lt:
 			tightenHi(c.konst.Val, false)
+			ranged = true
 		case nrc.Le:
 			tightenHi(c.konst.Val, true)
+			ranged = true
 		case nrc.Gt:
 			tightenLo(c.konst.Val, false)
+			ranged = true
 		case nrc.Ge:
 			tightenLo(c.konst.Val, true)
+			ranged = true
 		}
 	}
 	empty := span.Empty()
-	if !empty && bestSel > indexScanMaxSelectivity {
+	// A span assembled from any range conjunct walks the ordered index, so it
+	// gates at the measured range crossover even if equality conjuncts also
+	// tightened it; pure point probes keep the looser equality gate.
+	gate := indexScanMaxEqSelectivity
+	if ranged && !span.IsPoint() {
+		gate = indexScanMaxRangeSelectivity
+	}
+	if !empty && bestSel > gate {
 		return nil, nodeEst{}, false
 	}
 	if empty {

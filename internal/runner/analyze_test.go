@@ -61,7 +61,7 @@ func narrowInput(op plan.Op) plan.Op {
 func TestAnalyzeRowConservation(t *testing.T) {
 	inputs := map[string]value.Bag{"COP": testdata.SmallCOP(), "Part": testdata.SmallPart()}
 	cfg := DefaultConfig()
-	for _, strat := range []Strategy{Standard, Shred, ShredUnshred} {
+	for _, strat := range []Strategy{Standard, Shred, ShredUnshred, StandardSkew, ShredSkew, ShredUnshredSkew} {
 		cq, err := Compile(testdata.RunningExample(), testdata.Env(), strat, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", strat, err)

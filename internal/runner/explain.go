@@ -79,14 +79,30 @@ func (cq *Compiled) ExplainAnalyze(res *Result) string {
 	for _, st := range res.Metrics.StageWall {
 		wall[st.Stage] += st.Wall
 	}
+	// Shuffle stages are named under the operator's base stage plus a side
+	// suffix ("join#1/L"); node stats carry the base name, so the exchange
+	// accounting aggregates under the text before the first '/'.
+	exch := map[string]plan.ExchangeStat{}
+	for _, se := range res.Metrics.StageExchange {
+		base := se.Stage
+		if i := strings.IndexByte(base, '/'); i >= 0 {
+			base = base[:i]
+		}
+		cur := exch[base]
+		cur.ColumnarBuffers += se.ColumnarBuffers
+		cur.BoxedBuffers += se.BoxedBuffers
+		cur.ColumnarBytes += se.ColumnarBytes
+		cur.BoxedBytes += se.BoxedBytes
+		exch[base] = cur
+	}
 	if cq.Plan != nil {
-		fmt.Fprintf(&sb, "=== plan (analyzed) ===\n%s", plan.ExplainAnalyzed(cq.Plan, a, wall))
+		fmt.Fprintf(&sb, "=== plan (analyzed) ===\n%s", plan.ExplainAnalyzed(cq.Plan, a, wall, exch))
 	}
 	for _, st := range cq.Stmts {
-		fmt.Fprintf(&sb, "=== assignment %s (analyzed) ===\n%s", st.Name, plan.ExplainAnalyzed(st.Plan, a, wall))
+		fmt.Fprintf(&sb, "=== assignment %s (analyzed) ===\n%s", st.Name, plan.ExplainAnalyzed(st.Plan, a, wall, exch))
 	}
 	if cq.Unshred != nil {
-		fmt.Fprintf(&sb, "=== unshred plan (analyzed) ===\n%s", plan.ExplainAnalyzed(cq.Unshred, a, wall))
+		fmt.Fprintf(&sb, "=== unshred plan (analyzed) ===\n%s", plan.ExplainAnalyzed(cq.Unshred, a, wall, exch))
 	}
 	qerrs := cq.qErrors(a)
 	if len(qerrs) > 0 {
@@ -97,6 +113,10 @@ func (cq *Compiled) ExplainAnalyze(res *Result) string {
 	}
 	fmt.Fprintf(&sb, "execution: wall=%s shuffled=%dB rows_shuffled=%d\n",
 		res.Elapsed.Round(time.Microsecond), res.Metrics.ShuffleBytes, res.Metrics.ShuffleRecords)
+	if e := res.Metrics.Exchange; e.ColumnarBuffers+e.BoxedBuffers > 0 {
+		fmt.Fprintf(&sb, "exchange: columnar_buffers=%d boxed_buffers=%d columnar_bytes=%dB boxed_bytes=%dB\n",
+			e.ColumnarBuffers, e.BoxedBuffers, e.ColumnarBytes, e.BoxedBytes)
+	}
 	return sb.String()
 }
 
